@@ -1,0 +1,79 @@
+// Ablation: how close is the OAPT pairwise-relation heuristic (SS V-C) to
+// the exact exponential DP (eq. 1), and what do Quick-Ordering and random
+// ordering give up?  Run on many small random instances where the DP is
+// feasible.  (DESIGN.md SS5 calls this out as the heuristic-quality check.)
+#include "ap/atoms.hpp"
+#include "aptree/build.hpp"
+#include "aptree/oracle.hpp"
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+
+using namespace apc;
+using namespace apc::bench;
+
+namespace {
+std::size_t total_depth(const ApTree& t) {
+  std::size_t s = 0;
+  for (const std::size_t d : t.leaf_depths()) s += d;
+  return s;
+}
+}  // namespace
+
+int main() {
+  print_header("Ablation: OAPT heuristic vs exact optimal tree (small instances)");
+  Rng rng(7);
+  std::vector<double> r_oapt, r_quick, r_rand;
+  std::size_t oapt_optimal = 0, instances = 0;
+
+  while (instances < 60) {
+    bdd::BddManager mgr(6);
+    PredicateRegistry reg;
+    for (int i = 0; i < 7; ++i) {
+      bdd::Bdd p = mgr.bdd_true();
+      for (std::uint32_t v = 0; v < 6; ++v) {
+        const auto r = rng.uniform(3);
+        if (r == 0) p = p & mgr.var(v);
+        if (r == 1) p = p & mgr.nvar(v);
+      }
+      bdd::Bdd q = mgr.bdd_true();
+      for (std::uint32_t v = 0; v < 6; ++v) {
+        const auto r = rng.uniform(4);
+        if (r == 0) q = q & mgr.var(v);
+        if (r == 1) q = q & mgr.nvar(v);
+      }
+      bdd::Bdd f = p | q;
+      if (f.is_false() || f.is_true()) f = mgr.var(static_cast<std::uint32_t>(i % 6));
+      reg.add(std::move(f), PredicateKind::External);
+    }
+    AtomUniverse uni = compute_atoms(reg);
+    if (uni.alive_count() < 4 || uni.alive_count() > 16) continue;
+    ++instances;
+
+    const auto oracle = optimal_tree(reg, uni);
+    const double opt = static_cast<double>(oracle.total_leaf_depth);
+
+    const std::size_t c_oapt = total_depth(build_tree(reg, uni));
+    BuildOptions q;
+    q.method = BuildMethod::QuickOrdering;
+    const std::size_t c_quick = total_depth(build_tree(reg, uni, q));
+    const std::size_t c_rand = total_depth(best_from_random(reg, uni, 5, instances));
+
+    r_oapt.push_back(static_cast<double>(c_oapt) / opt);
+    r_quick.push_back(static_cast<double>(c_quick) / opt);
+    r_rand.push_back(static_cast<double>(c_rand) / opt);
+    if (c_oapt == oracle.total_leaf_depth) ++oapt_optimal;
+  }
+
+  std::printf("%zu instances (4-16 atoms each); cost ratio vs optimal:\n\n",
+              instances);
+  std::printf("%-18s %8s %8s %8s\n", "method", "mean", "p95", "max");
+  std::printf("%-18s %8.3f %8.3f %8.3f\n", "OAPT", mean(r_oapt),
+              percentile(r_oapt, 95), maximum(r_oapt));
+  std::printf("%-18s %8.3f %8.3f %8.3f\n", "Quick-Ordering", mean(r_quick),
+              percentile(r_quick, 95), maximum(r_quick));
+  std::printf("%-18s %8.3f %8.3f %8.3f\n", "BestFromRandom(5)", mean(r_rand),
+              percentile(r_rand, 95), maximum(r_rand));
+  std::printf("\nOAPT found the provably-optimal tree on %zu/%zu instances\n",
+              oapt_optimal, instances);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared helpers for the figure/table benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper's SS VII
+// and prints the same rows/series.  Scale defaults to Medium (predicate
+// counts match the paper; rule counts reduced for single-machine runs); set
+// APC_BENCH_SCALE=tiny|small|medium|full to override.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/traces.hpp"
+#include "util/stopwatch.hpp"
+
+namespace apc::bench {
+
+inline datasets::Scale bench_scale() {
+  const char* env = std::getenv("APC_BENCH_SCALE");
+  if (!env) return datasets::Scale::Medium;
+  if (!std::strcmp(env, "tiny")) return datasets::Scale::Tiny;
+  if (!std::strcmp(env, "small")) return datasets::Scale::Small;
+  if (!std::strcmp(env, "full")) return datasets::Scale::Full;
+  return datasets::Scale::Medium;
+}
+
+struct World {
+  // Heap-owned so that moving a World never relocates the NetworkModel the
+  // classifier points into.
+  std::shared_ptr<datasets::Dataset> dataset;
+  std::shared_ptr<bdd::BddManager> mgr;
+  std::unique_ptr<ApClassifier> clf;
+  datasets::AtomReps reps;
+  double compile_seconds = 0.0;  ///< predicates+atoms+tree build time
+
+  datasets::Dataset& data() const { return *dataset; }
+
+  const char* short_name() const {
+    return dataset->name.rfind("internet2", 0) == 0 ? "Internet2*" : "Stanford*";
+  }
+};
+
+inline World make_world(int which, datasets::Scale scale, std::uint64_t seed = 7,
+                        ApClassifier::Options opts = ApClassifier::Options{}) {
+  World w;
+  w.dataset = std::make_shared<datasets::Dataset>(
+      which == 0 ? datasets::internet2_like(scale, seed)
+                 : datasets::stanford_like(scale, seed + 4));
+  w.mgr = datasets::Dataset::make_manager();
+  Stopwatch sw;
+  w.clf = std::make_unique<ApClassifier>(w.dataset->net, w.mgr, opts);
+  w.compile_seconds = sw.seconds();
+  Rng rng(seed * 131 + 5);
+  w.reps = datasets::atom_representatives(w.clf->atoms(), rng);
+  return w;
+}
+
+/// Measures sustained queries/sec of `fn(packet)` over the trace, repeating
+/// until at least `min_seconds` elapsed.
+template <typename Fn>
+double measure_qps(const std::vector<PacketHeader>& trace, Fn&& fn,
+                   double min_seconds = 0.5, std::size_t max_queries = 0) {
+  require(!trace.empty(), "measure_qps: empty trace");
+  Stopwatch sw;
+  std::size_t done = 0;
+  do {
+    for (const auto& h : trace) {
+      fn(h);
+      ++done;
+      if (max_queries && done >= max_queries) return done / sw.seconds();
+    }
+  } while (sw.seconds() < min_seconds);
+  return static_cast<double>(done) / sw.seconds();
+}
+
+inline void print_header(const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("(synthetic datasets; see DESIGN.md SS2 — shapes, not absolute\n");
+  std::printf(" numbers, are the reproduction target)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace apc::bench

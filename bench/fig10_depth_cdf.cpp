@@ -1,0 +1,48 @@
+// Fig. 10 — cumulative distribution of AP Tree leaf depths for the three
+// construction methods.
+//
+// Paper shape: OAPT's curve sits left of Quick-Ordering, which sits left of
+// Best-from-Random; for Internet2 80% of OAPT leaves are at depth < 11
+// (Stanford: < 21); max depths 24 / 46.
+#include "aptree/build.hpp"
+#include "bench_util.hpp"
+#include "util/stats.hpp"
+
+using namespace apc;
+using namespace apc::bench;
+
+namespace {
+std::vector<double> depths_of(const ApTree& t) {
+  std::vector<double> out;
+  for (const std::size_t d : t.leaf_depths()) out.push_back(static_cast<double>(d));
+  return out;
+}
+}  // namespace
+
+int main() {
+  print_header("Fig. 10: CDF of leaf depths (percentile table per method)");
+  for (int which : {0, 1}) {
+    World w = make_world(which, bench_scale());
+    const ApTree best_rand =
+        best_from_random(w.clf->registry(), w.clf->atoms(), 100, 42);
+    BuildOptions q;
+    q.method = BuildMethod::QuickOrdering;
+    const ApTree quick = build_tree(w.clf->registry(), w.clf->atoms(), q);
+
+    const auto d_bfr = depths_of(best_rand);
+    const auto d_quick = depths_of(quick);
+    const auto d_oapt = depths_of(w.clf->tree());
+
+    std::printf("\n[%s] leaf-depth percentiles\n", w.short_name());
+    std::printf("%-8s %16s %16s %10s\n", "pct", "BestFromRandom", "Quick-Ordering",
+                "OAPT");
+    for (const double p : {10.0, 25.0, 50.0, 75.0, 80.0, 90.0, 95.0, 99.0, 100.0}) {
+      std::printf("%-8.0f %16.0f %16.0f %10.0f\n", p, percentile(d_bfr, p),
+                  percentile(d_quick, p), percentile(d_oapt, p));
+    }
+    std::printf("max depth: BFR %.0f, Quick %.0f, OAPT %.0f (paper OAPT max: %s)\n",
+                maximum(d_bfr), maximum(d_quick), maximum(d_oapt),
+                which == 0 ? "24" : "46");
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fig. 12 — query throughput for static networks: AP Classifier (three
+// construction methods) against Hassel-style HSA, AP Verifier linear scan,
+// and Forwarding Simulation.
+//
+// Paper: Internet2 OAPT 3.4 Mqps (+102% over BestFromRandom, +52% over
+// Quick); Stanford OAPT 1.8 Mqps (+46% / +34%).  Hassel-C: 6 / 4.7 Kqps
+// (~1000x slower); Forwarding Simulation 0.2 / 0.16 Mqps.  All methods
+// here run the FULL pipeline (stage 1 + stage 2).
+#include "aptree/build.hpp"
+#include "baselines/ap_linear.hpp"
+#include "baselines/forwarding_sim.hpp"
+#include "baselines/hsa.hpp"
+#include "baselines/pscan.hpp"
+#include "baselines/trie.hpp"
+#include "bench_util.hpp"
+
+using namespace apc;
+using namespace apc::bench;
+
+int main() {
+  print_header("Fig. 12: query throughput for static networks (full queries)");
+  for (int which : {0, 1}) {
+    World w = make_world(which, bench_scale());
+    Rng rng(23);
+    const auto trace = datasets::uniform_trace(w.reps, 8000, rng);
+    const BoxId ingress = 0;
+
+    std::printf("\n[%s]\n%-24s %14s %10s\n", w.short_name(), "method", "qps",
+                "vs OAPT");
+
+    // AP Classifier with the three construction methods.
+    const double oapt_qps = measure_qps(
+        trace, [&](const PacketHeader& h) { w.clf->query(h, ingress); }, 0.4);
+
+    const ApTree rand_tree =
+        best_from_random(w.clf->registry(), w.clf->atoms(), 100, 7);
+    BuildOptions qo;
+    qo.method = BuildMethod::QuickOrdering;
+    const ApTree quick_tree = build_tree(w.clf->registry(), w.clf->atoms(), qo);
+    const auto tree_query = [&](const ApTree& t, const PacketHeader& h) {
+      const AtomId a = t.classify(h, w.clf->registry());
+      w.clf->behavior_of(a, ingress);
+    };
+    const double rand_qps = measure_qps(
+        trace, [&](const PacketHeader& h) { tree_query(rand_tree, h); }, 0.3);
+    const double quick_qps = measure_qps(
+        trace, [&](const PacketHeader& h) { tree_query(quick_tree, h); }, 0.3);
+
+    // Baselines.
+    const ApLinear lin(w.clf->atoms());
+    const double lin_qps = measure_qps(
+        trace,
+        [&](const PacketHeader& h) {
+          w.clf->behavior_of(lin.classify(h), ingress);
+        },
+        0.3);
+    const ForwardingSimulation fsim(w.clf->compiled(), w.data().net.topology,
+                                    w.clf->registry());
+    const double fsim_qps = measure_qps(
+        trace, [&](const PacketHeader& h) { fsim.query(h, ingress); }, 0.3);
+    const PScan ps(w.clf->compiled(), w.data().net.topology, w.clf->registry());
+    const double ps_qps = measure_qps(
+        trace, [&](const PacketHeader& h) { ps.query(h, ingress); }, 0.3);
+    const TrieEngine trie(w.data().net);
+    const double trie_qps = measure_qps(
+        trace, [&](const PacketHeader& h) { trie.query(h, ingress); }, 0.3);
+    const HsaEngine hsa(w.data().net);
+    const double hsa_qps = measure_qps(
+        trace, [&](const PacketHeader& h) { hsa.query(h, ingress); }, 0.3,
+        /*max_queries=*/400);
+
+    const auto row = [&](const char* name, double qps) {
+      std::printf("%-24s %14.0f %9.2fx\n", name, qps, qps / oapt_qps);
+    };
+    row("APC (OAPT)", oapt_qps);
+    row("APC (Quick-Ordering)", quick_qps);
+    row("APC (BestFromRandom)", rand_qps);
+    row("APLinear (AP Verifier)", lin_qps);
+    row("Forwarding Simulation", fsim_qps);
+    row("PScan", ps_qps);
+    row("Trie (Veriflow-style)", trie_qps);
+    row("HSA (Hassel-style)", hsa_qps);
+
+    // Honest caveat on the trie row: its CPU speed is real, but this is a
+    // destination-only trie — it answers point queries on pure LPM state
+    // and degrades to linear scans for ACL/multi-field/flow-table matches.
+    // The system the paper discusses (Veriflow) indexes all five fields,
+    // which is where the "tens of GBs" memory cost of keeping raw rules in
+    // the controller comes from (SS II), and a trie cannot answer the
+    // atom-level set queries (verification, waypoints) that AP Classifier's
+    // stage-1 output enables.
+    const auto mem = w.clf->memory();
+    std::printf("  memory: APC %.2f MB vs dst-only trie %.2f MB (a faithful "
+                "5-field Veriflow trie is orders of magnitude larger)\n",
+                static_cast<double>(mem.total()) / 1048576.0,
+                static_cast<double>(trie.memory_bytes()) / 1048576.0);
+  }
+  std::printf("\npaper: OAPT 3.4 / 1.8 Mqps; FwdSim 0.20 / 0.16 Mqps;"
+              " Hassel-C 6.0 / 4.7 Kqps\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 13 — cumulative distribution of the time to add one predicate to a
+// live AP Tree, for different initial predicate counts.
+//
+// Paper: Internet2 with 40/80/120 initial predicates — ~80% of additions
+// under 2 ms, worst 5–6 ms; Stanford with 100/250/400 — >90% under 1 ms.
+// Initial size has little effect.  Deletions are free (lazy).
+#include "ap/atoms.hpp"
+#include "aptree/build.hpp"
+#include "aptree/update.hpp"
+#include "bench_util.hpp"
+#include "classifier/behavior.hpp"
+#include "util/stats.hpp"
+
+using namespace apc;
+using namespace apc::bench;
+
+int main() {
+  print_header("Fig. 13: CDF of predicate-addition latency vs initial tree size");
+
+  for (int which : {0, 1}) {
+    const datasets::Scale scale = bench_scale();
+    datasets::Dataset d = which == 0 ? datasets::internet2_like(scale)
+                                     : datasets::stanford_like(scale);
+    auto mgr = datasets::Dataset::make_manager();
+    PredicateRegistry full_reg;
+    compile_network(d.net, *mgr, full_reg);
+    const std::vector<PredId> all = full_reg.live_ids();
+
+    const auto initial_sizes = which == 0 ? std::vector<std::size_t>{40, 80, 120}
+                                          : std::vector<std::size_t>{100, 250, 400};
+    std::printf("\n[%s] pool of %zu predicates\n", which == 0 ? "Internet2*" : "Stanford*",
+                all.size());
+    std::printf("%-10s %8s %8s %8s %8s %8s %10s\n", "initial", "p50(ms)", "p80(ms)",
+                "p90(ms)", "p95(ms)", "max(ms)", "#adds");
+
+    for (const std::size_t init : initial_sizes) {
+      if (init >= all.size()) continue;
+      // Fresh registry with the first `init` predicates.
+      PredicateRegistry reg;
+      for (std::size_t i = 0; i < init; ++i)
+        reg.add(full_reg.bdd_of(all[i]), PredicateKind::External);
+      AtomUniverse uni = compute_atoms(reg);
+      ApTree tree = build_tree(reg, uni);
+
+      std::vector<double> lat_ms;
+      const std::size_t adds = std::min<std::size_t>(all.size() - init, 120);
+      for (std::size_t i = 0; i < adds; ++i) {
+        const bdd::Bdd p = full_reg.bdd_of(all[init + i]);
+        Stopwatch sw;
+        add_predicate(tree, reg, uni, p, PredicateKind::External);
+        lat_ms.push_back(sw.millis());
+      }
+      std::printf("%-10zu %8.3f %8.3f %8.3f %8.3f %8.3f %10zu\n", init,
+                  percentile(lat_ms, 50), percentile(lat_ms, 80),
+                  percentile(lat_ms, 90), percentile(lat_ms, 95), maximum(lat_ms),
+                  lat_ms.size());
+    }
+  }
+  std::printf("\npaper: Internet2 ~80%% < 2 ms (max 5-6 ms);"
+              " Stanford >90%% < 1 ms; initial size barely matters\n");
+  return 0;
+}

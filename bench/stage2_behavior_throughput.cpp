@@ -1,0 +1,42 @@
+// SS IV-B — throughput of stage 2 alone: computing network-wide behaviors
+// from an already-known atomic predicate.
+//
+// Paper: >15 M behaviors/sec (Internet2) and >10 M (Stanford) — far above
+// stage 1, which is why the AP Tree is the optimization target.
+#include "bench_util.hpp"
+
+using namespace apc;
+using namespace apc::bench;
+
+int main() {
+  print_header("SS IV-B: stage-2-only throughput (atom -> behavior)");
+  std::printf("%-12s %16s %18s\n", "network", "behaviors/s", "vs stage1 (x)");
+  for (int which : {0, 1}) {
+    World w = make_world(which, bench_scale());
+    Rng rng(3);
+    const auto trace = datasets::uniform_trace(w.reps, 4000, rng);
+
+    // Pre-classify so the loop measures stage 2 only.
+    std::vector<AtomId> atoms;
+    atoms.reserve(trace.size());
+    for (const auto& h : trace) atoms.push_back(w.clf->classify(h));
+
+    Stopwatch sw;
+    std::size_t done = 0;
+    do {
+      for (const AtomId a : atoms) {
+        w.clf->behavior_of(a, 0);
+        ++done;
+      }
+    } while (sw.seconds() < 0.5);
+    const double stage2_qps = static_cast<double>(done) / sw.seconds();
+
+    const double stage1_qps = measure_qps(
+        trace, [&](const PacketHeader& h) { w.clf->classify(h); }, 0.3);
+
+    std::printf("%-12s %16.0f %18.1f\n", w.short_name(), stage2_qps,
+                stage2_qps / stage1_qps);
+  }
+  std::printf("\npaper: >15 M/s (Internet2), >10 M/s (Stanford)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// apc_query_tool — command-line packet behavior identification.
+//
+// Load a data-plane snapshot (see src/io/network_io.hpp for the format) and
+// answer behavior queries:
+//
+//   apc_query_tool <network-file> stats
+//   apc_query_tool <network-file> query <ingress-box> <src-ip> <dst-ip>
+//                  //                  <src-port> <dst-port> <proto>
+//   apc_query_tool <network-file> batch <ingress-box>     # 5-tuples on stdin
+//   apc_query_tool <network-file> verify <ingress-box>    # loop/blackhole scan
+//
+// Example:
+//   ./build/examples/apc_query_tool net.txt query edge1 10.1.0.5 10.2.0.9 40000 80 6
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "classifier/classifier.hpp"
+#include "io/network_io.hpp"
+#include "verify/properties.hpp"
+
+using namespace apc;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: apc_query_tool <network-file> stats\n"
+               "       apc_query_tool <network-file> query <ingress> <src> <dst> "
+               "<sport> <dport> <proto>\n"
+               "       apc_query_tool <network-file> batch <ingress>\n"
+               "       apc_query_tool <network-file> verify <ingress>\n");
+  return 2;
+}
+
+PacketHeader parse_packet(const std::string& src, const std::string& dst,
+                          const std::string& sport, const std::string& dport,
+                          const std::string& proto) {
+  return PacketHeader::from_five_tuple(
+      parse_ipv4(src), parse_ipv4(dst), static_cast<std::uint16_t>(std::stoul(sport)),
+      static_cast<std::uint16_t>(std::stoul(dport)),
+      static_cast<std::uint8_t>(std::stoul(proto)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  try {
+    const NetworkModel net = io::read_network_file(argv[1]);
+    auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+    const ApClassifier clf(net, mgr);
+    const std::string mode = argv[2];
+
+    if (mode == "stats") {
+      const auto mem = clf.memory();
+      std::printf("boxes:        %zu\n", net.topology.box_count());
+      std::printf("fwd rules:    %zu\n", net.total_forwarding_rules());
+      std::printf("acl rules:    %zu\n", net.total_acl_rules());
+      std::printf("predicates:   %zu\n", clf.predicate_count());
+      std::printf("atoms:        %zu\n", clf.atom_count());
+      std::printf("avg depth:    %.2f\n", clf.tree().average_leaf_depth());
+      std::printf("memory:       %.2f MB\n", static_cast<double>(mem.total()) / 1048576.0);
+      return 0;
+    }
+
+    if (argc < 4) return usage();
+    const BoxId ingress = net.topology.find_box(argv[3]);
+
+    if (mode == "query") {
+      if (argc != 9) return usage();
+      const PacketHeader h = parse_packet(argv[4], argv[5], argv[6], argv[7], argv[8]);
+      const AtomId atom = clf.classify(h);
+      const Behavior b = clf.query(h, ingress);
+      std::printf("packet: %s\natom:   %u\npath:   %s\n", h.to_string().c_str(), atom,
+                  b.to_string(net.topology).c_str());
+      return 0;
+    }
+
+    if (mode == "batch") {
+      // One "src dst sport dport proto" per line on stdin.
+      std::string src, dst, sport, dport, proto;
+      while (std::cin >> src >> dst >> sport >> dport >> proto) {
+        const PacketHeader h = parse_packet(src, dst, sport, dport, proto);
+        const Behavior b = clf.query(h, ingress);
+        std::printf("%s => %s\n", h.to_string().c_str(),
+                    b.to_string(net.topology).c_str());
+      }
+      return 0;
+    }
+
+    if (mode == "verify") {
+      const verify::FlowVerifier v(clf);
+      const bdd::Bdd everything = mgr->bdd_true();
+      std::size_t issues = 0;
+      for (const auto& viol : v.check_loop_freedom(everything, ingress)) {
+        std::printf("LOOP       atom=%u %s\n", viol.atom, viol.detail.c_str());
+        ++issues;
+      }
+      for (const auto& viol : v.check_no_blackholes(everything, ingress)) {
+        std::printf("BLACKHOLE  atom=%u %s\n", viol.atom, viol.detail.c_str());
+        ++issues;
+      }
+      std::printf("%zu issue(s) from ingress %s\n", issues, argv[3]);
+      return issues == 0 ? 0 : 1;
+    }
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

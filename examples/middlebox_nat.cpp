@@ -1,0 +1,109 @@
+// Middlebox header changes demo (paper SS V-E, Fig. 7): a NAT in front of
+// box b1 translates external destinations to internal ones.  Type 1 entries
+// carry the precomputed atomic predicate of the rewritten header; a Type 2
+// entry (payload-dependent) forces an AP Tree re-search; a Type 3 entry
+// (probabilistic load balancer) yields multiple possible behaviors.
+//
+// Build & run:  ./build/examples/middlebox_nat
+#include <cstdio>
+
+#include "classifier/classifier.hpp"
+#include "network/model.hpp"
+#include "rules/compiler.hpp"
+
+using namespace apc;
+
+namespace {
+PacketHeader pkt(const char* src, const char* dst, std::uint16_t dport) {
+  return PacketHeader::from_five_tuple(parse_ipv4(src), parse_ipv4(dst), 50000,
+                                       dport, 6);
+}
+
+HeaderRewrite nat_to(const char* dst) {
+  HeaderRewrite rw;
+  rw.sets.push_back({HeaderLayout::kDstIp, 32, parse_ipv4(dst)});
+  return rw;
+}
+}  // namespace
+
+int main() {
+  // Fig. 7 style: b1 fronts two servers behind b2 and b3.
+  NetworkModel net;
+  const BoxId b1 = net.topology.add_box("b1");
+  const BoxId b2 = net.topology.add_box("b2");
+  const BoxId b3 = net.topology.add_box("b3");
+  net.topology.add_link(b1, b2);  // b1 port 0
+  net.topology.add_link(b1, b3);  // b1 port 1
+  const PortId srv1 = net.topology.add_host_port(b2, "srv1");
+  const PortId srv2 = net.topology.add_host_port(b3, "srv2");
+
+  net.fib(b1).add(parse_prefix("172.16.146.0/24"), 0);  // internal pool A -> b2
+  net.fib(b1).add(parse_prefix("172.16.147.0/24"), 1);  // internal pool B -> b3
+  net.fib(b2).add(parse_prefix("172.16.146.0/24"), srv1.port);
+  net.fib(b3).add(parse_prefix("172.16.147.0/24"), srv2.port);
+
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  ApClassifier clf(net, mgr);
+
+  // The external VIPs are unrouted, so without extra predicates they would
+  // share one atomic predicate.  Register each VIP as a predicate so the
+  // NAT's match fields (atom sets) can tell them apart — exactly how a
+  // controller would fold middlebox match fields into the predicate set.
+  for (const char* vip : {"203.0.113.10", "203.0.113.20", "203.0.113.30"}) {
+    clf.add_predicate(
+        prefix_predicate(*mgr, HeaderLayout::kDstIp, parse_prefix(vip)));
+  }
+  std::printf("predicates=%zu atoms=%zu\n\n", clf.predicate_count(), clf.atom_count());
+
+  const auto atom_set = [&](const PacketHeader& h) {
+    FlatBitset m(clf.atoms().capacity());
+    m.set(clf.classify(h));
+    return m;
+  };
+
+  // The NAT's flow table at b1.
+  Middlebox nat;
+  nat.box = b1;
+
+  // Type 1: external VIP 203.0.113.10 -> 172.16.146.2 (atom precomputed).
+  {
+    MiddleboxEntry e;
+    e.match_atoms = atom_set(pkt("198.51.100.7", "203.0.113.10", 80));
+    e.type = ChangeType::Deterministic;
+    e.rewrite = nat_to("172.16.146.2");
+    e.next_atom = clf.classify(pkt("198.51.100.7", "172.16.146.2", 80));
+    nat.entries.push_back(std::move(e));
+  }
+  // Type 2: VIP 203.0.113.20 — target depends on payload (simulated).
+  {
+    MiddleboxEntry e;
+    e.match_atoms = atom_set(pkt("198.51.100.7", "203.0.113.20", 80));
+    e.type = ChangeType::PayloadDependent;
+    e.rewrite = nat_to("172.16.147.9");
+    nat.entries.push_back(std::move(e));
+  }
+  // Type 3: VIP 203.0.113.30 — probabilistic 60/40 load balancing.
+  {
+    MiddleboxEntry e;
+    e.match_atoms = atom_set(pkt("198.51.100.7", "203.0.113.30", 80));
+    e.type = ChangeType::Probabilistic;
+    e.choices = {{0.6, nat_to("172.16.146.2")}, {0.4, nat_to("172.16.147.9")}};
+    nat.entries.push_back(std::move(e));
+  }
+  clf.attach_middlebox(std::move(nat));
+
+  const auto show = [&](const char* label, const PacketHeader& h) {
+    std::printf("%s\n", label);
+    for (const auto& [p, b] : clf.query_probabilistic(h, b1)) {
+      std::printf("  p=%.2f  %s\n", p, b.to_string(net.topology).c_str());
+    }
+  };
+
+  show("Type 1 (flow table, precomputed atom): dst 203.0.113.10",
+       pkt("198.51.100.7", "203.0.113.10", 80));
+  show("Type 2 (payload-dependent, AP Tree re-search): dst 203.0.113.20",
+       pkt("198.51.100.7", "203.0.113.20", 80));
+  show("Type 3 (probabilistic, multiple behaviors): dst 203.0.113.30",
+       pkt("198.51.100.7", "203.0.113.30", 80));
+  return 0;
+}

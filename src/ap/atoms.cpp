@@ -1,0 +1,94 @@
+#include "ap/atoms.hpp"
+
+namespace apc {
+
+AtomId AtomUniverse::add(bdd::Bdd bdd) {
+  require(bdd.valid() && !bdd.is_false(), "AtomUniverse::add: atom must be non-false");
+  bdds_.push_back(std::move(bdd));
+  alive_.push_back(true);
+  return static_cast<AtomId>(bdds_.size() - 1);
+}
+
+void AtomUniverse::kill(AtomId id) {
+  require(id < alive_.size(), "AtomUniverse::kill: bad id");
+  alive_[id] = false;
+}
+
+std::size_t AtomUniverse::alive_count() const {
+  std::size_t n = 0;
+  for (bool a : alive_)
+    if (a) ++n;
+  return n;
+}
+
+FlatBitset AtomUniverse::alive_mask() const {
+  FlatBitset out(alive_.size());
+  for (std::size_t i = 0; i < alive_.size(); ++i)
+    if (alive_[i]) out.set(i);
+  return out;
+}
+
+std::vector<AtomId> AtomUniverse::alive_ids() const {
+  std::vector<AtomId> out;
+  for (AtomId i = 0; i < alive_.size(); ++i)
+    if (alive_[i]) out.push_back(i);
+  return out;
+}
+
+AtomUniverse compute_atoms(PredicateRegistry& reg) {
+  const std::vector<PredId> live = reg.live_ids();
+  const std::size_t k = reg.size();
+
+  struct WorkAtom {
+    bdd::Bdd bdd;
+    FlatBitset sig;  // bit i set <=> this atom is inside predicate id i
+  };
+
+  std::vector<WorkAtom> atoms;
+  if (!live.empty()) {
+    bdd::BddManager& mgr = *reg.bdd_of(live.front()).manager();
+    atoms.push_back({mgr.bdd_true(), FlatBitset(k)});
+  }
+
+  for (const PredId pid : live) {
+    const bdd::Bdd& p = reg.bdd_of(pid);
+    std::vector<WorkAtom> next;
+    next.reserve(atoms.size() * 2);
+    for (WorkAtom& a : atoms) {
+      const bdd::Bdd inside = a.bdd & p;
+      if (inside.is_false()) {
+        // Entirely outside p: signature unchanged.
+        next.push_back(std::move(a));
+      } else if (inside == a.bdd) {
+        // Entirely inside p.
+        a.sig.set(pid);
+        next.push_back(std::move(a));
+      } else {
+        // Split into inside/outside parts.
+        WorkAtom in{inside, a.sig};
+        in.sig.set(pid);
+        WorkAtom out{a.bdd.minus(p), std::move(a.sig)};
+        next.push_back(std::move(in));
+        next.push_back(std::move(out));
+      }
+    }
+    atoms = std::move(next);
+  }
+
+  AtomUniverse uni;
+  for (auto& a : atoms) uni.add(std::move(a.bdd));
+
+  // Transpose signatures into per-predicate R(p) bitsets.
+  const std::size_t n = atoms.size();
+  for (PredId pid = 0; pid < k; ++pid) {
+    FlatBitset r(n);
+    if (!reg.is_deleted(pid)) {
+      for (AtomId ai = 0; ai < n; ++ai)
+        if (atoms[ai].sig.test(pid)) r.set(ai);
+    }
+    reg.info_mut(pid).atoms = std::move(r);
+  }
+  return uni;
+}
+
+}  // namespace apc

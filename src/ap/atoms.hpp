@@ -1,0 +1,52 @@
+// Atomic-predicate computation (the core concept from AP Verifier that the
+// paper builds on, SS III).
+//
+// Given predicates P = {p1..pk}, the atomic predicates are the non-false
+// conjunctions q1 ∧ ... ∧ qk with qi ∈ {pi, ¬pi} — the minimal equivalence
+// classes of the header space.  Every packet satisfies exactly one atom, and
+// every predicate equals the disjunction of a subset R(p) of atoms.
+//
+// Computation is iterative refinement: start with {true}; for each predicate
+// split every current atom into (atom ∧ p) and (atom ∧ ¬p), keeping non-false
+// parts.  Membership signatures are tracked during refinement so R(p) falls
+// out without any extra BDD work.
+#pragma once
+
+#include <vector>
+
+#include "ap/registry.hpp"
+#include "bdd/bdd.hpp"
+#include "util/bitset.hpp"
+
+namespace apc {
+
+using AtomId = std::uint32_t;
+
+/// The set of atomic predicates.  Ids are stable: updates that split an atom
+/// tombstone the old id and append fresh ones (paper SS VI-A), so R(p)
+/// bitsets and AP Tree leaves can be patched in place.
+class AtomUniverse {
+ public:
+  AtomId add(bdd::Bdd bdd);
+  void kill(AtomId id);
+
+  std::size_t capacity() const { return bdds_.size(); }  ///< incl. dead slots
+  std::size_t alive_count() const;
+  bool is_alive(AtomId id) const { return alive_.at(id); }
+  const bdd::Bdd& bdd_of(AtomId id) const { return bdds_.at(id); }
+
+  /// Bitset with a bit set for every live atom.
+  FlatBitset alive_mask() const;
+  std::vector<AtomId> alive_ids() const;
+
+ private:
+  std::vector<bdd::Bdd> bdds_;
+  std::vector<bool> alive_;
+};
+
+/// Computes the atomic predicates of all *live* predicates in `reg` and
+/// fills each live predicate's R(p) bitset.  Deleted predicates get empty
+/// atom sets.  Returns the atom universe.
+AtomUniverse compute_atoms(PredicateRegistry& reg);
+
+}  // namespace apc

@@ -1,0 +1,56 @@
+#include "ap/registry.hpp"
+
+#include <algorithm>
+
+namespace apc {
+
+PredId PredicateRegistry::add(bdd::Bdd bdd, PredicateKind kind,
+                              std::optional<PortId> origin) {
+  return add_with_key(std::move(bdd), kind, origin, 0);
+}
+
+PredId PredicateRegistry::add_with_key(bdd::Bdd bdd, PredicateKind kind,
+                                       std::optional<PortId> origin,
+                                       std::uint64_t key) {
+  require(bdd.valid(), "PredicateRegistry::add: null BDD");
+  PredicateInfo info;
+  info.bdd = std::move(bdd);
+  info.kind = kind;
+  info.origin = origin;
+  if (key == 0) {
+    info.external_key = next_key_++;
+  } else {
+    info.external_key = key;
+    next_key_ = std::max(next_key_, key + 1);
+  }
+  preds_.push_back(std::move(info));
+  return static_cast<PredId>(preds_.size() - 1);
+}
+
+void PredicateRegistry::mark_deleted(PredId id) {
+  require(id < preds_.size(), "PredicateRegistry::mark_deleted: bad id");
+  preds_[id].deleted = true;
+}
+
+std::size_t PredicateRegistry::live_count() const {
+  std::size_t n = 0;
+  for (const auto& p : preds_)
+    if (!p.deleted) ++n;
+  return n;
+}
+
+std::vector<PredId> PredicateRegistry::live_ids() const {
+  std::vector<PredId> out;
+  out.reserve(preds_.size());
+  for (PredId i = 0; i < preds_.size(); ++i)
+    if (!preds_[i].deleted) out.push_back(i);
+  return out;
+}
+
+std::optional<PredId> PredicateRegistry::find_by_key(std::uint64_t key) const {
+  for (PredId i = 0; i < preds_.size(); ++i)
+    if (!preds_[i].deleted && preds_[i].external_key == key) return i;
+  return std::nullopt;
+}
+
+}  // namespace apc

@@ -1,0 +1,73 @@
+// PredicateRegistry: the set P = {p1..pk} of all predicates in the network,
+// each carrying its BDD and — once atoms are computed — its R(p) atom-id set.
+//
+// Predicates originate from forwarding ports and ACLs (paper SS III/IV-A).
+// Deletion is lazy (paper SS VI-A): a deleted predicate stays in the registry
+// (the AP Tree may still evaluate it) but is ignored by stage 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "network/topology.hpp"
+#include "util/bitset.hpp"
+
+namespace apc {
+
+using PredId = std::uint32_t;
+
+enum class PredicateKind : std::uint8_t {
+  Forward,     ///< forwarding predicate of an output port
+  AclInput,    ///< input-ACL permit predicate of a port
+  AclOutput,   ///< output-ACL permit predicate of a port
+  External,    ///< user-supplied (updates, tests)
+};
+
+struct PredicateInfo {
+  bdd::Bdd bdd;
+  PredicateKind kind = PredicateKind::External;
+  /// Originating port for Forward/Acl predicates.
+  std::optional<PortId> origin;
+  /// R(p): ids of atomic predicates whose disjunction equals this predicate.
+  FlatBitset atoms;
+  bool deleted = false;
+  /// Stable external key for cross-snapshot identification (reconstruction).
+  std::uint64_t external_key = 0;
+};
+
+class PredicateRegistry {
+ public:
+  PredId add(bdd::Bdd bdd, PredicateKind kind, std::optional<PortId> origin = {});
+
+  /// Adds with an explicit external key (reconstruction replay must keep
+  /// keys identical across snapshots).  Key 0 means "assign one".
+  PredId add_with_key(bdd::Bdd bdd, PredicateKind kind, std::optional<PortId> origin,
+                      std::uint64_t key);
+
+  /// Marks a predicate deleted (lazy delete; see SS VI-A).
+  void mark_deleted(PredId id);
+
+  std::size_t size() const { return preds_.size(); }
+  std::size_t live_count() const;
+  std::vector<PredId> live_ids() const;
+
+  // Hot-path accessors: ids originate from the AP Tree / compiled network,
+  // which only hold ids this registry issued, so indexing is unchecked.
+  const PredicateInfo& info(PredId id) const { return preds_[id]; }
+  PredicateInfo& info_mut(PredId id) { return preds_.at(id); }
+
+  const bdd::Bdd& bdd_of(PredId id) const { return preds_[id].bdd; }
+  const FlatBitset& atoms_of(PredId id) const { return preds_[id].atoms; }
+  bool is_deleted(PredId id) const { return preds_[id].deleted; }
+
+  /// Finds a live predicate by stable external key; nullopt if absent.
+  std::optional<PredId> find_by_key(std::uint64_t key) const;
+
+ private:
+  std::vector<PredicateInfo> preds_;
+  std::uint64_t next_key_ = 1;
+};
+
+}  // namespace apc

@@ -1,0 +1,180 @@
+#include "aptree/build.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace apc {
+
+namespace {
+
+/// Weight of an atom set: cardinality when weights are absent, else the sum
+/// of per-atom weights (missing entries weigh 1).
+double weight_of(const FlatBitset& s, const std::vector<double>* w) {
+  if (!w) return static_cast<double>(s.count());
+  double sum = 0.0;
+  s.for_each([&](std::size_t i) { sum += i < w->size() ? (*w)[i] : 1.0; });
+  return sum;
+}
+
+struct BuildContext {
+  const PredicateRegistry& reg;
+  const std::vector<double>* weights;
+  ApTree tree;
+};
+
+/// Builds a subtree with a *fixed* global predicate order, skipping
+/// predicates that do not split S (implicit pruning).
+std::int32_t build_ordered(BuildContext& ctx, const FlatBitset& S, std::size_t s_count,
+                           const std::vector<PredId>& order, std::size_t start) {
+  if (s_count == 1) return ctx.tree.add_leaf(static_cast<AtomId>(S.first()));
+  for (std::size_t i = start; i < order.size(); ++i) {
+    const PredId p = order[i];
+    const FlatBitset& r = ctx.reg.atoms_of(p);
+    const std::size_t c = S.intersect_count(r);
+    if (c == 0 || c == s_count) continue;
+    const FlatBitset sl = S & r;
+    const FlatBitset sr = S.minus(r);
+    const std::int32_t l = build_ordered(ctx, sl, c, order, i + 1);
+    const std::int32_t rr = build_ordered(ctx, sr, s_count - c, order, i + 1);
+    return ctx.tree.add_internal(p, l, rr);
+  }
+  throw Error("build_ordered: no predicate splits a multi-atom set (atoms stale?)");
+}
+
+/// OAPT subtree construction: per-level champion scan with the pairwise
+/// superiority relation (SS V-C).
+std::int32_t build_oapt(BuildContext& ctx, const FlatBitset& S, std::size_t s_count,
+                        const std::vector<PredId>& candidates) {
+  if (s_count == 1) return ctx.tree.add_leaf(static_cast<AtomId>(S.first()));
+
+  // Keep only predicates that split S; they are the only ones that can ever
+  // split any subset of S, so the filtered list is passed down.
+  std::vector<PredId> splitters;
+  splitters.reserve(candidates.size());
+  for (const PredId p : candidates) {
+    const std::size_t c = S.intersect_count(ctx.reg.atoms_of(p));
+    if (c > 0 && c < s_count) splitters.push_back(p);
+  }
+  require(!splitters.empty(), "build_oapt: no splitter for multi-atom set");
+
+  // Linear champion scan (paper: maintain ps, replace when pi is superior).
+  PredId champ = splitters.front();
+  for (std::size_t i = 1; i < splitters.size(); ++i) {
+    const PredId pi = splitters[i];
+    if (compare_predicates(S, ctx.reg.atoms_of(pi), ctx.reg.atoms_of(champ),
+                           ctx.weights) > 0) {
+      champ = pi;
+    }
+  }
+
+  const FlatBitset& r = ctx.reg.atoms_of(champ);
+  const FlatBitset sl = S & r;
+  const FlatBitset sr = S.minus(r);
+  const std::size_t cl = sl.count();
+
+  std::vector<PredId> rest;
+  rest.reserve(splitters.size() - 1);
+  for (const PredId p : splitters)
+    if (p != champ) rest.push_back(p);
+
+  const std::int32_t l = build_oapt(ctx, sl, cl, rest);
+  const std::int32_t rr = build_oapt(ctx, sr, s_count - cl, rest);
+  return ctx.tree.add_internal(champ, l, rr);
+}
+
+}  // namespace
+
+int compare_predicates(const FlatBitset& S, const FlatBitset& Ri, const FlatBitset& Rj,
+                       const std::vector<double>* weights) {
+  const FlatBitset a = S & Ri;  // S ∩ R(pi)
+  const FlatBitset b = S & Rj;  // S ∩ R(pj)
+  const std::size_t ca = a.count();
+  const std::size_t cb = b.count();
+  const std::size_t cab = a.intersect_count(b);
+
+  const auto verdict = [](double left, double right) {
+    // pi superior when its added leaf-depth term is strictly smaller.
+    constexpr double kEps = 1e-12;
+    if (left + kEps < right) return +1;
+    if (right + kEps < left) return -1;
+    return 0;
+  };
+
+  if (cab == ca && cab == cb) return 0;  // identical restrictions: same order
+
+  const double wS = weight_of(S, weights);
+  const double wa = weight_of(a, weights);
+  const double wb = weight_of(b, weights);
+
+  if (cab == 0) {
+    // Case (b): disjoint.  Depth penalty |S ∩ R(¬p)| = wS - w(p).
+    return verdict(wS - wa, wS - wb);
+  }
+  if (cab == cb) {
+    // Case (c): R(pj) ⊂ R(pi) on S.  Penalties: pi -> wa, pj -> wS - wb.
+    return verdict(wa, wS - wb);
+  }
+  if (cab == ca) {
+    // Case (d): R(pi) ⊂ R(pj) on S.  Penalties: pi -> wS - wa, pj -> wb.
+    return verdict(wS - wa, wb);
+  }
+  // Case (a): proper overlap — same order regardless of weights.
+  return 0;
+}
+
+ApTree build_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
+                  const BuildOptions& opts) {
+  BuildContext ctx{reg, opts.weights, ApTree{}};
+  const FlatBitset s0 = uni.alive_mask();
+  const std::size_t n = s0.count();
+  if (n == 0) return std::move(ctx.tree);
+
+  std::vector<PredId> preds = reg.live_ids();
+
+  std::int32_t root = ApTree::kNil;
+  switch (opts.method) {
+    case BuildMethod::RandomOrder: {
+      Rng rng(opts.seed);
+      rng.shuffle(preds);
+      root = build_ordered(ctx, s0, n, preds, 0);
+      break;
+    }
+    case BuildMethod::QuickOrdering: {
+      // Descending |R(p)| (weighted when weights given), stable for ties.
+      std::stable_sort(preds.begin(), preds.end(), [&](PredId x, PredId y) {
+        return weight_of(reg.atoms_of(x), opts.weights) >
+               weight_of(reg.atoms_of(y), opts.weights);
+      });
+      root = build_ordered(ctx, s0, n, preds, 0);
+      break;
+    }
+    case BuildMethod::Oapt:
+      root = build_oapt(ctx, s0, n, preds);
+      break;
+  }
+  ctx.tree.set_root(root);
+  return std::move(ctx.tree);
+}
+
+ApTree best_from_random(const PredicateRegistry& reg, const AtomUniverse& uni,
+                        std::size_t samples, std::uint64_t seed,
+                        std::vector<double>* all_avg_depths) {
+  require(samples > 0, "best_from_random: need at least one sample");
+  ApTree best;
+  double best_depth = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < samples; ++i) {
+    BuildOptions o;
+    o.method = BuildMethod::RandomOrder;
+    o.seed = seed + i;
+    ApTree t = build_tree(reg, uni, o);
+    const double d = t.average_leaf_depth();
+    if (all_avg_depths) all_avg_depths->push_back(d);
+    if (d < best_depth) {
+      best_depth = d;
+      best = std::move(t);
+    }
+  }
+  return best;
+}
+
+}  // namespace apc

@@ -1,0 +1,59 @@
+// AP Tree construction algorithms (paper SS V).
+//
+//  * RandomOrder    — a random global predicate order (one sample of the
+//                     "Best from Random" baseline).
+//  * QuickOrdering  — global order by descending |R(p)| (SS V-B).
+//  * Oapt           — per-subtree predicate selection using the pairwise
+//                     superior/inferior relation of SS V-C (the paper's main
+//                     construction algorithm).
+//
+// All builders work purely on atom-id sets (never BDD conjunctions) and
+// produce pruned trees: a predicate that does not split the current atom set
+// is skipped, so every internal node has two children.
+//
+// Passing `weights` makes every cardinality a weight sum, which yields the
+// distribution-aware trees of SS V-D (cardinalities remain in use for the
+// structural case analysis; weights only decide magnitudes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aptree/tree.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+
+enum class BuildMethod : std::uint8_t {
+  RandomOrder,
+  QuickOrdering,
+  Oapt,
+};
+
+struct BuildOptions {
+  BuildMethod method = BuildMethod::Oapt;
+  std::uint64_t seed = 1;  ///< for RandomOrder
+  /// Optional per-atom visit weights (indexed by atom id).  Unspecified or
+  /// out-of-range atoms weigh 1.
+  const std::vector<double>* weights = nullptr;
+};
+
+/// Builds an AP Tree over the live atoms in `uni` from the live predicates
+/// in `reg` (their R(p) sets must be filled by compute_atoms).
+ApTree build_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
+                  const BuildOptions& opts = {});
+
+/// "Best from Random" (SS VII-A): builds `samples` random-order trees and
+/// returns the one with minimal average leaf depth.
+ApTree best_from_random(const PredicateRegistry& reg, const AtomUniverse& uni,
+                        std::size_t samples, std::uint64_t seed = 1,
+                        std::vector<double>* all_avg_depths = nullptr);
+
+/// The pairwise relation of SS V-C, exposed for tests.
+/// Returns +1 if pi is superior to pj on atom set S, -1 if inferior, 0 if
+/// same-order.  `wi`/`wj`/`wije`/`ws` arithmetic uses weights when given.
+int compare_predicates(const FlatBitset& S, const FlatBitset& Ri, const FlatBitset& Rj,
+                       const std::vector<double>* weights);
+
+}  // namespace apc

@@ -1,0 +1,80 @@
+#include "aptree/oracle.hpp"
+
+#include <unordered_map>
+
+namespace apc {
+
+namespace {
+
+struct Memo {
+  std::size_t cost;
+  PredId chosen;     // predicate picked at this subtree (unused for leaves)
+  bool is_leaf;
+};
+
+struct Hasher {
+  std::size_t operator()(const FlatBitset& s) const { return s.hash(); }
+};
+
+class OracleSolver {
+ public:
+  OracleSolver(const PredicateRegistry& reg, std::vector<PredId> preds)
+      : reg_(reg), preds_(std::move(preds)) {}
+
+  std::size_t solve(const FlatBitset& S) {
+    const auto it = memo_.find(S);
+    if (it != memo_.end()) return it->second.cost;
+
+    const std::size_t sc = S.count();
+    if (sc == 1) {
+      memo_.emplace(S, Memo{0, 0, true});
+      return 0;
+    }
+
+    std::size_t best = static_cast<std::size_t>(-1);
+    PredId best_p = 0;
+    for (const PredId p : preds_) {
+      const FlatBitset& r = reg_.atoms_of(p);
+      const std::size_t c = S.intersect_count(r);
+      if (c == 0 || c == sc) continue;  // pruned: no depth contribution
+      const std::size_t cost = solve(S & r) + solve(S.minus(r)) + sc;
+      if (cost < best) {
+        best = cost;
+        best_p = p;
+      }
+    }
+    require(best != static_cast<std::size_t>(-1), "optimal_tree: unsplittable set");
+    memo_.emplace(S, Memo{best, best_p, false});
+    return best;
+  }
+
+  std::int32_t reconstruct(ApTree& tree, const FlatBitset& S) {
+    const Memo& m = memo_.at(S);
+    if (m.is_leaf) return tree.add_leaf(static_cast<AtomId>(S.first()));
+    const FlatBitset& r = reg_.atoms_of(m.chosen);
+    const std::int32_t l = reconstruct(tree, S & r);
+    const std::int32_t rr = reconstruct(tree, S.minus(r));
+    return tree.add_internal(m.chosen, l, rr);
+  }
+
+ private:
+  const PredicateRegistry& reg_;
+  std::vector<PredId> preds_;
+  std::unordered_map<FlatBitset, Memo, Hasher> memo_;
+};
+
+}  // namespace
+
+OracleResult optimal_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
+                          std::size_t max_atoms) {
+  const FlatBitset s0 = uni.alive_mask();
+  require(s0.count() <= max_atoms, "optimal_tree: too many atoms for exact DP");
+  OracleSolver solver(reg, reg.live_ids());
+  OracleResult out;
+  if (s0.count() == 0) return out;
+  out.total_leaf_depth = solver.solve(s0);
+  out.tree.set_root(solver.reconstruct(out.tree, s0));
+  return out;
+}
+
+}  // namespace apc

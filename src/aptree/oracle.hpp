@@ -1,0 +1,25 @@
+// Exact minimal-depth AP Tree via the F(Q,S) dynamic program (paper SS V-C,
+// eq. 1).  Exponential — intended as a small-instance test oracle for the
+// OAPT heuristic, and for the ablation bench comparing heuristic quality.
+//
+// Key observation letting us memoize on S alone: the usable predicates at a
+// subtree are exactly those splitting S, and once a predicate is used it
+// never splits either child set, so Q is implied by S.
+#pragma once
+
+#include "aptree/tree.hpp"
+
+namespace apc {
+
+struct OracleResult {
+  ApTree tree;
+  std::size_t total_leaf_depth = 0;  ///< F(P, A): minimal sum of leaf depths
+};
+
+/// Computes the provably-minimal total leaf depth and one optimal tree.
+/// Throws apc::Error if the live atom count exceeds `max_atoms`
+/// (guard against accidental exponential blowup).
+OracleResult optimal_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
+                          std::size_t max_atoms = 20);
+
+}  // namespace apc

@@ -1,0 +1,113 @@
+#include "aptree/tree.hpp"
+
+namespace apc {
+
+std::int32_t ApTree::add_leaf(AtomId atom) {
+  Node n;
+  n.atom = static_cast<std::int32_t>(atom);
+  nodes_.push_back(n);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::int32_t ApTree::add_internal(PredId pred, std::int32_t left, std::int32_t right) {
+  require(left != kNil && right != kNil, "ApTree::add_internal: missing child");
+  Node n;
+  n.pred = static_cast<std::int32_t>(pred);
+  n.left = left;
+  n.right = right;
+  nodes_.push_back(n);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void ApTree::split_leaf(std::int32_t idx, PredId pred, AtomId left_atom,
+                        AtomId right_atom) {
+  require(idx >= 0 && static_cast<std::size_t>(idx) < nodes_.size(),
+          "ApTree::split_leaf: bad index");
+  require(nodes_[idx].is_leaf(), "ApTree::split_leaf: not a leaf");
+  const std::int32_t l = add_leaf(left_atom);
+  const std::int32_t r = add_leaf(right_atom);
+  Node& n = nodes_[idx];
+  n.pred = static_cast<std::int32_t>(pred);
+  n.left = l;
+  n.right = r;
+  n.atom = kNil;
+}
+
+AtomId ApTree::classify(const PacketHeader& h, const PredicateRegistry& reg,
+                        std::size_t* evals) const {
+  require(root_ != kNil, "ApTree::classify on empty tree");
+  std::size_t count = 0;
+  std::int32_t idx = root_;
+  const auto bit = [&h](std::uint32_t v) { return h.bit(v); };
+  while (true) {
+    const Node& n = nodes_[idx];
+    if (n.is_leaf()) {
+      if (evals) *evals = count;
+      return static_cast<AtomId>(n.atom);
+    }
+    ++count;
+    const bool val = reg.bdd_of(static_cast<PredId>(n.pred)).eval(bit);
+    idx = val ? n.left : n.right;
+  }
+}
+
+template <typename Fn>
+void ApTree::visit_leaves(std::int32_t idx, std::size_t depth, Fn&& fn) const {
+  if (idx == kNil) return;
+  const Node& n = nodes_[idx];
+  if (n.is_leaf()) {
+    fn(n, depth);
+    return;
+  }
+  visit_leaves(n.left, depth + 1, fn);
+  visit_leaves(n.right, depth + 1, fn);
+}
+
+std::vector<std::size_t> ApTree::leaf_depths() const {
+  std::vector<std::size_t> out;
+  visit_leaves(root_, 0, [&](const Node&, std::size_t d) { out.push_back(d); });
+  return out;
+}
+
+double ApTree::average_leaf_depth() const {
+  const auto depths = leaf_depths();
+  if (depths.empty()) return 0.0;
+  std::size_t sum = 0;
+  for (std::size_t d : depths) sum += d;
+  return static_cast<double>(sum) / static_cast<double>(depths.size());
+}
+
+std::size_t ApTree::max_leaf_depth() const {
+  std::size_t mx = 0;
+  visit_leaves(root_, 0, [&](const Node&, std::size_t d) { mx = std::max(mx, d); });
+  return mx;
+}
+
+std::size_t ApTree::leaf_count() const {
+  std::size_t n = 0;
+  visit_leaves(root_, 0, [&](const Node&, std::size_t) { ++n; });
+  return n;
+}
+
+double ApTree::weighted_average_depth(const std::vector<double>& atom_weights) const {
+  double wsum = 0.0, dsum = 0.0;
+  visit_leaves(root_, 0, [&](const Node& n, std::size_t d) {
+    const std::size_t a = static_cast<std::size_t>(n.atom);
+    const double w = a < atom_weights.size() ? atom_weights[a] : 0.0;
+    wsum += w;
+    dsum += w * static_cast<double>(d);
+  });
+  return wsum > 0.0 ? dsum / wsum : 0.0;
+}
+
+std::vector<std::int32_t> ApTree::leaf_of_atom(std::size_t atom_capacity) const {
+  std::vector<std::int32_t> out(atom_capacity, kNil);
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(nodes_.size()); ++i) {
+    const Node& n = nodes_[i];
+    if (n.is_leaf() && n.atom >= 0 && static_cast<std::size_t>(n.atom) < atom_capacity)
+      out[n.atom] = i;
+  }
+  return out;
+}
+
+}  // namespace apc

@@ -1,0 +1,79 @@
+// The AP Tree (paper SS IV-A): a binary tree whose internal nodes are labeled
+// by whole predicates.  A packet is classified to its atomic predicate by
+// evaluating the predicate at each node — true goes left, false right —
+// until a leaf (atom) is reached.
+//
+// Trees are built already pruned: the construction recursions never create a
+// node whose predicate fails to split the live atom set, so every internal
+// node has exactly two children and every leaf is a non-false atom.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ap/atoms.hpp"
+#include "ap/registry.hpp"
+#include "packet/header.hpp"
+
+namespace apc {
+
+class ApTree {
+ public:
+  static constexpr std::int32_t kNil = -1;
+
+  struct Node {
+    std::int32_t pred = kNil;   ///< predicate id at internal nodes; kNil at leaves
+    std::int32_t left = kNil;   ///< child when the predicate evaluates true
+    std::int32_t right = kNil;  ///< child when it evaluates false
+    std::int32_t atom = kNil;   ///< atom id at leaves
+    bool is_leaf() const { return pred == kNil; }
+  };
+
+  ApTree() = default;
+
+  /// An empty tree classifies nothing (root = kNil).
+  bool empty() const { return root_ == kNil; }
+  std::int32_t root() const { return root_; }
+  const Node& node(std::int32_t i) const { return nodes_.at(i); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  std::int32_t add_leaf(AtomId atom);
+  std::int32_t add_internal(PredId pred, std::int32_t left, std::int32_t right);
+  void set_root(std::int32_t r) { root_ = r; }
+
+  /// Turns leaf `idx` into an internal node labeled `pred` with two fresh
+  /// leaf children (used by predicate addition, SS VI-A).
+  void split_leaf(std::int32_t idx, PredId pred, AtomId left_atom, AtomId right_atom);
+
+  /// Stage-1 classification: returns the atom id of `h`.
+  /// `evals` (optional) receives the number of predicates evaluated.
+  AtomId classify(const PacketHeader& h, const PredicateRegistry& reg,
+                  std::size_t* evals = nullptr) const;
+
+  /// Depth (number of predicates evaluated to reach it) of every leaf,
+  /// in-order.  Used by the Fig. 9/10 experiments.
+  std::vector<std::size_t> leaf_depths() const;
+  double average_leaf_depth() const;
+  std::size_t max_leaf_depth() const;
+  std::size_t leaf_count() const;
+
+  /// Average depth weighted by per-atom visit weights (Fig. 15 metric).
+  double weighted_average_depth(const std::vector<double>& atom_weights) const;
+
+  /// Leaf node index for each live atom (kNil when an atom has no leaf —
+  /// cannot happen for a freshly built tree).
+  std::vector<std::int32_t> leaf_of_atom(std::size_t atom_capacity) const;
+
+  /// Approximate memory footprint of the tree structure itself (the paper's
+  /// point: nodes only store pointers/ids, SS VII-B).
+  std::size_t memory_bytes() const { return nodes_.capacity() * sizeof(Node); }
+
+ private:
+  template <typename Fn>
+  void visit_leaves(std::int32_t idx, std::size_t depth, Fn&& fn) const;
+
+  std::vector<Node> nodes_;
+  std::int32_t root_ = kNil;
+};
+
+}  // namespace apc

@@ -1,0 +1,72 @@
+#include "aptree/update.hpp"
+
+namespace apc {
+
+AddPredicateResult add_predicate(ApTree& tree, PredicateRegistry& reg,
+                                 AtomUniverse& uni, bdd::Bdd p, PredicateKind kind,
+                                 std::optional<PortId> origin, std::uint64_t external_key) {
+  require(!tree.empty(), "add_predicate: empty tree");
+  const PredId pid = reg.add_with_key(std::move(p), kind, origin, external_key);
+  const bdd::Bdd& pb = reg.bdd_of(pid);
+
+  AddPredicateResult res;
+  res.pred_id = pid;
+
+  FlatBitset r_new(uni.capacity());
+
+  // Snapshot leaf positions first: split_leaf appends nodes and would
+  // otherwise be revisited by an in-place scan.
+  const std::vector<std::int32_t> leaves = tree.leaf_of_atom(uni.capacity());
+
+  std::vector<AtomSplit>& splits = res.splits;
+
+  for (AtomId a = 0; a < leaves.size(); ++a) {
+    if (leaves[a] == ApTree::kNil || !uni.is_alive(a)) continue;
+    const bdd::Bdd& ab = uni.bdd_of(a);
+    const bdd::Bdd inside = ab & pb;
+    if (inside.is_false()) {
+      ++res.leaves_outside;
+      continue;
+    }
+    if (inside == ab) {
+      r_new.resize(uni.capacity());
+      r_new.set(a);
+      ++res.leaves_inside;
+      continue;
+    }
+    // Proper split: a ∧ p and a ∧ ¬p both non-false.
+    const bdd::Bdd outside = ab.minus(pb);
+    const AtomId ain = uni.add(inside);
+    const AtomId aout = uni.add(outside);
+    uni.kill(a);
+    splits.push_back({a, ain, aout});
+    tree.split_leaf(leaves[a], pid, ain, aout);
+    ++res.leaves_split;
+  }
+
+  // Patch every predicate's R set: children inherit the dead parent's
+  // memberships; the new predicate owns all "inside" children.
+  r_new.resize(uni.capacity());
+  for (const AtomSplit& s : splits) r_new.set(s.in_atom);
+
+  for (PredId q = 0; q < reg.size(); ++q) {
+    if (q == pid) continue;
+    FlatBitset& rq = reg.info_mut(q).atoms;
+    rq.resize(uni.capacity());
+    for (const AtomSplit& s : splits) {
+      if (rq.test(s.old_atom)) {
+        rq.reset(s.old_atom);
+        rq.set(s.in_atom);
+        rq.set(s.out_atom);
+      }
+    }
+  }
+  reg.info_mut(pid).atoms = std::move(r_new);
+  return res;
+}
+
+void delete_predicate(PredicateRegistry& reg, PredId id) {
+  reg.mark_deleted(id);
+}
+
+}  // namespace apc

@@ -1,0 +1,51 @@
+// Real-time AP Tree updates (paper SS VI-A).
+//
+// Adding a predicate p walks all current leaves: a leaf atom a with both
+// a∧p and a∧¬p non-false is split in place into an internal node labeled p
+// with two fresh leaf atoms; otherwise the leaf is unchanged and only R(p)
+// membership is recorded.  Every existing predicate's R set is patched so
+// the split children inherit the parent's memberships.
+//
+// Deleting a predicate is lazy: it is marked deleted in the registry.  The
+// tree still evaluates it (queries stay correct — sibling subtrees remain
+// disjoint), and stage 2 simply ignores deleted predicates.  Reconstruction
+// (classifier/reconstruction.hpp) eventually rebuilds without it.
+#pragma once
+
+#include "ap/atoms.hpp"
+#include "ap/registry.hpp"
+#include "aptree/tree.hpp"
+
+namespace apc {
+
+/// One atom division: `old_atom` is tombstoned, replaced by the part inside
+/// the new predicate (`in_atom`) and the part outside (`out_atom`).
+struct AtomSplit {
+  AtomId old_atom = 0;
+  AtomId in_atom = 0;
+  AtomId out_atom = 0;
+};
+
+struct AddPredicateResult {
+  PredId pred_id = 0;
+  std::size_t leaves_split = 0;     ///< atoms that were divided in two
+  std::size_t leaves_inside = 0;    ///< atoms entirely inside p
+  std::size_t leaves_outside = 0;   ///< atoms entirely outside p
+  /// The divisions, so dependent structures (middlebox flow tables, visit
+  /// counters) can be patched.
+  std::vector<AtomSplit> splits;
+};
+
+/// Adds predicate `p` to the registry, splits affected atoms/leaves, and
+/// patches all R sets.  `tree` may be empty (then only atoms are split —
+/// used by reconstruction replay before the new tree exists... the tree is
+/// required non-empty here; replay uses the same call on the new tree).
+AddPredicateResult add_predicate(ApTree& tree, PredicateRegistry& reg,
+                                 AtomUniverse& uni, bdd::Bdd p, PredicateKind kind,
+                                 std::optional<PortId> origin = {},
+                                 std::uint64_t external_key = 0);
+
+/// Lazy delete (registry mark only).
+void delete_predicate(PredicateRegistry& reg, PredId id);
+
+}  // namespace apc

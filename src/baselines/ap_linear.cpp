@@ -1,0 +1,19 @@
+#include "baselines/ap_linear.hpp"
+
+namespace apc {
+
+AtomId ApLinear::classify(const PacketHeader& h, std::size_t* scanned) const {
+  const auto bit = [&h](std::uint32_t v) { return h.bit(v); };
+  std::size_t n = 0;
+  for (AtomId a = 0; a < uni_->capacity(); ++a) {
+    if (!uni_->is_alive(a)) continue;
+    ++n;
+    if (uni_->bdd_of(a).eval(bit)) {
+      if (scanned) *scanned += n;
+      return a;
+    }
+  }
+  throw Error("ApLinear::classify: no atom matched (universe inconsistent)");
+}
+
+}  // namespace apc

@@ -1,0 +1,26 @@
+// APLinear baseline (paper SS II / SS VII-E): compute atomic predicates with
+// AP Verifier, then classify a packet by a *linear scan* of the atom BDDs
+// until one evaluates true.  Stage 2 is shared with AP Classifier.
+//
+// Atom BDDs are conjunctions of many predicates and are therefore more
+// complex than individual predicate BDDs, which is why this is slow.
+#pragma once
+
+#include "ap/atoms.hpp"
+#include "packet/header.hpp"
+
+namespace apc {
+
+class ApLinear {
+ public:
+  explicit ApLinear(const AtomUniverse& uni) : uni_(&uni) {}
+
+  /// Linear scan of live atoms; returns the (unique) matching atom id.
+  /// `scanned` (optional) receives how many atom BDDs were evaluated.
+  AtomId classify(const PacketHeader& h, std::size_t* scanned = nullptr) const;
+
+ private:
+  const AtomUniverse* uni_;
+};
+
+}  // namespace apc

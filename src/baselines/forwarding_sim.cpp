@@ -1,0 +1,75 @@
+#include "baselines/forwarding_sim.hpp"
+
+namespace apc {
+
+Behavior ForwardingSimulation::query(const PacketHeader& h, BoxId ingress,
+                                     std::size_t* preds_checked) const {
+  Behavior out;
+  std::size_t checked = 0;
+  const auto bit = [&h](std::uint32_t v) { return h.bit(v); };
+
+  struct Visit {
+    BoxId box;
+    std::optional<std::uint32_t> in_port;
+  };
+  std::vector<Visit> stack{{ingress, std::nullopt}};
+  std::vector<bool> visited(topo_->box_count(), false);
+
+  while (!stack.empty()) {
+    const Visit v = stack.back();
+    stack.pop_back();
+    if (visited[v.box]) {
+      out.loop_detected = true;
+      continue;
+    }
+    visited[v.box] = true;
+
+    if (v.in_port) {
+      if (const PredId* acl = cn_->in_acl(v.box, *v.in_port)) {
+        const PredicateInfo& info = reg_->info(*acl);
+        ++checked;
+        if (!info.deleted && !info.bdd.eval(bit)) {
+          out.drops.push_back({v.box, Drop::Reason::InputAcl});
+          continue;
+        }
+      }
+    }
+
+    bool forwarded = false;
+    bool acl_blocked = false;
+    for (const auto& entry : cn_->port_preds[v.box]) {
+      const PredicateInfo& info = reg_->info(entry.pred);
+      if (info.deleted) continue;
+      ++checked;
+      if (!info.bdd.eval(bit)) continue;
+      if (entry.out_acl != kNoPred) {
+        const PredicateInfo& acl_info = reg_->info(entry.out_acl);
+        ++checked;
+        if (!acl_info.deleted && !acl_info.bdd.eval(bit)) {
+          acl_blocked = true;
+          continue;
+        }
+      }
+      forwarded = true;
+      const Port& p = topo_->box(v.box).ports[entry.port];
+      if (p.kind == Port::Kind::Host) {
+        out.edges.push_back({v.box, entry.port, std::nullopt});
+        out.deliveries.push_back({v.box, entry.port});
+      } else {
+        out.edges.push_back({v.box, entry.port, p.peer->box});
+        stack.push_back({p.peer->box, p.peer->port});
+      }
+      // No early exit: every port predicate of the box is checked (required
+      // for multicast; also the paper's measured cost — 96.8 / 232
+      // predicates evaluated per query on average, SS VII-D).
+    }
+    if (!forwarded) {
+      out.drops.push_back({v.box, acl_blocked ? Drop::Reason::OutputAcl
+                                              : Drop::Reason::NoMatchingRule});
+    }
+  }
+  if (preds_checked) *preds_checked += checked;
+  return out;
+}
+
+}  // namespace apc

@@ -1,0 +1,389 @@
+#include "baselines/hsa.hpp"
+
+#include <algorithm>
+
+namespace apc {
+
+// ---------- Ternary ----------
+
+Ternary Ternary::from_header(const PacketHeader& h, std::uint32_t num_bits) {
+  Ternary t;
+  for (std::uint32_t i = 0; i < num_bits; ++i) {
+    t.mask[i >> 6] |= std::uint64_t{1} << (i & 63);
+    if (h.bit(i)) t.value[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  return t;
+}
+
+void Ternary::set_field(std::uint32_t offset, std::uint32_t width, std::uint64_t bits) {
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const std::uint32_t b = offset + i;
+    mask[b >> 6] |= std::uint64_t{1} << (b & 63);
+    if ((bits >> (width - 1 - i)) & 1)
+      value[b >> 6] |= std::uint64_t{1} << (b & 63);
+    else
+      value[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  }
+}
+
+void Ternary::set_prefix(std::uint32_t offset, std::uint32_t prefix, std::uint8_t len) {
+  if (len == 0) return;
+  set_field(offset, len, static_cast<std::uint64_t>(prefix) >> (32 - len));
+}
+
+std::optional<Ternary> Ternary::intersect(const Ternary& other) const {
+  Ternary out;
+  for (std::uint32_t w = 0; w < PacketHeader::kWords; ++w) {
+    const std::uint64_t both = mask[w] & other.mask[w];
+    if ((value[w] ^ other.value[w]) & both) return std::nullopt;  // bit conflict
+    out.mask[w] = mask[w] | other.mask[w];
+    out.value[w] = (value[w] & mask[w]) | (other.value[w] & other.mask[w]);
+  }
+  return out;
+}
+
+bool Ternary::covers(const Ternary& other) const {
+  for (std::uint32_t w = 0; w < PacketHeader::kWords; ++w) {
+    if (mask[w] & ~other.mask[w]) return false;  // we care where other doesn't
+    if ((value[w] ^ other.value[w]) & mask[w]) return false;
+  }
+  return true;
+}
+
+bool Ternary::contains(const PacketHeader& h) const {
+  for (std::uint32_t w = 0; w < PacketHeader::kWords; ++w) {
+    std::uint64_t hw = 0;
+    for (std::uint32_t b = 0; b < 64; ++b)
+      if (h.bit(w * 64 + b)) hw |= std::uint64_t{1} << b;
+    if ((hw ^ value[w]) & mask[w]) return false;
+  }
+  return true;
+}
+
+// ---------- HeaderSet ----------
+
+HeaderSet HeaderSet::intersect(const Ternary& t) const {
+  HeaderSet out;
+  for (const Ternary& term : terms_) {
+    if (auto i = term.intersect(t)) out.terms_.push_back(*i);
+  }
+  return out;
+}
+
+HeaderSet HeaderSet::subtract(const Ternary& t) const {
+  HeaderSet out;
+  for (const Ternary& term : terms_) {
+    if (!term.intersect(t)) {
+      out.terms_.push_back(term);  // disjoint: survives whole
+      continue;
+    }
+    if (t.covers(term)) continue;  // fully removed
+    // Standard HSA difference expansion: for every bit t cares about that is
+    // free in term, emit term with that bit forced opposite to t.  (Bits
+    // cared by both already agree here, else the cubes would be disjoint.)
+    for (std::uint32_t w = 0; w < PacketHeader::kWords; ++w) {
+      std::uint64_t bits = t.mask[w] & ~term.mask[w];
+      while (bits) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        Ternary frag = term;
+        frag.mask[w] |= std::uint64_t{1} << b;
+        if ((t.value[w] >> b) & 1)
+          frag.value[w] &= ~(std::uint64_t{1} << b);
+        else
+          frag.value[w] |= std::uint64_t{1} << b;
+        // Fragments may overlap each other (fine for union semantics) but
+        // none intersects t, so the subtracted space never reappears.
+        out.terms_.push_back(frag);
+      }
+    }
+  }
+  return out;
+}
+
+// ---------- HsaEngine ----------
+
+namespace {
+Ternary fib_match(const ForwardingRule& r) {
+  Ternary t = Ternary::wildcard();
+  t.set_prefix(HeaderLayout::kDstIp, r.dst.addr, r.dst.len);
+  return t;
+}
+
+/// Aligned-prefix decomposition of an integer range (the standard trick for
+/// expressing range matches as ternary cubes).
+std::vector<std::pair<std::uint64_t, std::uint32_t>> range_prefixes(
+    std::uint64_t lo, std::uint64_t hi, std::uint32_t width) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;  // (value, fixed bits)
+  std::uint64_t cur = lo;
+  while (cur <= hi) {
+    std::uint32_t block = 0;
+    while (block < width) {
+      const std::uint64_t size = std::uint64_t{1} << (block + 1);
+      if (cur % size != 0 || cur + size - 1 > hi) break;
+      ++block;
+    }
+    out.emplace_back(cur, width - block);
+    const std::uint64_t size = std::uint64_t{1} << block;
+    if (cur + size - 1 >= hi) break;
+    cur += size;
+  }
+  return out;
+}
+
+/// Flow-rule match as a union of ternary cubes: the cross product of each
+/// field's cube set (exact/prefix fields contribute one cube, ranges their
+/// aligned-prefix decomposition).
+std::vector<Ternary> flow_rule_cubes(const FlowRule& r) {
+  std::vector<Ternary> cubes{Ternary::wildcard()};
+  for (const FieldMatch& m : r.matches) {
+    std::vector<Ternary> next;
+    switch (m.kind) {
+      case FieldMatch::Kind::Exact:
+        for (Ternary t : cubes) {
+          t.set_field(m.offset, m.width, m.value);
+          next.push_back(t);
+        }
+        break;
+      case FieldMatch::Kind::Prefix:
+        for (Ternary t : cubes) {
+          if (m.prefix_len > 0)
+            t.set_field(m.offset, m.prefix_len, m.value >> (m.width - m.prefix_len));
+          next.push_back(t);
+        }
+        break;
+      case FieldMatch::Kind::Range:
+        for (const auto& [value, bits] : range_prefixes(m.lo, m.hi, m.width)) {
+          for (Ternary t : cubes) {
+            if (bits > 0) t.set_field(m.offset, bits, value >> (m.width - bits));
+            next.push_back(t);
+          }
+        }
+        break;
+    }
+    cubes = std::move(next);
+  }
+  return cubes;
+}
+
+Ternary acl_match(const AclRule& r) {
+  Ternary t = Ternary::wildcard();
+  t.set_prefix(HeaderLayout::kSrcIp, r.src.addr, r.src.len);
+  t.set_prefix(HeaderLayout::kDstIp, r.dst.addr, r.dst.len);
+  const auto range_to_prefix = [&t](std::uint32_t offset, const PortRange& pr) {
+    if (pr.is_wildcard()) return;
+    const std::uint32_t span = static_cast<std::uint32_t>(pr.hi - pr.lo) + 1;
+    if ((span & (span - 1)) == 0 && pr.lo % span == 0) {
+      // Power-of-two aligned range -> fixed top bits (exact).
+      std::uint32_t free_bits = 0;
+      while ((1u << free_bits) < span) ++free_bits;
+      if (free_bits < 16) t.set_field(offset, 16 - free_bits, pr.lo >> free_bits);
+    } else {
+      // Generated datasets only emit aligned ranges; arbitrary ranges would
+      // need multi-cube rules.  Conservative exact-match fallback.
+      t.set_field(offset, 16, pr.lo);
+    }
+  };
+  range_to_prefix(HeaderLayout::kSrcPort, r.src_port);
+  range_to_prefix(HeaderLayout::kDstPort, r.dst_port);
+  if (r.proto) t.set_field(HeaderLayout::kProto, 8, *r.proto);
+  return t;
+}
+}  // namespace
+
+HsaEngine::HsaEngine(const NetworkModel& net) : net_(&net) {
+  boxes_.resize(net.topology.box_count());
+  for (const auto& [b, rules] : net.multicast) {
+    for (const MulticastRule& r : rules) {
+      Ternary t = Ternary::wildcard();
+      t.set_prefix(HeaderLayout::kDstIp, r.group.addr, r.group.len);
+      boxes_[b].multicast.push_back({t, r.ports});
+    }
+  }
+  for (BoxId b = 0; b < net.topology.box_count(); ++b) {
+    const auto fit = net.flow_tables.find(b);
+    if (fit != net.flow_tables.end()) {
+      std::vector<const FlowRule*> order;
+      for (const auto& r : fit->second.rules) order.push_back(&r);
+      std::stable_sort(order.begin(), order.end(),
+                       [](const FlowRule* a, const FlowRule* x) {
+                         return a->priority > x->priority;
+                       });
+      for (const FlowRule* r : order) {
+        FibEntry e;
+        e.cubes = flow_rule_cubes(*r);
+        if (r->action == FlowRule::Action::Forward) e.out_port = r->egress_port;
+        boxes_[b].fib.push_back(std::move(e));
+      }
+      continue;
+    }
+    if (b >= net.fibs.size()) continue;
+    std::vector<const ForwardingRule*> order;
+    order.reserve(net.fibs[b].rules.size());
+    for (const auto& r : net.fibs[b].rules) order.push_back(&r);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const ForwardingRule* a, const ForwardingRule* x) {
+                       return a->effective_priority() > x->effective_priority();
+                     });
+    for (const ForwardingRule* r : order)
+      boxes_[b].fib.push_back({{fib_match(*r)}, r->egress_port});
+  }
+  const auto build_acl = [](const Acl& acl, std::vector<AclEntry>& out) {
+    for (const auto& r : acl.rules)
+      out.push_back({acl_match(r), r.action == AclRule::Action::Permit});
+  };
+  for (const auto& [key, acl] : net.input_acls) {
+    build_acl(acl, input_acls_[key]);
+    in_acl_default_[key] = acl.default_action == AclRule::Action::Permit;
+  }
+  for (const auto& [key, acl] : net.output_acls) {
+    build_acl(acl, output_acls_[key]);
+    out_acl_default_[key] = acl.default_action == AclRule::Action::Permit;
+  }
+}
+
+std::size_t HsaEngine::total_rules() const {
+  std::size_t n = 0;
+  for (const auto& b : boxes_) n += b.fib.size() + b.multicast.size();
+  for (const auto& [k, a] : input_acls_) n += a.size();
+  for (const auto& [k, a] : output_acls_) n += a.size();
+  return n;
+}
+
+HeaderSet HsaEngine::apply_acl(const std::vector<AclEntry>& acl, bool default_permit,
+                               HeaderSet hs, std::size_t* scanned) const {
+  HeaderSet permitted;
+  for (const AclEntry& e : acl) {
+    if (hs.empty()) break;
+    if (scanned) ++*scanned;
+    HeaderSet matched = hs.intersect(e.match);
+    if (matched.empty()) continue;
+    if (e.permit) permitted.add_all(matched);
+    hs = hs.subtract(e.match);  // first-match: matched space is consumed
+  }
+  if (default_permit) permitted.add_all(hs);
+  return permitted;
+}
+
+Behavior HsaEngine::query(const PacketHeader& h, BoxId ingress,
+                          std::size_t* rules_scanned) const {
+  Behavior out;
+  struct Visit {
+    BoxId box;
+    std::optional<std::uint32_t> in_port;
+    HeaderSet hs;
+  };
+  std::vector<Visit> stack;
+  stack.push_back({ingress, std::nullopt,
+                   HeaderSet(Ternary::from_header(h, HeaderLayout::kBits))});
+  std::vector<bool> visited(net_->topology.box_count(), false);
+
+  while (!stack.empty()) {
+    Visit v = std::move(stack.back());
+    stack.pop_back();
+    if (v.hs.empty()) continue;
+    if (visited[v.box]) {
+      out.loop_detected = true;
+      continue;
+    }
+    visited[v.box] = true;
+
+    // Input ACL (full first-match wildcard arithmetic).
+    if (v.in_port) {
+      const auto it = input_acls_.find({v.box, *v.in_port});
+      if (it != input_acls_.end()) {
+        const bool dflt = in_acl_default_.at({v.box, *v.in_port});
+        v.hs = apply_acl(it->second, dflt, std::move(v.hs), rules_scanned);
+        if (!v.hs.contains(h)) {
+          out.drops.push_back({v.box, Drop::Reason::InputAcl});
+          continue;
+        }
+      }
+    }
+
+    // Multicast group table first (first match wins, replicates to every
+    // listed port).
+    bool mc_handled = false;
+    for (const McEntry& e : boxes_[v.box].multicast) {
+      if (rules_scanned) ++*rules_scanned;
+      HeaderSet matched = v.hs.intersect(e.match);
+      if (!matched.contains(h)) {
+        v.hs = v.hs.subtract(e.match);
+        continue;
+      }
+      mc_handled = true;
+      bool any_forwarded = false;
+      for (const std::uint32_t port : e.out_ports) {
+        HeaderSet egress = matched;
+        const auto oit = output_acls_.find({v.box, port});
+        if (oit != output_acls_.end()) {
+          egress = apply_acl(oit->second, out_acl_default_.at({v.box, port}),
+                             std::move(egress), rules_scanned);
+          if (!egress.contains(h)) continue;
+        }
+        any_forwarded = true;
+        const Port& p = net_->topology.box(v.box).ports[port];
+        if (p.kind == Port::Kind::Host) {
+          out.edges.push_back({v.box, port, std::nullopt});
+          out.deliveries.push_back({v.box, port});
+        } else {
+          out.edges.push_back({v.box, port, p.peer->box});
+          stack.push_back({p.peer->box, p.peer->port, std::move(egress)});
+        }
+      }
+      if (!any_forwarded) out.drops.push_back({v.box, Drop::Reason::OutputAcl});
+      break;
+    }
+    if (mc_handled) continue;
+
+    // FIB transfer function: scan rules in priority order, intersecting and
+    // subtracting — the expensive part HSA is known for.
+    bool forwarded = false;
+    HeaderSet remaining = std::move(v.hs);
+    for (const FibEntry& e : boxes_[v.box].fib) {
+      if (remaining.empty()) break;
+      if (rules_scanned) ++*rules_scanned;
+      HeaderSet matched;
+      for (const Ternary& cube : e.cubes) matched.add_all(remaining.intersect(cube));
+      if (matched.empty()) continue;
+      for (const Ternary& cube : e.cubes) remaining = remaining.subtract(cube);
+      if (!matched.contains(h)) continue;  // our packet is not in this part
+
+      if (!e.out_port) {
+        // Explicit drop rule (flow tables).
+        out.drops.push_back({v.box, Drop::Reason::NoMatchingRule});
+        forwarded = true;
+        break;
+      }
+      const std::uint32_t port = *e.out_port;
+
+      // Output ACL on the egress port.
+      HeaderSet egress = std::move(matched);
+      const auto oit = output_acls_.find({v.box, port});
+      if (oit != output_acls_.end()) {
+        const bool dflt = out_acl_default_.at({v.box, port});
+        egress = apply_acl(oit->second, dflt, std::move(egress), rules_scanned);
+        if (!egress.contains(h)) {
+          out.drops.push_back({v.box, Drop::Reason::OutputAcl});
+          forwarded = true;  // decision made (dropped by ACL)
+          continue;
+        }
+      }
+      forwarded = true;
+      const Port& p = net_->topology.box(v.box).ports[port];
+      if (p.kind == Port::Kind::Host) {
+        out.edges.push_back({v.box, port, std::nullopt});
+        out.deliveries.push_back({v.box, port});
+      } else {
+        out.edges.push_back({v.box, port, p.peer->box});
+        stack.push_back({p.peer->box, p.peer->port, std::move(egress)});
+      }
+      // First matching rule decides our concrete packet's fate.
+      break;
+    }
+    if (!forwarded) out.drops.push_back({v.box, Drop::Reason::NoMatchingRule});
+  }
+  return out;
+}
+
+}  // namespace apc

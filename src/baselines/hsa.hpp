@@ -1,0 +1,121 @@
+// Header Space Analysis baseline (Hassel-style; paper SS VII-D compares
+// against Hassel-C).
+//
+// HSA works directly on raw rules with ternary wildcard arithmetic: a header
+// set is a union of ternary cubes; a box's transfer function scans its rule
+// list in priority order, intersecting the incoming set with each rule's
+// match and subtracting matched space before moving to the next rule.  That
+// per-rule set arithmetic over the full rule list is what makes HSA ~3
+// orders of magnitude slower per query than AP Classifier — the shape this
+// baseline reproduces.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "classifier/behavior.hpp"
+#include "network/model.hpp"
+#include "packet/header.hpp"
+
+namespace apc {
+
+/// A ternary cube over the 128-bit header space: mask bit 1 = care.
+struct Ternary {
+  std::array<std::uint64_t, PacketHeader::kWords> value{};
+  std::array<std::uint64_t, PacketHeader::kWords> mask{};
+
+  static Ternary wildcard() { return {}; }
+  /// Fully-specified cube for a concrete packet.
+  static Ternary from_header(const PacketHeader& h, std::uint32_t num_bits);
+
+  /// Sets bits [offset, offset+width) (MSB-first) as cared-for `bits`.
+  void set_field(std::uint32_t offset, std::uint32_t width, std::uint64_t bits);
+  /// Sets the top `len` bits of the 32-bit field at `offset` from `prefix`.
+  void set_prefix(std::uint32_t offset, std::uint32_t prefix, std::uint8_t len);
+
+  /// Cube intersection; nullopt when empty.
+  std::optional<Ternary> intersect(const Ternary& other) const;
+  /// True iff every header in `other` is also in *this.
+  bool covers(const Ternary& other) const;
+  bool contains(const PacketHeader& h) const;
+};
+
+/// A union of ternary cubes.
+class HeaderSet {
+ public:
+  HeaderSet() = default;
+  explicit HeaderSet(Ternary t) : terms_{t} {}
+
+  bool empty() const { return terms_.empty(); }
+  std::size_t term_count() const { return terms_.size(); }
+  const std::vector<Ternary>& terms() const { return terms_; }
+
+  /// Set intersection with a single cube.
+  HeaderSet intersect(const Ternary& t) const;
+  /// Set difference with a single cube (standard HSA bit-by-bit expansion).
+  HeaderSet subtract(const Ternary& t) const;
+  /// Set union (cubes may overlap; HSA unions are just term lists).
+  void add(const Ternary& t) { terms_.push_back(t); }
+  void add_all(const HeaderSet& other) {
+    terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  }
+  /// True iff the concrete header is in the set.
+  bool contains(const PacketHeader& h) const {
+    for (const Ternary& t : terms_)
+      if (t.contains(h)) return true;
+    return false;
+  }
+
+ private:
+  std::vector<Ternary> terms_;
+};
+
+/// Hassel-style engine over the raw rules of a NetworkModel.
+class HsaEngine {
+ public:
+  explicit HsaEngine(const NetworkModel& net);
+
+  /// Behavior of a concrete packet from `ingress`, computed with full
+  /// wildcard set arithmetic over every box's rule list.
+  /// `rules_scanned` (optional) accumulates rule-match operations.
+  Behavior query(const PacketHeader& h, BoxId ingress,
+                 std::size_t* rules_scanned = nullptr) const;
+
+  std::size_t total_rules() const;
+
+ private:
+  struct FibEntry {
+    /// Rule match as a union of ternary cubes (one for prefix rules;
+    /// several when flow-rule ranges decompose into aligned prefixes).
+    std::vector<Ternary> cubes;
+    /// Egress port; nullopt = explicit drop rule.
+    std::optional<std::uint32_t> out_port;
+  };
+  struct McEntry {
+    Ternary match;
+    std::vector<std::uint32_t> out_ports;
+  };
+  struct AclEntry {
+    Ternary match;
+    bool permit;
+  };
+  struct BoxRules {
+    std::vector<McEntry> multicast;  // first match wins, precedes the FIB
+    std::vector<FibEntry> fib;       // descending priority
+    bool acl_default_permit = true;
+  };
+
+  const NetworkModel* net_;
+  std::vector<BoxRules> boxes_;
+  std::map<std::pair<BoxId, std::uint32_t>, std::vector<AclEntry>> input_acls_;
+  std::map<std::pair<BoxId, std::uint32_t>, std::vector<AclEntry>> output_acls_;
+  std::map<std::pair<BoxId, std::uint32_t>, bool> in_acl_default_;
+  std::map<std::pair<BoxId, std::uint32_t>, bool> out_acl_default_;
+
+  /// Applies a first-match ACL to `hs`: returns the permitted subset.
+  HeaderSet apply_acl(const std::vector<AclEntry>& acl, bool default_permit,
+                      HeaderSet hs, std::size_t* scanned) const;
+};
+
+}  // namespace apc

@@ -1,0 +1,71 @@
+#include "baselines/pscan.hpp"
+
+namespace apc {
+
+std::vector<bool> PScan::scan(const PacketHeader& h) const {
+  const auto bit = [&h](std::uint32_t v) { return h.bit(v); };
+  std::vector<bool> truth(reg_->size(), false);
+  for (PredId i = 0; i < reg_->size(); ++i) {
+    if (reg_->is_deleted(i)) continue;
+    truth[i] = reg_->bdd_of(i).eval(bit);
+  }
+  return truth;
+}
+
+Behavior PScan::query(const PacketHeader& h, BoxId ingress) const {
+  const std::vector<bool> truth = scan(h);
+
+  Behavior out;
+  struct Visit {
+    BoxId box;
+    std::optional<std::uint32_t> in_port;
+  };
+  std::vector<Visit> stack{{ingress, std::nullopt}};
+  std::vector<bool> visited(topo_->box_count(), false);
+
+  while (!stack.empty()) {
+    const Visit v = stack.back();
+    stack.pop_back();
+    if (visited[v.box]) {
+      out.loop_detected = true;
+      continue;
+    }
+    visited[v.box] = true;
+
+    if (v.in_port) {
+      if (const PredId* acl = cn_->in_acl(v.box, *v.in_port)) {
+        if (!reg_->is_deleted(*acl) && !truth[*acl]) {
+          out.drops.push_back({v.box, Drop::Reason::InputAcl});
+          continue;
+        }
+      }
+    }
+
+    bool forwarded = false;
+    bool acl_blocked = false;
+    for (const auto& entry : cn_->port_preds[v.box]) {
+      if (reg_->is_deleted(entry.pred) || !truth[entry.pred]) continue;
+      if (entry.out_acl != kNoPred && !reg_->is_deleted(entry.out_acl) &&
+          !truth[entry.out_acl]) {
+        acl_blocked = true;
+        continue;
+      }
+      forwarded = true;
+      const Port& p = topo_->box(v.box).ports[entry.port];
+      if (p.kind == Port::Kind::Host) {
+        out.edges.push_back({v.box, entry.port, std::nullopt});
+        out.deliveries.push_back({v.box, entry.port});
+      } else {
+        out.edges.push_back({v.box, entry.port, p.peer->box});
+        stack.push_back({p.peer->box, p.peer->port});
+      }
+    }
+    if (!forwarded) {
+      out.drops.push_back({v.box, acl_blocked ? Drop::Reason::OutputAcl
+                                              : Drop::Reason::NoMatchingRule});
+    }
+  }
+  return out;
+}
+
+}  // namespace apc

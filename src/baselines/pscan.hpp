@@ -1,0 +1,29 @@
+// PScan baseline (paper SS VII-E): evaluate the packet against *every*
+// predicate (k BDD evaluations) to obtain the full truth vector, which
+// determines the packet's behavior at every box directly.
+#pragma once
+
+#include "classifier/behavior.hpp"
+#include "packet/header.hpp"
+
+namespace apc {
+
+class PScan {
+ public:
+  PScan(const CompiledNetwork& cn, const Topology& topo, const PredicateRegistry& reg)
+      : cn_(&cn), topo_(&topo), reg_(&reg) {}
+
+  /// Truth value of every predicate for `h` (index = predicate id).
+  std::vector<bool> scan(const PacketHeader& h) const;
+
+  /// Full behavior: scan all predicates, then walk the topology using the
+  /// truth vector.
+  Behavior query(const PacketHeader& h, BoxId ingress) const;
+
+ private:
+  const CompiledNetwork* cn_;
+  const Topology* topo_;
+  const PredicateRegistry* reg_;
+};
+
+}  // namespace apc

@@ -1,0 +1,153 @@
+#include "baselines/trie.hpp"
+
+namespace apc {
+
+TrieEngine::TrieEngine(const NetworkModel& net) : net_(&net) {
+  nodes_.emplace_back();  // root
+  for (BoxId b = 0; b < net.fibs.size(); ++b) {
+    for (const auto& r : net.fibs[b].rules) insert(b, &r);
+  }
+}
+
+void TrieEngine::insert(BoxId box, const ForwardingRule* rule) {
+  std::int32_t cur = 0;
+  for (std::uint8_t i = 0; i < rule->dst.len; ++i) {
+    const int bit = (rule->dst.addr >> (31 - i)) & 1;
+    if (nodes_[cur].child[bit] < 0) {
+      nodes_[cur].child[bit] = static_cast<std::int32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    cur = nodes_[cur].child[bit];
+  }
+  nodes_[cur].entries.push_back({box, rule});
+  ++rule_entries_;
+}
+
+void TrieEngine::resolve(std::uint32_t dst, std::vector<std::int64_t>& egress,
+                         std::size_t* visited) const {
+  // Best (priority, insertion-order) rule per box along the dst path.
+  std::vector<std::int32_t> best_priority(egress.size(), -1);
+  std::int32_t cur = 0;
+  for (std::uint8_t depth = 0;; ++depth) {
+    if (visited) ++*visited;
+    for (const Entry& e : nodes_[cur].entries) {
+      const std::int32_t pr = e.rule->effective_priority();
+      // Strictly-greater keeps the earliest rule on priority ties, matching
+      // the stable-sort semantics of the predicate compiler.
+      if (pr > best_priority[e.box]) {
+        best_priority[e.box] = pr;
+        egress[e.box] = e.rule->egress_port;
+      }
+    }
+    if (depth >= 32) break;
+    const int bit = (dst >> (31 - depth)) & 1;
+    const std::int32_t next = nodes_[cur].child[bit];
+    if (next < 0) break;
+    cur = next;
+  }
+}
+
+Behavior TrieEngine::query(const PacketHeader& h, BoxId ingress,
+                           std::size_t* trie_nodes_visited) const {
+  const Topology& topo = net_->topology;
+  Behavior out;
+
+  // Collect per-box egress decisions from the trie (Veriflow's "related
+  // rules of the packet" resolved by LPM).
+  std::vector<std::int64_t> egress(topo.box_count(), -1);
+  resolve(h.dst_ip(), egress, trie_nodes_visited);
+
+  struct Visit {
+    BoxId box;
+    std::optional<std::uint32_t> in_port;
+  };
+  std::vector<Visit> stack{{ingress, std::nullopt}};
+  std::vector<bool> visited(topo.box_count(), false);
+
+  const auto acl_permits = [&](const Acl* acl) {
+    return !acl || acl->permits(h.src_ip(), h.dst_ip(), h.src_port(), h.dst_port(),
+                                h.proto());
+  };
+
+  while (!stack.empty()) {
+    const Visit v = stack.back();
+    stack.pop_back();
+    if (visited[v.box]) {
+      out.loop_detected = true;
+      continue;
+    }
+    visited[v.box] = true;
+
+    if (v.in_port && !acl_permits(net_->input_acl(v.box, *v.in_port))) {
+      out.drops.push_back({v.box, Drop::Reason::InputAcl});
+      continue;
+    }
+
+    const auto forward_port = [&](std::uint32_t port) {
+      const Port& p = topo.box(v.box).ports[port];
+      if (p.kind == Port::Kind::Host) {
+        out.edges.push_back({v.box, port, std::nullopt});
+        out.deliveries.push_back({v.box, port});
+      } else {
+        out.edges.push_back({v.box, port, p.peer->box});
+        stack.push_back({p.peer->box, p.peer->port});
+      }
+    };
+
+    // Multicast group table takes precedence (first match wins).
+    const auto mit = net_->multicast.find(v.box);
+    bool mc_handled = false;
+    if (mit != net_->multicast.end()) {
+      for (const MulticastRule& r : mit->second) {
+        if (!r.group.contains(h.dst_ip())) continue;
+        mc_handled = true;
+        bool any = false;
+        for (const std::uint32_t port : r.ports) {
+          if (!acl_permits(net_->output_acl(v.box, port))) continue;
+          any = true;
+          forward_port(port);
+        }
+        if (!any) out.drops.push_back({v.box, Drop::Reason::OutputAcl});
+        break;
+      }
+    }
+    if (mc_handled) continue;
+
+    // Flow-table boxes: a destination trie cannot index multi-field
+    // matches, so Veriflow-style lookup degrades to a linear table scan.
+    const auto ftit = net_->flow_tables.find(v.box);
+    if (ftit != net_->flow_tables.end()) {
+      const FlowRule* r = ftit->second.lookup(h);
+      if (!r || r->action == FlowRule::Action::Drop) {
+        out.drops.push_back({v.box, Drop::Reason::NoMatchingRule});
+        continue;
+      }
+      if (!acl_permits(net_->output_acl(v.box, r->egress_port))) {
+        out.drops.push_back({v.box, Drop::Reason::OutputAcl});
+        continue;
+      }
+      forward_port(r->egress_port);
+      continue;
+    }
+
+    if (egress[v.box] < 0) {
+      out.drops.push_back({v.box, Drop::Reason::NoMatchingRule});
+      continue;
+    }
+    const std::uint32_t port = static_cast<std::uint32_t>(egress[v.box]);
+    if (!acl_permits(net_->output_acl(v.box, port))) {
+      out.drops.push_back({v.box, Drop::Reason::OutputAcl});
+      continue;
+    }
+    forward_port(port);
+  }
+  return out;
+}
+
+std::size_t TrieEngine::memory_bytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) bytes += n.entries.capacity() * sizeof(Entry);
+  return bytes;
+}
+
+}  // namespace apc

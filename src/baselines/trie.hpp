@@ -1,0 +1,58 @@
+// Veriflow-style trie baseline (paper SS II).
+//
+// Veriflow stores all data-plane rules in a prefix trie; identifying a
+// packet's behavior means walking the trie to collect the related rules of
+// every box, resolving longest-prefix match per box, and then simulating
+// the forwarding path over the resolved rules.  The paper points out this
+// needs all raw rules in memory (tens of GB for the real Stanford snapshot)
+// and was shown to be slow for per-packet behavior identification — this
+// engine reproduces the algorithm so the comparison can be measured.
+//
+// The trie is keyed on destination-IP bits (the match dimension of FIBs);
+// ACLs are evaluated first-match directly against the rule lists, and
+// multicast group tables are checked linearly, mirroring the semantics of
+// the other engines.
+#pragma once
+
+#include "classifier/behavior.hpp"
+#include "network/model.hpp"
+#include "packet/header.hpp"
+
+namespace apc {
+
+class TrieEngine {
+ public:
+  explicit TrieEngine(const NetworkModel& net);
+
+  /// Full behavior query.  `trie_nodes_visited` (optional) accumulates the
+  /// number of trie nodes touched.
+  Behavior query(const PacketHeader& h, BoxId ingress,
+                 std::size_t* trie_nodes_visited = nullptr) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t rule_count() const { return rule_entries_; }
+  /// Approximate trie memory footprint (the paper's "tens of GB" concern
+  /// scaled to the loaded snapshot).
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Entry {
+    BoxId box;
+    const ForwardingRule* rule;
+  };
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::vector<Entry> entries;  ///< rules whose prefix terminates here
+  };
+
+  void insert(BoxId box, const ForwardingRule* rule);
+  /// Egress port per box for destination `dst` (LPM + priority resolved).
+  void resolve(std::uint32_t dst, std::vector<std::int64_t>& egress,
+               std::size_t* visited) const;
+
+  const NetworkModel* net_;
+  std::vector<Node> nodes_;
+  std::size_t rule_entries_ = 0;
+};
+
+}  // namespace apc

@@ -1,0 +1,102 @@
+// Stage 2 of AP Classifier (paper SS IV-B): given the atomic predicate of a
+// packet and its ingress box, walk the topology to obtain the network-wide
+// behavior — the forwarding path(s), deliveries, and drops.
+//
+// Because the atom fixes the truth value of every predicate, each per-box
+// decision is a bitset test on R(p): no BDD work happens on this path.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ap/atoms.hpp"
+#include "ap/registry.hpp"
+#include "network/model.hpp"
+
+namespace apc {
+
+/// Sentinel for "no predicate attached".
+inline constexpr PredId kNoPred = 0xFFFFFFFFu;
+
+/// Predicate ids attached to topology locations after compilation.
+/// The flat arrays are the hot-path representation (stage 2 does one bitset
+/// test per entry with no associative lookups); the maps are kept for
+/// introspection.
+struct CompiledNetwork {
+  struct PortEntry {
+    std::uint32_t port = 0;
+    PredId pred = kNoPred;      ///< forwarding predicate
+    PredId out_acl = kNoPred;   ///< output ACL permit predicate, if any
+  };
+  /// port_preds[box]: ports with forwarding predicates, ACL id inlined.
+  std::vector<std::vector<PortEntry>> port_preds;
+  /// in_acl_by_port[box][port]: input ACL predicate or kNoPred.
+  std::vector<std::vector<PredId>> in_acl_by_port;
+
+  std::map<std::pair<BoxId, std::uint32_t>, PredId> input_acl_pred;
+  std::map<std::pair<BoxId, std::uint32_t>, PredId> output_acl_pred;
+
+  const PredId* in_acl(BoxId b, std::uint32_t port) const {
+    const auto it = input_acl_pred.find({b, port});
+    return it == input_acl_pred.end() ? nullptr : &it->second;
+  }
+  const PredId* out_acl(BoxId b, std::uint32_t port) const {
+    const auto it = output_acl_pred.find({b, port});
+    return it == output_acl_pred.end() ? nullptr : &it->second;
+  }
+};
+
+/// Converts every FIB and ACL in `net` into predicates registered in `reg`
+/// (paper SS IV-A: the controller first converts tables to predicates).
+CompiledNetwork compile_network(const NetworkModel& net, bdd::BddManager& mgr,
+                                PredicateRegistry& reg);
+
+/// Per-port forwarding predicates for one box: multicast group entries take
+/// precedence, then the flow table (if the box has one) or the FIB.
+std::map<std::uint32_t, bdd::Bdd> compile_box_forwarding(const NetworkModel& net,
+                                                         bdd::BddManager& mgr,
+                                                         BoxId box);
+
+struct BehaviorEdge {
+  BoxId box = 0;
+  std::uint32_t out_port = 0;
+  /// Next box for link ports; unset when the edge is a host delivery.
+  std::optional<BoxId> to;
+};
+
+struct Drop {
+  enum class Reason : std::uint8_t { NoMatchingRule, InputAcl, OutputAcl };
+  BoxId box = 0;
+  Reason reason = Reason::NoMatchingRule;
+};
+
+/// The network-wide behavior of one packet class from one ingress box.
+struct Behavior {
+  std::vector<BehaviorEdge> edges;  ///< traversed (box,port) hops, visit order
+  std::vector<PortId> deliveries;   ///< host ports reached
+  std::vector<Drop> drops;
+  bool loop_detected = false;
+
+  bool delivered() const { return !deliveries.empty(); }
+  /// Boxes traversed, in visit order (ingress first).
+  std::vector<BoxId> boxes_traversed() const;
+  /// True iff the behavior traverses `box` (waypoint checks).
+  bool traverses(BoxId box) const;
+  std::string to_string(const Topology& topo) const;
+};
+
+/// Walks the network for packets in `atom` entering at `ingress`.
+/// Deleted predicates are ignored (SS VI-A).  Multicast (several matching
+/// output ports) explores every branch; loops are detected per walk.
+Behavior compute_behavior(const CompiledNetwork& cn, const Topology& topo,
+                          const PredicateRegistry& reg, AtomId atom, BoxId ingress,
+                          std::optional<std::uint32_t> ingress_port = {});
+
+/// Allocation-reusing variant: clears and fills `out` (keeps vector
+/// capacity), for query loops that process millions of behaviors.
+void compute_behavior_into(const CompiledNetwork& cn, const Topology& topo,
+                           const PredicateRegistry& reg, AtomId atom, BoxId ingress,
+                           std::optional<std::uint32_t> ingress_port, Behavior& out);
+
+}  // namespace apc

@@ -1,0 +1,4 @@
+#include "classifier/middlebox.hpp"
+
+// Middlebox types are header-only; this TU anchors the module and hosts
+// nothing else currently.

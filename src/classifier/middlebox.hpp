@@ -1,0 +1,65 @@
+// Middlebox packet-header changes (paper SS V-E).
+//
+// A middlebox attached to a box rewrites headers of traversing packets.
+// Three change types:
+//   Type 1 — deterministic from the header: modeled as a flow table whose
+//            entries carry match fields, rewrite instructions, AND the
+//            precomputed atomic predicate of the rewritten header, so stage 2
+//            continues without touching the AP Tree.
+//   Type 2 — deterministic from the payload: the new header is only known at
+//            query time, so the AP Tree is searched again for the new header.
+//   Type 3 — probabilistic: a distribution over rewrites; queries yield a
+//            set of possible behaviors with probabilities.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ap/atoms.hpp"
+#include "packet/header.hpp"
+#include "util/bitset.hpp"
+
+namespace apc {
+
+/// A header rewrite: a list of field assignments (e.g. NAT dst-IP rewrite).
+struct HeaderRewrite {
+  struct FieldSet {
+    std::uint32_t offset = 0;
+    std::uint32_t width = 0;
+    std::uint64_t value = 0;
+  };
+  std::vector<FieldSet> sets;
+
+  bool empty() const { return sets.empty(); }
+  PacketHeader apply(PacketHeader h) const {
+    for (const auto& s : sets) h.set_field(s.offset, s.width, s.value);
+    return h;
+  }
+};
+
+enum class ChangeType : std::uint8_t { Deterministic, PayloadDependent, Probabilistic };
+
+/// One flow-table entry of a middlebox: match (an atom set), instructions
+/// (the rewrite), and — for Type 1 — the atomic predicate of the new header.
+struct MiddleboxEntry {
+  FlatBitset match_atoms;                 ///< match fields, grouped by atoms
+  ChangeType type = ChangeType::Deterministic;
+  HeaderRewrite rewrite;                  ///< instructions (empty = pass-through)
+  AtomId next_atom = 0;                   ///< Type 1: precomputed new atom
+  /// Type 3: (probability, rewrite) alternatives; probabilities sum to 1.
+  std::vector<std::pair<double, HeaderRewrite>> choices;
+};
+
+struct Middlebox {
+  BoxId box = 0;  ///< box whose traffic passes through this middlebox
+  std::vector<MiddleboxEntry> entries;
+
+  /// First entry matching `atom`, or nullptr (packet passes unmodified).
+  const MiddleboxEntry* match(AtomId atom) const {
+    for (const auto& e : entries)
+      if (e.match_atoms.test(atom)) return &e;
+    return nullptr;
+  }
+};
+
+}  // namespace apc

@@ -1,0 +1,135 @@
+#include "classifier/reconstruction.hpp"
+
+#include "ap/atoms.hpp"
+
+namespace apc {
+
+std::shared_ptr<ReconstructionManager::Snapshot> ReconstructionManager::build_snapshot(
+    std::shared_ptr<bdd::BddManager> mgr,
+    std::vector<std::pair<bdd::Bdd, std::uint64_t>> preds, const Options& opts,
+    const std::vector<std::pair<PacketHeader, double>>& weight_samples) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->mgr = std::move(mgr);
+  for (auto& [bdd, key] : preds) {
+    snap->reg.add_with_key(std::move(bdd), PredicateKind::External, std::nullopt, key);
+  }
+  snap->uni = compute_atoms(snap->reg);
+  BuildOptions bo;
+  bo.method = opts.method;
+  bo.seed = opts.seed;
+  snap->tree = build_tree(snap->reg, snap->uni, bo);
+
+  if (!weight_samples.empty()) {
+    // Map the manager-independent samples onto the NEW atom ids via the
+    // just-built tree, then rebuild it distribution-aware (SS V-D weights
+    // inside the SS VI-B reconstruction).
+    std::vector<double> weights(snap->uni.capacity(), 1.0);
+    for (const auto& [header, w] : weight_samples) {
+      const AtomId a = snap->tree.classify(header, snap->reg);
+      weights[a] += w;
+    }
+    bo.weights = &weights;
+    snap->tree = build_tree(snap->reg, snap->uni, bo);
+  }
+  return snap;
+}
+
+ReconstructionManager::ReconstructionManager(const std::vector<bdd::Bdd>& predicates,
+                                             Options opts)
+    : opts_(opts) {
+  auto mgr = std::make_shared<bdd::BddManager>(opts.num_vars);
+  std::vector<std::pair<bdd::Bdd, std::uint64_t>> preds;
+  preds.reserve(predicates.size());
+  for (const auto& p : predicates) {
+    preds.emplace_back(bdd::transfer(p, *mgr), next_key_++);
+  }
+  cur_ = build_snapshot(std::move(mgr), std::move(preds), opts_, {});
+}
+
+ReconstructionManager::~ReconstructionManager() { join_worker(); }
+
+void ReconstructionManager::join_worker() {
+  if (worker_.joinable()) worker_.join();
+}
+
+AtomId ReconstructionManager::classify(const PacketHeader& h) const {
+  return cur_->tree.classify(h, cur_->reg);
+}
+
+std::uint64_t ReconstructionManager::add_predicate(const bdd::Bdd& p) {
+  const std::uint64_t key = next_key_++;
+  bdd::Bdd local = bdd::transfer(p, *cur_->mgr);
+  apc::add_predicate(cur_->tree, cur_->reg, cur_->uni, std::move(local),
+                     PredicateKind::External, std::nullopt, key);
+  if (rebuilding()) journal_.push_back({true, p, key});
+  return key;
+}
+
+void ReconstructionManager::remove_predicate(std::uint64_t key) {
+  if (const auto id = cur_->reg.find_by_key(key)) {
+    delete_predicate(cur_->reg, *id);
+  }
+  if (rebuilding()) journal_.push_back({false, {}, key});
+}
+
+void ReconstructionManager::trigger_rebuild() { trigger_rebuild({}); }
+
+void ReconstructionManager::trigger_rebuild(
+    std::vector<std::pair<PacketHeader, double>> weight_samples) {
+  if (rebuilding()) return;
+  join_worker();  // reap a previous, already-swapped worker
+
+  // Snapshot live predicates into a fresh manager (query thread does the
+  // transfer; after the thread starts, only the worker touches new_mgr).
+  auto new_mgr = std::make_shared<bdd::BddManager>(opts_.num_vars);
+  std::vector<std::pair<bdd::Bdd, std::uint64_t>> preds;
+  for (const PredId id : cur_->reg.live_ids()) {
+    preds.emplace_back(bdd::transfer(cur_->reg.bdd_of(id), *new_mgr),
+                       cur_->reg.info(id).external_key);
+  }
+
+  journal_.clear();
+  rebuild_done_.store(false, std::memory_order_release);
+  rebuilding_.store(true, std::memory_order_release);
+
+  worker_ = std::thread([this, new_mgr = std::move(new_mgr),
+                         preds = std::move(preds),
+                         samples = std::move(weight_samples)]() mutable {
+    pending_ = build_snapshot(std::move(new_mgr), std::move(preds), opts_, samples);
+    rebuild_done_.store(true, std::memory_order_release);
+  });
+}
+
+bool ReconstructionManager::maybe_swap() {
+  if (!rebuilding() || !rebuild_done_.load(std::memory_order_acquire)) return false;
+  join_worker();
+
+  std::shared_ptr<Snapshot> snap = std::move(pending_);
+
+  // Replay updates that arrived during the rebuild (Fig. 8: "the new tree
+  // needs to be updated for data plane changes that occurred during the
+  // reconstruction period").
+  for (const JournalEntry& j : journal_) {
+    if (j.is_add) {
+      bdd::Bdd local = bdd::transfer(j.bdd, *snap->mgr);
+      apc::add_predicate(snap->tree, snap->reg, snap->uni, std::move(local),
+                         PredicateKind::External, std::nullopt, j.key);
+    } else if (const auto id = snap->reg.find_by_key(j.key)) {
+      delete_predicate(snap->reg, *id);
+    }
+  }
+  journal_.clear();
+  cur_ = std::move(snap);
+  rebuilding_.store(false, std::memory_order_release);
+  ++rebuild_count_;
+  return true;
+}
+
+void ReconstructionManager::wait_and_swap() {
+  if (!rebuilding()) return;
+  join_worker();
+  rebuild_done_.store(true, std::memory_order_release);
+  maybe_swap();
+}
+
+}  // namespace apc

@@ -1,0 +1,166 @@
+// Parallel AP Tree reconstruction (paper SS VI-B, Fig. 8).
+//
+// The query process keeps answering queries and applying real-time updates
+// on the current tree while a reconstruction process rebuilds an optimized
+// tree from a snapshot.  Updates that arrive during the rebuild are
+// journaled; when the rebuild finishes they are replayed onto the new tree
+// before it replaces the old one.
+//
+// The paper runs the two as separate processes; we use a background thread
+// with full state isolation: the rebuild works in its own BddManager on
+// predicate copies transferred at trigger time, so the two sides share no
+// mutable state.  All journal replay and the swap happen on the query
+// thread, making every BDD operation single-threaded per manager.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "aptree/build.hpp"
+#include "aptree/tree.hpp"
+#include "aptree/update.hpp"
+#include "packet/header.hpp"
+
+namespace apc {
+
+/// Decides *when* to reconstruct (paper SS VI-B: "The start of a
+/// reconstruction is triggered by an event, e.g., query throughput is lower
+/// than a threshold or the number of updates on the current AP Tree is
+/// higher than a threshold").  Feed it update and throughput observations;
+/// ask should_trigger() each loop iteration and reset() after triggering.
+class ReconstructionPolicy {
+ public:
+  struct Thresholds {
+    /// Trigger after this many updates since the last reconstruction
+    /// (0 disables the update criterion).
+    std::size_t max_updates = 50;
+    /// Trigger when measured throughput drops below this fraction of the
+    /// best throughput seen since the last reconstruction (0 disables).
+    double min_throughput_fraction = 0.7;
+  };
+
+  ReconstructionPolicy() = default;
+  explicit ReconstructionPolicy(Thresholds t) : thresholds_(t) {}
+
+  void record_update(std::size_t count = 1) { updates_ += count; }
+  void record_throughput(double qps) {
+    last_qps_ = qps;
+    best_qps_ = std::max(best_qps_, qps);
+  }
+
+  bool should_trigger() const {
+    if (thresholds_.max_updates > 0 && updates_ >= thresholds_.max_updates)
+      return true;
+    if (thresholds_.min_throughput_fraction > 0.0 && best_qps_ > 0.0 &&
+        last_qps_ > 0.0 &&
+        last_qps_ < best_qps_ * thresholds_.min_throughput_fraction)
+      return true;
+    return false;
+  }
+
+  /// Call when a reconstruction has been triggered/swapped in.
+  void reset() {
+    updates_ = 0;
+    best_qps_ = 0.0;
+    last_qps_ = 0.0;
+  }
+
+  std::size_t updates_since_rebuild() const { return updates_; }
+
+ private:
+  Thresholds thresholds_;
+  std::size_t updates_ = 0;
+  double best_qps_ = 0.0;
+  double last_qps_ = 0.0;
+};
+
+class ReconstructionManager {
+ public:
+  struct Options {
+    BuildMethod method = BuildMethod::Oapt;
+    std::uint64_t seed = 1;
+    std::uint32_t num_vars = HeaderLayout::kBits;
+  };
+
+  /// Builds the initial snapshot synchronously from `predicates` (handles
+  /// may belong to any manager; they are transferred into a private one).
+  ReconstructionManager(const std::vector<bdd::Bdd>& predicates, Options opts);
+  explicit ReconstructionManager(const std::vector<bdd::Bdd>& predicates)
+      : ReconstructionManager(predicates, Options{}) {}
+  ~ReconstructionManager();
+
+  ReconstructionManager(const ReconstructionManager&) = delete;
+  ReconstructionManager& operator=(const ReconstructionManager&) = delete;
+
+  // ---- Query-thread API ----
+  AtomId classify(const PacketHeader& h) const;
+
+  /// Adds a predicate (updates the live tree immediately; journals it if a
+  /// rebuild is in flight).  Returns a stable key for later removal.
+  /// `p` may belong to any manager.
+  std::uint64_t add_predicate(const bdd::Bdd& p);
+  /// Lazy-deletes by key (journaled during rebuilds).
+  void remove_predicate(std::uint64_t key);
+
+  /// Kicks off a background rebuild from a snapshot of the live predicates.
+  /// No-op if one is already running.
+  void trigger_rebuild();
+
+  /// Distribution-aware reconstruction (paper SS VI-B closing paragraph:
+  /// "AP Classifier reconstructs AP Tree with the new weights of atomic
+  /// predicates periodically").  Weights are carried as manager-independent
+  /// (representative header, weight) samples: the worker classifies each
+  /// sample against the NEW atom set and rebuilds the tree with the summed
+  /// per-atom weights.
+  void trigger_rebuild(std::vector<std::pair<PacketHeader, double>> weight_samples);
+  /// If a finished rebuild is pending: replays the journal onto the new
+  /// tree, swaps it in, and returns true.  Non-blocking otherwise.
+  bool maybe_swap();
+  /// Blocks until the in-flight rebuild (if any) finishes and swaps it in.
+  void wait_and_swap();
+
+  bool rebuilding() const { return rebuilding_.load(std::memory_order_acquire); }
+
+  // ---- Introspection ----
+  double average_leaf_depth() const { return cur_->tree.average_leaf_depth(); }
+  std::size_t live_predicate_count() const { return cur_->reg.live_count(); }
+  std::size_t atom_count() const { return cur_->uni.alive_count(); }
+  std::size_t rebuild_count() const { return rebuild_count_; }
+
+ private:
+  struct Snapshot {
+    std::shared_ptr<bdd::BddManager> mgr;
+    PredicateRegistry reg;
+    AtomUniverse uni;
+    ApTree tree;
+  };
+
+  struct JournalEntry {
+    bool is_add = false;
+    bdd::Bdd bdd;            // in the *source* manager of the caller
+    std::uint64_t key = 0;
+  };
+
+  static std::shared_ptr<Snapshot> build_snapshot(
+      std::shared_ptr<bdd::BddManager> mgr,
+      std::vector<std::pair<bdd::Bdd, std::uint64_t>> preds, const Options& opts,
+      const std::vector<std::pair<PacketHeader, double>>& weight_samples);
+
+  void join_worker();
+
+  Options opts_;
+  std::shared_ptr<Snapshot> cur_;      // owned & mutated by the query thread
+  std::thread worker_;
+  std::atomic<bool> rebuilding_{false};
+  std::atomic<bool> rebuild_done_{false};
+  std::shared_ptr<Snapshot> pending_;  // written by worker before rebuild_done_
+  std::vector<JournalEntry> journal_;  // query thread only
+  std::uint64_t next_key_ = 1;
+  std::size_t rebuild_count_ = 0;
+};
+
+}  // namespace apc

@@ -1,0 +1,68 @@
+#include "datasets/acl_gen.hpp"
+
+#include "util/rng.hpp"
+
+namespace apc::datasets {
+
+AclGenStats generate_acls(NetworkModel& net, const AclGenConfig& cfg) {
+  Rng rng(cfg.seed);
+  const Topology& topo = net.topology;
+
+  // Shared pool of service patterns: aligned dst-port ranges + protocol.
+  struct Service {
+    PortRange dst_port;
+    std::uint8_t proto;
+  };
+  std::vector<Service> services;
+  for (std::uint32_t i = 0; i < cfg.service_pool; ++i) {
+    const std::uint32_t span_bits = static_cast<std::uint32_t>(rng.uniform(6));  // 1..32 ports
+    const std::uint16_t span = static_cast<std::uint16_t>(1u << span_bits);
+    const std::uint16_t lo = static_cast<std::uint16_t>(rng.uniform(1024 / span) * span);
+    services.push_back({{lo, static_cast<std::uint16_t>(lo + span - 1)},
+                        rng.coin(0.7) ? std::uint8_t{6} : std::uint8_t{17}});
+  }
+
+  // Shared pool of source prefixes (drawn from the 10/8 space the FIBs use).
+  std::vector<Ipv4Prefix> sources;
+  for (std::uint32_t i = 0; i < cfg.src_pool; ++i) {
+    sources.push_back(Ipv4Prefix{
+        (10u << 24) | (static_cast<std::uint32_t>(rng.uniform(64)) << 16), 16});
+  }
+
+  // Candidate ports: link ports, round-robin over boxes.
+  std::vector<PortId> link_ports;
+  for (BoxId b = 0; b < topo.box_count(); ++b) {
+    const Box& box = topo.box(b);
+    for (std::uint32_t p = 0; p < box.ports.size(); ++p)
+      if (box.ports[p].kind == Port::Kind::Link) link_ports.push_back({b, p});
+  }
+  require(!link_ports.empty(), "generate_acls: topology has no link ports");
+
+  AclGenStats stats;
+  for (std::uint32_t i = 0; i < cfg.num_acls && i < link_ports.size(); ++i) {
+    const PortId where = link_ports[(i * 7) % link_ports.size()];
+    // The destination block this ACL guards.
+    const Ipv4Prefix dst_block{
+        (10u << 24) |
+            (static_cast<std::uint32_t>(rng.uniform(64)) << (32 - cfg.dst_block_len)),
+        cfg.dst_block_len};
+    Acl acl;
+    for (std::uint32_t r = 0; r < cfg.rules_per_acl; ++r) {
+      const Service& svc = services[rng.uniform(services.size())];
+      AclRule rule;
+      rule.action = AclRule::Action::Deny;
+      rule.src = sources[rng.uniform(sources.size())];
+      rule.dst = dst_block;
+      rule.dst_port = svc.dst_port;
+      rule.proto = svc.proto;
+      acl.rules.push_back(rule);
+      ++stats.total_rules;
+    }
+    acl.default_action = AclRule::Action::Permit;
+    net.input_acls[{where.box, where.port}] = std::move(acl);
+    ++stats.acls_placed;
+  }
+  return stats;
+}
+
+}  // namespace apc::datasets

@@ -1,0 +1,41 @@
+// Synthetic ACL generation (Stanford-like dataset; Table I lists 1,584 ACL
+// rules).  ACLs are placed on link (uplink) ports as input ACLs: a list of
+// deny rules over a small pool of "service" patterns (dst-port ranges and
+// protocols) crossed with source prefixes, with a permit-all default.
+//
+// Using a shared service pool keeps the ACL predicates structurally related
+// (nested/overlapping rather than independent), which bounds atom growth
+// the way real campus ACLs do.
+#pragma once
+
+#include <cstdint>
+
+#include "network/model.hpp"
+
+namespace apc::datasets {
+
+struct AclGenConfig {
+  /// Number of ports that receive an input ACL.
+  std::uint32_t num_acls = 8;
+  std::uint32_t rules_per_acl = 20;
+  /// Size of the shared service pattern pool.
+  std::uint32_t service_pool = 12;
+  /// Size of the shared source-prefix pool.
+  std::uint32_t src_pool = 8;
+  /// Each ACL guards one destination /16 block (real campus ACLs protect
+  /// the zone behind the port).  Localizing the destination keeps the
+  /// predicates from being orthogonal to every forwarding class, which
+  /// bounds atom growth the way real ACLs do.
+  std::uint8_t dst_block_len = 16;
+  std::uint64_t seed = 2;
+};
+
+struct AclGenStats {
+  std::size_t acls_placed = 0;
+  std::size_t total_rules = 0;
+};
+
+/// Attaches input ACLs to link ports of `net` (round-robin over boxes).
+AclGenStats generate_acls(NetworkModel& net, const AclGenConfig& cfg);
+
+}  // namespace apc::datasets

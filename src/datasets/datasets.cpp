@@ -1,0 +1,137 @@
+#include "datasets/datasets.hpp"
+
+#include "datasets/topo_gen.hpp"
+#include "packet/header.hpp"
+
+namespace apc::datasets {
+
+std::shared_ptr<bdd::BddManager> Dataset::make_manager() {
+  return std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+}
+
+const char* scale_name(Scale s) {
+  switch (s) {
+    case Scale::Tiny: return "tiny";
+    case Scale::Small: return "small";
+    case Scale::Medium: return "medium";
+    case Scale::Full: return "full";
+  }
+  return "?";
+}
+
+Dataset internet2_like(Scale s, std::uint64_t seed) {
+  Dataset d;
+  d.name = std::string("internet2-like[") + scale_name(s) + "]";
+  d.net.topology = abilene_topology();
+
+  FibGenConfig fc;
+  fc.seed = seed;
+  switch (s) {
+    case Scale::Tiny:
+      fc.edge_ports_per_box = 2;
+      fc.prefixes_per_port = 2;
+      fc.subprefix_fraction = 0.5;
+      break;
+    case Scale::Small:
+      fc.edge_ports_per_box = 6;
+      fc.prefixes_per_port = 4;
+      fc.hole_fraction = 0.1;
+      break;
+    case Scale::Medium:
+      fc.edge_ports_per_box = 15;  // ~159 port predicates (paper: 161)
+      fc.prefixes_per_port = 12;   // ~18k rules
+      fc.hole_fraction = 0.04;     // atoms land slightly above predicate count
+      break;
+    case Scale::Full:
+      fc.edge_ports_per_box = 15;
+      fc.prefixes_per_port = 83;   // ~126k rules (paper: 126,017)
+      fc.hole_fraction = 0.005;
+      break;
+  }
+  d.fib_stats = generate_fibs(d.net, fc);
+  return d;
+}
+
+Dataset stanford_like(Scale s, std::uint64_t seed) {
+  Dataset d;
+  d.name = std::string("stanford-like[") + scale_name(s) + "]";
+  d.net.topology = campus_topology();
+
+  FibGenConfig fc;
+  fc.seed = seed;
+  AclGenConfig ac;
+  ac.seed = seed + 1;
+  switch (s) {
+    case Scale::Tiny:
+      fc.edge_ports_per_box = 2;
+      fc.prefixes_per_port = 2;
+      fc.subprefix_fraction = 0.5;
+      ac.num_acls = 2;
+      ac.rules_per_acl = 3;
+      ac.service_pool = 4;
+      break;
+    case Scale::Small:
+      fc.edge_ports_per_box = 8;
+      fc.prefixes_per_port = 3;
+      fc.hole_fraction = 0.1;
+      ac.num_acls = 4;
+      ac.rules_per_acl = 8;
+      ac.service_pool = 6;
+      ac.src_pool = 4;
+      break;
+    case Scale::Medium:
+      fc.edge_ports_per_box = 26;  // ~500 port predicates (paper: 507)
+      fc.prefixes_per_port = 6;    // ~50k rules
+      fc.hole_fraction = 0.03;
+      ac.num_acls = 8;
+      ac.rules_per_acl = 20;
+      break;
+    case Scale::Full:
+      fc.edge_ports_per_box = 26;
+      fc.prefixes_per_port = 91;   // ~757k rules (paper: 757,170)
+      fc.hole_fraction = 0.002;
+      ac.num_acls = 24;
+      ac.rules_per_acl = 66;       // 1,584 ACL rules (paper: 1,584)
+      break;
+  }
+  d.fib_stats = generate_fibs(d.net, fc);
+  d.acl_stats = generate_acls(d.net, ac);
+  return d;
+}
+
+Dataset datacenter_like(Scale s, std::uint64_t seed) {
+  Dataset d;
+  d.name = std::string("datacenter-like[") + scale_name(s) + "]";
+  const unsigned k = (s == Scale::Tiny || s == Scale::Small) ? 4 : 8;
+  d.net.topology = fat_tree_topology(k);
+
+  // Only edge switches own server prefixes; generate_fibs adds edge ports
+  // everywhere, so instead build manually: edge boxes are the last k/2 of
+  // each pod block after the cores.
+  FibGenConfig fc;
+  fc.seed = seed;
+  switch (s) {
+    case Scale::Tiny:
+      fc.edge_ports_per_box = 1;
+      fc.prefixes_per_port = 2;
+      break;
+    case Scale::Small:
+      fc.edge_ports_per_box = 2;
+      fc.prefixes_per_port = 3;
+      break;
+    case Scale::Medium:
+      fc.edge_ports_per_box = 2;
+      fc.prefixes_per_port = 4;
+      fc.hole_fraction = 0.02;
+      break;
+    case Scale::Full:
+      fc.edge_ports_per_box = 4;
+      fc.prefixes_per_port = 16;
+      fc.hole_fraction = 0.01;
+      break;
+  }
+  d.fib_stats = generate_fibs(d.net, fc);
+  return d;
+}
+
+}  // namespace apc::datasets

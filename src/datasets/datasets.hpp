@@ -1,0 +1,48 @@
+// Ready-made evaluation datasets mirroring the paper's two networks
+// (Table I).  Scales:
+//   Tiny   — unit-test sized (fast, a handful of predicates)
+//   Small  — integration-test sized
+//   Medium — benchmark default (predicate counts match the paper;
+//            rule counts reduced to keep single-machine runs snappy)
+//   Full   — rule counts in the paper's range (126k / 757k)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bdd/bdd.hpp"
+#include "datasets/acl_gen.hpp"
+#include "datasets/fib_gen.hpp"
+#include "network/model.hpp"
+
+namespace apc::datasets {
+
+enum class Scale { Tiny, Small, Medium, Full };
+
+struct Dataset {
+  std::string name;
+  NetworkModel net;
+  FibGenStats fib_stats;
+  AclGenStats acl_stats;
+
+  /// Fresh manager sized for the five-tuple header space.
+  static std::shared_ptr<bdd::BddManager> make_manager();
+};
+
+/// 9-router Abilene backbone, FIB-only (like Internet2 in Table I:
+/// 126,017 rules, 0 ACLs, 161 predicates at Full scale).
+Dataset internet2_like(Scale s, std::uint64_t seed = 7);
+
+/// 16-router campus backbone with ACLs (like Stanford in Table I:
+/// 757,170 rules, 1,584 ACL rules, 507 predicates at Full scale).
+Dataset stanford_like(Scale s, std::uint64_t seed = 11);
+
+/// k-ary fat-tree data center (the paper's introduction motivates data
+/// centers seeing "hundreds of thousands of new flows per second"): edge
+/// switches own the server prefixes, shortest paths provide the up/down
+/// routing.  Tiny/Small use k=4; Medium/Full k=8.
+Dataset datacenter_like(Scale s, std::uint64_t seed = 13);
+
+const char* scale_name(Scale s);
+
+}  // namespace apc::datasets

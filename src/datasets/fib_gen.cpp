@@ -1,0 +1,80 @@
+#include "datasets/fib_gen.hpp"
+
+#include "util/rng.hpp"
+
+namespace apc::datasets {
+
+FibGenStats generate_fibs(NetworkModel& net, const FibGenConfig& cfg) {
+  require(cfg.sub_prefix_len > cfg.base_prefix_len,
+          "generate_fibs: sub prefix must be longer than base");
+  Rng rng(cfg.seed);
+  Topology& topo = net.topology;
+  net.ensure_fibs();
+
+  // Customer (host) ports per box.
+  struct Owner {
+    BoxId box;
+    std::uint32_t port;
+  };
+  std::vector<Owner> owners;
+  for (BoxId b = 0; b < topo.box_count(); ++b) {
+    for (std::uint32_t i = 0; i < cfg.edge_ports_per_box; ++i) {
+      const PortId p = topo.add_host_port(b, "cust" + std::to_string(i));
+      owners.push_back({b, p.port});
+    }
+  }
+
+  // Shortest-path next hops toward every box.
+  std::vector<std::vector<std::optional<std::uint32_t>>> nh(topo.box_count());
+  for (BoxId b = 0; b < topo.box_count(); ++b) nh[b] = topo.next_hops_toward(b);
+
+  struct PrefixAssign {
+    Ipv4Prefix prefix;
+    Owner owner;
+    std::optional<BoxId> hole;  // box that lacks this prefix's rule
+  };
+  std::vector<PrefixAssign> assigns;
+
+  // Base prefixes: sequential /base_len blocks carved from 10.0.0.0/8.
+  const std::uint32_t block = 1u << (32 - cfg.base_prefix_len);
+  std::uint32_t next_addr = 10u << 24;
+  FibGenStats stats;
+  for (const Owner& o : owners) {
+    for (std::uint32_t i = 0; i < cfg.prefixes_per_port; ++i) {
+      const Ipv4Prefix base{next_addr, cfg.base_prefix_len};
+      next_addr += block;
+      std::optional<BoxId> hole;
+      if (rng.uniform01() < cfg.hole_fraction) {
+        const BoxId hb = static_cast<BoxId>(rng.uniform(topo.box_count()));
+        if (hb != o.box) hole = hb;
+      }
+      assigns.push_back({base, o, hole});
+      ++stats.base_prefixes;
+      if (rng.uniform01() < cfg.subprefix_fraction) {
+        // More-specific child owned by a different random port.
+        const Owner other = owners[rng.uniform(owners.size())];
+        const std::uint32_t child_addr =
+            base.addr | (1u << (32 - cfg.sub_prefix_len));
+        assigns.push_back({{child_addr, cfg.sub_prefix_len}, other, std::nullopt});
+        ++stats.sub_prefixes;
+      }
+    }
+  }
+
+  // Install a rule for every (box, prefix) pair along shortest paths.
+  for (const PrefixAssign& pa : assigns) {
+    for (BoxId x = 0; x < topo.box_count(); ++x) {
+      if (pa.hole && *pa.hole == x) continue;
+      if (x == pa.owner.box) {
+        net.fib(x).add(pa.prefix, pa.owner.port);
+        ++stats.total_rules;
+      } else if (nh[pa.owner.box][x]) {
+        net.fib(x).add(pa.prefix, *nh[pa.owner.box][x]);
+        ++stats.total_rules;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace apc::datasets

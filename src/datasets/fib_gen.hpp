@@ -1,0 +1,50 @@
+// Synthetic FIB generation (the substitution for the paper's Internet2 /
+// Stanford forwarding tables; see DESIGN.md SS 2).
+//
+// Model: every box gets a number of customer (host) ports; base /24 prefixes
+// are assigned to customer ports; every box installs a rule per prefix
+// pointing along the shortest path toward the owning box.  A fraction of
+// base prefixes additionally get a longer, more-specific child prefix owned
+// by a *different* customer port, which exercises longest-prefix-match
+// interplay exactly like multi-homed or traffic-engineered prefixes in the
+// real datasets.
+//
+// The statistics that matter to the algorithms — number of predicates (one
+// per in-use port), heavy aggregation of prefixes into equal-behavior
+// classes, atom count within a small factor of the predicate count — follow
+// the real networks' shape (Table I).
+#pragma once
+
+#include <cstdint>
+
+#include "network/model.hpp"
+
+namespace apc::datasets {
+
+struct FibGenConfig {
+  std::uint32_t edge_ports_per_box = 15;
+  /// Base /24 prefixes assigned to each customer port.
+  std::uint32_t prefixes_per_port = 8;
+  /// Fraction of base prefixes that also get a more-specific child prefix
+  /// owned by a different random port (LPM interplay).
+  double subprefix_fraction = 0.25;
+  std::uint8_t base_prefix_len = 24;
+  std::uint8_t sub_prefix_len = 26;
+  /// Fraction of base prefixes with a "route hole": one random non-owner
+  /// box lacks the rule (partial routes, as in real BGP tables).  Each hole
+  /// creates a distinct network-wide behavior class, so the atom count ends
+  /// up slightly above the predicate count — matching the real datasets.
+  double hole_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct FibGenStats {
+  std::size_t base_prefixes = 0;
+  std::size_t sub_prefixes = 0;
+  std::size_t total_rules = 0;
+};
+
+/// Adds edge ports to every box of `net.topology` and fills all FIBs.
+FibGenStats generate_fibs(NetworkModel& net, const FibGenConfig& cfg);
+
+}  // namespace apc::datasets

@@ -1,0 +1,76 @@
+#include "datasets/topo_gen.hpp"
+
+namespace apc::datasets {
+
+Topology abilene_topology() {
+  Topology t;
+  const BoxId seat = t.add_box("SEAT");
+  const BoxId losa = t.add_box("LOSA");
+  const BoxId salt = t.add_box("SALT");
+  const BoxId kans = t.add_box("KANS");
+  const BoxId hous = t.add_box("HOUS");
+  const BoxId chic = t.add_box("CHIC");
+  const BoxId atla = t.add_box("ATLA");
+  const BoxId wash = t.add_box("WASH");
+  const BoxId newy = t.add_box("NEWY");
+
+  t.add_link(seat, salt);
+  t.add_link(seat, losa);
+  t.add_link(losa, salt);
+  t.add_link(losa, hous);
+  t.add_link(salt, kans);
+  t.add_link(kans, hous);
+  t.add_link(kans, chic);
+  t.add_link(hous, atla);
+  t.add_link(chic, atla);
+  t.add_link(chic, newy);
+  t.add_link(atla, wash);
+  t.add_link(newy, wash);
+  return t;
+}
+
+Topology campus_topology() {
+  Topology t;
+  const BoxId core1 = t.add_box("CORE1");
+  const BoxId core2 = t.add_box("CORE2");
+  t.add_link(core1, core2);
+  for (int z = 1; z <= 14; ++z) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "Z%02d", z);
+    const BoxId zone = t.add_box(name);
+    t.add_link(zone, core1);
+    t.add_link(zone, core2);
+  }
+  return t;
+}
+
+Topology fat_tree_topology(unsigned k) {
+  require(k >= 2 && k % 2 == 0, "fat_tree_topology: k must be even and >= 2");
+  Topology t;
+  const unsigned half = k / 2;
+  char name[24];
+
+  std::vector<BoxId> cores;
+  for (unsigned i = 0; i < half * half; ++i) {
+    std::snprintf(name, sizeof(name), "core%02u", i);
+    cores.push_back(t.add_box(name));
+  }
+  for (unsigned pod = 0; pod < k; ++pod) {
+    std::vector<BoxId> aggs;
+    for (unsigned a = 0; a < half; ++a) {
+      std::snprintf(name, sizeof(name), "p%ua%u", pod, a);
+      const BoxId agg = t.add_box(name);
+      aggs.push_back(agg);
+      // Aggregation switch a connects to cores [a*half, (a+1)*half).
+      for (unsigned c = 0; c < half; ++c) t.add_link(agg, cores[a * half + c]);
+    }
+    for (unsigned e = 0; e < half; ++e) {
+      std::snprintf(name, sizeof(name), "p%ue%u", pod, e);
+      const BoxId edge = t.add_box(name);
+      for (const BoxId agg : aggs) t.add_link(edge, agg);
+    }
+  }
+  return t;
+}
+
+}  // namespace apc::datasets

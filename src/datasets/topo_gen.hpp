@@ -1,0 +1,22 @@
+// Topology builders for the two evaluation networks (paper SS VII, Table I).
+//
+//  * abilene_topology(): the 9-router Internet2/Abilene backbone (ATLA,
+//    CHIC, HOUS, KANS, LOSA, NEWY, SALT, SEAT, WASH) with its backbone
+//    links.
+//  * campus_topology(): a Stanford-like two-level campus backbone — 2 core
+//    routers and 14 zone routers, each zone dual-homed to both cores.
+#pragma once
+
+#include "network/topology.hpp"
+
+namespace apc::datasets {
+
+Topology abilene_topology();
+Topology campus_topology();
+
+/// k-ary fat tree (data-center topology the paper's introduction motivates):
+/// (k/2)^2 core switches, k pods of k/2 aggregation + k/2 edge switches.
+/// k must be even and >= 2.  Box order: cores, then per pod aggs then edges.
+Topology fat_tree_topology(unsigned k);
+
+}  // namespace apc::datasets

@@ -1,0 +1,126 @@
+#include "datasets/traces.hpp"
+
+namespace apc::datasets {
+
+AtomReps atom_representatives(const AtomUniverse& uni, Rng& rng) {
+  AtomReps out;
+  const auto rnd = [&rng]() { return rng.next(); };
+  for (const AtomId a : uni.alive_ids()) {
+    bdd::BddManager& mgr = *uni.bdd_of(a).manager();
+    const auto bits = mgr.random_sat(uni.bdd_of(a), rnd);
+    out.atom_ids.push_back(a);
+    out.headers.push_back(PacketHeader::from_bits(bits));
+  }
+  return out;
+}
+
+std::vector<PacketHeader> uniform_trace(const AtomReps& reps, std::size_t n, Rng& rng) {
+  require(!reps.headers.empty(), "uniform_trace: no representatives");
+  std::vector<PacketHeader> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(reps.headers[rng.uniform(reps.headers.size())]);
+  return out;
+}
+
+WeightedTrace pareto_trace(const AtomReps& reps, std::size_t atom_capacity,
+                           std::size_t n, Rng& rng, double xm, double alpha) {
+  require(!reps.headers.empty(), "pareto_trace: no representatives");
+  WeightedTrace out;
+  out.atom_weights.assign(atom_capacity, 0.0);
+
+  // Per-atom popularity ~ Pareto(xm, alpha).
+  std::vector<double> pop(reps.headers.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    pop[i] = rng.pareto(xm, alpha);
+    total += pop[i];
+    out.atom_weights[reps.atom_ids[i]] = pop[i];
+  }
+
+  // Sample the trace from the popularity distribution (inverse CDF).
+  std::vector<double> cum(pop.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    acc += pop[i];
+    cum[i] = acc;
+  }
+  out.packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform01() * total;
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    const std::size_t idx =
+        it == cum.end() ? pop.size() - 1 : static_cast<std::size_t>(it - cum.begin());
+    out.packets.push_back(reps.headers[idx]);
+  }
+  return out;
+}
+
+std::vector<Ipv4Prefix> add_multicast_groups(NetworkModel& net, std::size_t groups,
+                                             Rng& rng) {
+  const Topology& topo = net.topology;
+
+  // Boxes that can deliver (have at least one host port).
+  std::vector<BoxId> candidates;
+  std::vector<std::vector<std::uint32_t>> host_ports(topo.box_count());
+  for (BoxId b = 0; b < topo.box_count(); ++b) {
+    for (std::uint32_t p = 0; p < topo.box(b).ports.size(); ++p)
+      if (topo.box(b).ports[p].kind == Port::Kind::Host) host_ports[b].push_back(p);
+    if (!host_ports[b].empty()) candidates.push_back(b);
+  }
+  require(!candidates.empty(), "add_multicast_groups: no host ports in topology");
+
+  std::vector<Ipv4Prefix> out;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const Ipv4Prefix group{0xE0000000u + static_cast<std::uint32_t>((g + 1) * 256), 32};
+    const BoxId root = candidates[rng.uniform(candidates.size())];
+
+    // 1-4 member boxes (may include the root).
+    std::vector<BoxId> members;
+    const std::size_t want = 1 + rng.uniform(std::min<std::size_t>(4, candidates.size()));
+    while (members.size() < want) {
+      const BoxId m = candidates[rng.uniform(candidates.size())];
+      bool dup = false;
+      for (const BoxId x : members) dup |= (x == m);
+      if (!dup) members.push_back(m);
+    }
+
+    // Source-rooted distribution tree: union of shortest paths root->member.
+    std::map<BoxId, std::vector<std::uint32_t>> ports_of;
+    const auto add_port = [&](BoxId b, std::uint32_t p) {
+      auto& v = ports_of[b];
+      for (const std::uint32_t x : v)
+        if (x == p) return;
+      v.push_back(p);
+    };
+    for (const BoxId m : members) {
+      add_port(m, host_ports[m][rng.uniform(host_ports[m].size())]);
+      const auto nh = topo.next_hops_toward(m);
+      BoxId cur = root;
+      while (cur != m) {
+        if (!nh[cur]) break;  // unreachable: truncate this branch
+        const std::uint32_t port = *nh[cur];
+        add_port(cur, port);
+        cur = topo.port({cur, port}).peer->box;
+      }
+    }
+    for (const auto& [box, ports] : ports_of) {
+      net.multicast[box].push_back({group, ports});
+    }
+    out.push_back(group);
+  }
+  return out;
+}
+
+std::vector<double> poisson_arrivals(double rate, double duration, Rng& rng) {
+  require(rate > 0.0 && duration > 0.0, "poisson_arrivals: bad parameters");
+  std::vector<double> out;
+  double t = rng.exponential(rate);
+  while (t < duration) {
+    out.push_back(t);
+    t += rng.exponential(rate);
+  }
+  return out;
+}
+
+}  // namespace apc::datasets

@@ -1,0 +1,52 @@
+// Packet traces and update-event streams for the experiments.
+//
+//  * Query packets are "generated randomly with respect to the atomic
+//    predicates" (paper SS VII-D): one random satisfying header per atom,
+//    sampled uniformly or by Pareto-distributed per-atom popularity
+//    (SS VII-F: x_m = 1, alpha = 1).
+//  * Data-plane change arrivals are a Poisson process (SS VII-E).
+#pragma once
+
+#include <vector>
+
+#include "ap/atoms.hpp"
+#include "network/model.hpp"
+#include "packet/header.hpp"
+#include "util/rng.hpp"
+
+namespace apc::datasets {
+
+/// One random representative packet per live atom (index-aligned with the
+/// returned atom id vector).
+struct AtomReps {
+  std::vector<AtomId> atom_ids;
+  std::vector<PacketHeader> headers;
+};
+AtomReps atom_representatives(const AtomUniverse& uni, Rng& rng);
+
+/// `n` packets sampled uniformly over the representatives.
+std::vector<PacketHeader> uniform_trace(const AtomReps& reps, std::size_t n, Rng& rng);
+
+/// A trace whose per-atom packet counts follow Pareto(xm, alpha), plus the
+/// realized per-atom weights (indexed by atom id) for distribution-aware
+/// tree construction.
+struct WeightedTrace {
+  std::vector<PacketHeader> packets;
+  std::vector<double> atom_weights;  ///< indexed by AtomId (capacity-sized)
+};
+WeightedTrace pareto_trace(const AtomReps& reps, std::size_t atom_capacity,
+                           std::size_t n, Rng& rng, double xm = 1.0,
+                           double alpha = 1.0);
+
+/// Event times of a Poisson process with `rate` events/sec over `duration`
+/// seconds.
+std::vector<double> poisson_arrivals(double rate, double duration, Rng& rng);
+
+/// Adds `groups` multicast groups (224.0.0.0/4 space) to `net`: each group
+/// gets a source-rooted distribution tree — the root replicates to a random
+/// set of member boxes along shortest paths, and each member delivers on a
+/// random host port.  Returns the group prefixes created.
+std::vector<Ipv4Prefix> add_multicast_groups(NetworkModel& net, std::size_t groups,
+                                             Rng& rng);
+
+}  // namespace apc::datasets

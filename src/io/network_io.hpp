@@ -1,0 +1,39 @@
+// Text serialization of NetworkModel — the interchange format for feeding
+// real data-plane snapshots (FIB dumps + ACLs) into AP Classifier, and for
+// persisting generated datasets.
+//
+// Line-oriented format (comments start with '#'):
+//
+//   box <name>
+//   link <boxA> <boxB>                  # creates one port on each, wired
+//   hostport <box> [name]               # edge port
+//   fib <box> <prefix> <port-index> [priority]
+//   mcast <box> <group-prefix> <port-index> [<port-index>...]
+//   acl <in|out> <box> <port-index> default <permit|deny>
+//   aclrule <in|out> <box> <port-index> <permit|deny>
+//       src <prefix> dst <prefix> sport <lo>-<hi> dport <lo>-<hi> proto <n|any>
+//
+// Port indices follow creation order (links first as listed, then host
+// ports), which round-trips with the writer.  `aclrule` lines append to the
+// ACL declared by the preceding `acl` line for the same port.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/model.hpp"
+
+namespace apc::io {
+
+/// Parses a network description; throws apc::Error with a line number on
+/// malformed input.
+NetworkModel read_network(std::istream& in);
+NetworkModel read_network_file(const std::string& path);
+NetworkModel read_network_string(const std::string& text);
+
+/// Writes a description that read_network() round-trips.
+void write_network(const NetworkModel& net, std::ostream& out);
+std::string write_network_string(const NetworkModel& net);
+void write_network_file(const NetworkModel& net, const std::string& path);
+
+}  // namespace apc::io

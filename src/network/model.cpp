@@ -1,0 +1,68 @@
+#include "network/model.hpp"
+
+namespace apc {
+
+void NetworkModel::validate() const {
+  require(fibs.size() <= topology.box_count(), "NetworkModel: more FIBs than boxes");
+  for (BoxId b = 0; b < fibs.size(); ++b) {
+    for (const auto& r : fibs[b].rules) {
+      require(r.egress_port < topology.box(b).ports.size(),
+              "NetworkModel: FIB rule references missing port");
+    }
+  }
+  for (const auto& [key, acl] : input_acls) {
+    (void)acl;
+    require(key.first < topology.box_count() &&
+                key.second < topology.box(key.first).ports.size(),
+            "NetworkModel: input ACL on missing port");
+  }
+  for (const auto& [key, acl] : output_acls) {
+    (void)acl;
+    require(key.first < topology.box_count() &&
+                key.second < topology.box(key.first).ports.size(),
+            "NetworkModel: output ACL on missing port");
+  }
+  for (const auto& [box, table] : flow_tables) {
+    require(box < topology.box_count(), "NetworkModel: flow table on missing box");
+    require(box >= fibs.size() || fibs[box].rules.empty(),
+            "NetworkModel: box has both a flow table and FIB rules");
+    for (const auto& r : table.rules) {
+      if (r.action == FlowRule::Action::Forward) {
+        require(r.egress_port < topology.box(box).ports.size(),
+                "NetworkModel: flow rule references missing port");
+      }
+      for (const auto& m : r.matches) {
+        require(m.width > 0 && m.offset + m.width <= PacketHeader::kMaxBits,
+                "NetworkModel: flow rule field out of header range");
+        require(m.kind != FieldMatch::Kind::Prefix || m.prefix_len <= m.width,
+                "NetworkModel: flow rule prefix longer than field");
+        require(m.kind != FieldMatch::Kind::Range || m.lo <= m.hi,
+                "NetworkModel: flow rule range inverted");
+      }
+    }
+  }
+  for (const auto& [box, rules] : multicast) {
+    require(box < topology.box_count(), "NetworkModel: multicast on missing box");
+    for (const auto& r : rules) {
+      require(!r.ports.empty(), "NetworkModel: multicast rule with no ports");
+      for (const std::uint32_t p : r.ports)
+        require(p < topology.box(box).ports.size(),
+                "NetworkModel: multicast rule references missing port");
+    }
+  }
+  // Link symmetry.
+  for (BoxId b = 0; b < topology.box_count(); ++b) {
+    const Box& box = topology.box(b);
+    for (std::uint32_t pi = 0; pi < box.ports.size(); ++pi) {
+      const Port& p = box.ports[pi];
+      if (p.kind != Port::Kind::Link) continue;
+      require(p.peer.has_value(), "NetworkModel: link port without peer");
+      const Port& back = topology.port(*p.peer);
+      require(back.kind == Port::Kind::Link && back.peer.has_value() &&
+                  back.peer->box == b && back.peer->port == pi,
+              "NetworkModel: asymmetric link wiring");
+    }
+  }
+}
+
+}  // namespace apc

@@ -1,0 +1,80 @@
+// NetworkModel: topology + data plane state (FIBs and ACLs per box/port).
+//
+// This is the controller's view of the network (SS III): everything the
+// classifier compiles into predicates lives here.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "network/topology.hpp"
+#include "rules/flow_rule.hpp"
+#include "rules/rules.hpp"
+
+namespace apc {
+
+/// A multicast group entry: packets matching `group` are replicated to all
+/// listed ports (paper SS IV-B: "If the packet is a multicast packet, it may
+/// be forwarded to multiple ports").  Multicast entries take precedence over
+/// the unicast FIB; within a box's list, first match wins.
+struct MulticastRule {
+  Ipv4Prefix group;                    ///< conventionally inside 224.0.0.0/4
+  std::vector<std::uint32_t> ports;    ///< replication set (box-local)
+};
+
+class NetworkModel {
+ public:
+  Topology topology;
+
+  /// FIB per box (indexed by BoxId); egress ports in rules are box-local
+  /// port indices.
+  std::vector<Fib> fibs;
+
+  /// Multicast group table per box (optional; missing boxes drop groups).
+  std::map<BoxId, std::vector<MulticastRule>> multicast;
+
+  /// OpenFlow-style flow table per box.  A box carrying one forwards with
+  /// it INSTEAD of its FIB (which must then be empty — validate() enforces
+  /// the exclusivity so semantics stay unambiguous).
+  std::map<BoxId, FlowTable> flow_tables;
+
+  /// Optional ACL guarding a port's *input* (packets arriving on it).
+  std::map<std::pair<BoxId, std::uint32_t>, Acl> input_acls;
+  /// Optional ACL guarding a port's *output* (packets leaving on it).
+  std::map<std::pair<BoxId, std::uint32_t>, Acl> output_acls;
+
+  void ensure_fibs() { fibs.resize(topology.box_count()); }
+
+  Fib& fib(BoxId b) {
+    ensure_fibs();
+    return fibs[b];
+  }
+  const Fib& fib(BoxId b) const { return fibs.at(b); }
+
+  const Acl* input_acl(BoxId b, std::uint32_t port) const {
+    const auto it = input_acls.find({b, port});
+    return it == input_acls.end() ? nullptr : &it->second;
+  }
+  const Acl* output_acl(BoxId b, std::uint32_t port) const {
+    const auto it = output_acls.find({b, port});
+    return it == output_acls.end() ? nullptr : &it->second;
+  }
+
+  std::size_t total_forwarding_rules() const {
+    std::size_t n = 0;
+    for (const auto& f : fibs) n += f.size();
+    for (const auto& [b, t] : flow_tables) n += t.size();
+    return n;
+  }
+  std::size_t total_acl_rules() const {
+    std::size_t n = 0;
+    for (const auto& [k, a] : input_acls) n += a.size();
+    for (const auto& [k, a] : output_acls) n += a.size();
+    return n;
+  }
+
+  /// Sanity checks: rules reference existing ports, links are symmetric.
+  void validate() const;
+};
+
+}  // namespace apc

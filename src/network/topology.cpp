@@ -1,0 +1,108 @@
+#include "network/topology.hpp"
+
+#include <deque>
+#include <sstream>
+
+namespace apc {
+
+BoxId Topology::add_box(const std::string& name) {
+  boxes_.push_back(Box{name, {}});
+  return static_cast<BoxId>(boxes_.size() - 1);
+}
+
+std::pair<PortId, PortId> Topology::add_link(BoxId a, BoxId b) {
+  require(a < boxes_.size() && b < boxes_.size(), "Topology::add_link: bad box id");
+  require(a != b, "Topology::add_link: self-loop");
+  const PortId pa{a, static_cast<std::uint32_t>(boxes_[a].ports.size())};
+  const PortId pb{b, static_cast<std::uint32_t>(boxes_[b].ports.size())};
+  boxes_[a].ports.push_back({Port::Kind::Link, pb, "to_" + boxes_[b].name});
+  boxes_[b].ports.push_back({Port::Kind::Link, pa, "to_" + boxes_[a].name});
+  return {pa, pb};
+}
+
+PortId Topology::add_host_port(BoxId box, const std::string& name) {
+  require(box < boxes_.size(), "Topology::add_host_port: bad box id");
+  const PortId p{box, static_cast<std::uint32_t>(boxes_[box].ports.size())};
+  boxes_[box].ports.push_back(
+      {Port::Kind::Host, std::nullopt, name.empty() ? "host" + std::to_string(p.port) : name});
+  return p;
+}
+
+const Box& Topology::box(BoxId id) const {
+  require(id < boxes_.size(), "Topology::box: bad id");
+  return boxes_[id];
+}
+
+const Port& Topology::port(PortId id) const {
+  const Box& b = box(id.box);
+  require(id.port < b.ports.size(), "Topology::port: bad port index");
+  return b.ports[id.port];
+}
+
+BoxId Topology::find_box(const std::string& name) const {
+  for (BoxId i = 0; i < boxes_.size(); ++i)
+    if (boxes_[i].name == name) return i;
+  throw Error("Topology::find_box: no box named " + name);
+}
+
+std::optional<BoxId> Topology::next_box(PortId out) const {
+  const Port& p = port(out);
+  if (p.kind != Port::Kind::Link) return std::nullopt;
+  return p.peer->box;
+}
+
+std::vector<std::optional<std::uint32_t>> Topology::next_hops_toward(BoxId target) const {
+  require(target < boxes_.size(), "next_hops_toward: bad target");
+  std::vector<std::optional<std::uint32_t>> out(boxes_.size());
+  std::vector<bool> visited(boxes_.size(), false);
+  std::deque<BoxId> queue{target};
+  visited[target] = true;
+  while (!queue.empty()) {
+    const BoxId cur = queue.front();
+    queue.pop_front();
+    // Explore neighbors of cur; a neighbor's next hop toward target is its
+    // port to cur (first time it is discovered = shortest path).
+    for (std::uint32_t pi = 0; pi < boxes_[cur].ports.size(); ++pi) {
+      const Port& p = boxes_[cur].ports[pi];
+      if (p.kind != Port::Kind::Link) continue;
+      const BoxId nb = p.peer->box;
+      if (visited[nb]) continue;
+      visited[nb] = true;
+      out[nb] = p.peer->port;  // nb's port toward cur
+      queue.push_back(nb);
+    }
+  }
+  return out;
+}
+
+std::size_t Topology::total_ports() const {
+  std::size_t n = 0;
+  for (const auto& b : boxes_) n += b.ports.size();
+  return n;
+}
+
+std::string Topology::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "graph " << name << " {\n  node [shape=box];\n";
+  for (const Box& b : boxes_) os << "  \"" << b.name << "\";\n";
+  std::size_t hosts = 0;
+  for (BoxId b = 0; b < boxes_.size(); ++b) {
+    for (std::uint32_t pi = 0; pi < boxes_[b].ports.size(); ++pi) {
+      const Port& p = boxes_[b].ports[pi];
+      if (p.kind == Port::Kind::Link) {
+        if (p.peer->box > b || (p.peer->box == b && p.peer->port > pi)) {
+          os << "  \"" << boxes_[b].name << "\" -- \"" << boxes_[p.peer->box].name
+             << "\";\n";
+        }
+      } else {
+        os << "  h" << hosts << " [shape=ellipse,label=\"" << p.name << "\"];\n";
+        os << "  \"" << boxes_[b].name << "\" -- h" << hosts << ";\n";
+        ++hosts;
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace apc

@@ -1,0 +1,76 @@
+// Network topology: boxes (routers/switches/middleboxes), ports, and links.
+//
+// The paper models the network as a directed graph of boxes whose ports are
+// guarded by ACLs and whose forwarding tables decide the egress port
+// (SS III).  A port is either an internal port wired to a peer box or an
+// edge (host-facing) port where delivery terminates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace apc {
+
+using BoxId = std::uint32_t;
+
+/// Identifies a port on a specific box.
+struct PortId {
+  BoxId box = 0;
+  std::uint32_t port = 0;
+  bool operator==(const PortId&) const = default;
+};
+
+struct Port {
+  enum class Kind : std::uint8_t { Link, Host };
+  Kind kind = Kind::Host;
+  /// Peer port for Kind::Link (the port on the adjacent box this wire
+  /// terminates at); unset for host ports.
+  std::optional<PortId> peer;
+  std::string name;
+};
+
+struct Box {
+  std::string name;
+  std::vector<Port> ports;
+};
+
+class Topology {
+ public:
+  BoxId add_box(const std::string& name);
+
+  /// Adds a bidirectional link: creates one port on each box, wired
+  /// together.  Returns the pair of new port ids (a-side, b-side).
+  std::pair<PortId, PortId> add_link(BoxId a, BoxId b);
+
+  /// Adds a host-facing (edge) port.
+  PortId add_host_port(BoxId box, const std::string& name = "");
+
+  std::size_t box_count() const { return boxes_.size(); }
+  const Box& box(BoxId id) const;
+  const Port& port(PortId id) const;
+  const std::vector<Box>& boxes() const { return boxes_; }
+
+  BoxId find_box(const std::string& name) const;
+
+  /// Next hop box for a link port; nullopt for host ports.
+  std::optional<BoxId> next_box(PortId out) const;
+
+  /// BFS shortest-path next-hop ports: result[b] is the egress port on box b
+  /// toward `target` (result[target] is unset).  Unreachable boxes unset.
+  std::vector<std::optional<std::uint32_t>> next_hops_toward(BoxId target) const;
+
+  /// Total number of ports across all boxes.
+  std::size_t total_ports() const;
+
+  /// Graphviz rendering of the topology (boxes, links, host ports).
+  std::string to_dot(const std::string& name = "topology") const;
+
+ private:
+  std::vector<Box> boxes_;
+};
+
+}  // namespace apc

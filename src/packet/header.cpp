@@ -1,0 +1,78 @@
+#include "packet/header.hpp"
+
+#include <sstream>
+
+#include "packet/ipv4.hpp"
+
+namespace apc {
+
+HeaderLayout::HeaderLayout(std::vector<HeaderField> fields) : fields_(std::move(fields)) {
+  std::uint32_t expect = 0;
+  for (const auto& f : fields_) {
+    require(f.offset == expect, "HeaderLayout: fields must be contiguous");
+    require(f.width > 0 && f.width <= 64, "HeaderLayout: bad field width");
+    expect += f.width;
+  }
+  num_bits_ = expect;
+  require(num_bits_ > 0 && num_bits_ <= PacketHeader::kMaxBits, "HeaderLayout: header exceeds PacketHeader capacity");
+}
+
+HeaderLayout HeaderLayout::five_tuple() {
+  return HeaderLayout({{"dst_ip", kDstIp, 32},
+                       {"src_ip", kSrcIp, 32},
+                       {"dst_port", kDstPort, 16},
+                       {"src_port", kSrcPort, 16},
+                       {"proto", kProto, 8}});
+}
+
+const HeaderField& HeaderLayout::field(const std::string& name) const {
+  for (const auto& f : fields_)
+    if (f.name == name) return f;
+  throw Error("HeaderLayout: unknown field " + name);
+}
+
+void PacketHeader::set_field(std::uint32_t offset, std::uint32_t width,
+                             std::uint64_t value) {
+  require(offset + width <= kMaxBits, "PacketHeader::set_field out of range");
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const bool bit = (value >> (width - 1 - i)) & 1;
+    set_bit(offset + i, bit);
+  }
+}
+
+std::uint64_t PacketHeader::field(std::uint32_t offset, std::uint32_t width) const {
+  require(offset + width <= kMaxBits, "PacketHeader::field out of range");
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    v = (v << 1) | static_cast<std::uint64_t>(bit(offset + i));
+  }
+  return v;
+}
+
+PacketHeader PacketHeader::from_five_tuple(std::uint32_t src_ip, std::uint32_t dst_ip,
+                                           std::uint16_t src_port,
+                                           std::uint16_t dst_port, std::uint8_t proto) {
+  PacketHeader h;
+  h.set_src_ip(src_ip);
+  h.set_dst_ip(dst_ip);
+  h.set_src_port(src_port);
+  h.set_dst_port(dst_port);
+  h.set_proto(proto);
+  return h;
+}
+
+PacketHeader PacketHeader::from_bits(const std::vector<std::uint8_t>& bits) {
+  require(bits.size() <= kMaxBits, "PacketHeader::from_bits too many bits");
+  PacketHeader h;
+  for (std::uint32_t i = 0; i < bits.size(); ++i) h.set_bit(i, bits[i] != 0);
+  return h;
+}
+
+std::string PacketHeader::to_string() const {
+  std::ostringstream os;
+  os << format_ipv4(src_ip()) << ":" << src_port() << " -> " << format_ipv4(dst_ip())
+     << ":" << dst_port() << " proto=" << static_cast<int>(proto());
+  return os.str();
+}
+
+}  // namespace apc

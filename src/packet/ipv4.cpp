@@ -1,0 +1,61 @@
+#include "packet/ipv4.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace apc {
+
+namespace {
+std::uint32_t parse_u32(std::string_view s, std::uint32_t max, const char* what) {
+  std::uint32_t v = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  require(ec == std::errc{} && ptr == end && v <= max, what);
+  return v;
+}
+}  // namespace
+
+std::uint32_t parse_ipv4(std::string_view s) {
+  std::uint32_t out = 0;
+  int octets = 0;
+  while (octets < 4) {
+    const std::size_t dot = s.find('.');
+    const std::string_view part = octets == 3 ? s : s.substr(0, dot);
+    require(octets == 3 || dot != std::string_view::npos, "parse_ipv4: malformed address");
+    require(!part.empty(), "parse_ipv4: empty octet");
+    out = (out << 8) | parse_u32(part, 255, "parse_ipv4: octet out of range");
+    if (octets < 3) s.remove_prefix(dot + 1);
+    ++octets;
+  }
+  return out;
+}
+
+Ipv4Prefix parse_prefix(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  Ipv4Prefix p;
+  if (slash == std::string_view::npos) {
+    p.addr = parse_ipv4(s);
+    p.len = 32;
+  } else {
+    p.addr = parse_ipv4(s.substr(0, slash));
+    p.len = static_cast<std::uint8_t>(
+        parse_u32(s.substr(slash + 1), 32, "parse_prefix: bad length"));
+  }
+  return p.normalized();
+}
+
+std::string format_ipv4(std::uint32_t addr) {
+  std::ostringstream os;
+  os << ((addr >> 24) & 255) << '.' << ((addr >> 16) & 255) << '.' << ((addr >> 8) & 255)
+     << '.' << (addr & 255);
+  return os.str();
+}
+
+std::string format_prefix(const Ipv4Prefix& p) {
+  return format_ipv4(p.addr) + "/" + std::to_string(p.len);
+}
+
+}  // namespace apc

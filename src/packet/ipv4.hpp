@@ -1,0 +1,46 @@
+// IPv4 address / prefix parsing and formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace apc {
+
+/// An IPv4 prefix: the top `len` bits of `addr` are significant.
+struct Ipv4Prefix {
+  std::uint32_t addr = 0;
+  std::uint8_t len = 0;
+
+  /// True iff `ip` falls inside this prefix.
+  bool contains(std::uint32_t ip) const {
+    if (len == 0) return true;
+    const std::uint32_t mask = len >= 32 ? 0xFFFFFFFFu : ~(0xFFFFFFFFu >> len);
+    return (ip & mask) == (addr & mask);
+  }
+  /// True iff `other` is fully inside this prefix.
+  bool covers(const Ipv4Prefix& other) const {
+    return other.len >= len && contains(other.addr);
+  }
+  /// Canonical form (host bits zeroed).
+  Ipv4Prefix normalized() const {
+    Ipv4Prefix p = *this;
+    const std::uint32_t mask = len == 0 ? 0 : (len >= 32 ? 0xFFFFFFFFu : ~(0xFFFFFFFFu >> len));
+    p.addr &= mask;
+    return p;
+  }
+  bool operator==(const Ipv4Prefix& other) const {
+    const Ipv4Prefix a = normalized(), b = other.normalized();
+    return a.addr == b.addr && a.len == b.len;
+  }
+};
+
+/// Parses "a.b.c.d"; throws apc::Error on malformed input.
+std::uint32_t parse_ipv4(std::string_view s);
+/// Parses "a.b.c.d/len" (or bare address = /32).
+Ipv4Prefix parse_prefix(std::string_view s);
+
+std::string format_ipv4(std::uint32_t addr);
+std::string format_prefix(const Ipv4Prefix& p);
+
+}  // namespace apc

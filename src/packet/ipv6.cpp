@@ -1,0 +1,260 @@
+#include "packet/ipv6.hpp"
+
+#include <sstream>
+
+#include "packet/ipv4.hpp"
+#include "util/error.hpp"
+
+namespace apc {
+
+std::uint64_t Ipv6Addr::hi() const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[i];
+  return v;
+}
+
+std::uint64_t Ipv6Addr::lo() const {
+  std::uint64_t v = 0;
+  for (int i = 8; i < 16; ++i) v = (v << 8) | bytes[i];
+  return v;
+}
+
+Ipv6Addr Ipv6Addr::from_words(std::uint64_t hi, std::uint64_t lo) {
+  Ipv6Addr a;
+  for (int i = 0; i < 8; ++i) a.bytes[i] = static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+  for (int i = 0; i < 8; ++i)
+    a.bytes[8 + i] = static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+  return a;
+}
+
+namespace {
+
+std::uint16_t parse_group(std::string_view g) {
+  require(!g.empty() && g.size() <= 4, "parse_ipv6: bad group length");
+  std::uint16_t v = 0;
+  for (const char c : g) {
+    std::uint16_t d;
+    if (c >= '0' && c <= '9') d = static_cast<std::uint16_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') d = static_cast<std::uint16_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') d = static_cast<std::uint16_t>(c - 'A' + 10);
+    else throw Error("parse_ipv6: bad hex digit");
+    v = static_cast<std::uint16_t>((v << 4) | d);
+  }
+  return v;
+}
+
+std::vector<std::string_view> split_colons(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(':', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+Ipv6Addr parse_ipv6(std::string_view s) {
+  require(!s.empty(), "parse_ipv6: empty address");
+
+  // Locate the (at most one) "::".
+  const std::size_t dc = s.find("::");
+  require(dc == std::string_view::npos || s.find("::", dc + 1) == std::string_view::npos,
+          "parse_ipv6: more than one ::");
+
+  std::string_view left_s = dc == std::string_view::npos ? s : s.substr(0, dc);
+  std::string_view right_s = dc == std::string_view::npos
+                                 ? std::string_view{}
+                                 : s.substr(dc + 2);
+
+  const auto parse_side = [](std::string_view side) {
+    std::vector<std::uint16_t> groups;
+    if (side.empty()) return groups;
+    const auto toks = split_colons(side);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      // Embedded IPv4 must be the final token.
+      if (toks[i].find('.') != std::string_view::npos) {
+        require(i + 1 == toks.size(), "parse_ipv6: embedded IPv4 not at the end");
+        const std::uint32_t v4 = parse_ipv4(toks[i]);
+        groups.push_back(static_cast<std::uint16_t>(v4 >> 16));
+        groups.push_back(static_cast<std::uint16_t>(v4 & 0xFFFF));
+      } else {
+        groups.push_back(parse_group(toks[i]));
+      }
+    }
+    return groups;
+  };
+
+  const std::vector<std::uint16_t> left = parse_side(left_s);
+  const std::vector<std::uint16_t> right = parse_side(right_s);
+
+  std::vector<std::uint16_t> groups;
+  if (dc == std::string_view::npos) {
+    groups = left;
+    require(groups.size() == 8, "parse_ipv6: expected 8 groups");
+  } else {
+    require(left.size() + right.size() <= 7, "parse_ipv6: :: expands to nothing");
+    groups = left;
+    groups.insert(groups.end(), 8 - left.size() - right.size(), 0);
+    groups.insert(groups.end(), right.begin(), right.end());
+  }
+
+  Ipv6Addr a;
+  for (int i = 0; i < 8; ++i) {
+    a.bytes[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    a.bytes[2 * i + 1] = static_cast<std::uint8_t>(groups[i] & 0xFF);
+  }
+  return a;
+}
+
+std::string format_ipv6(const Ipv6Addr& a) {
+  std::array<std::uint16_t, 8> groups;
+  for (int i = 0; i < 8; ++i)
+    groups[i] = static_cast<std::uint16_t>((a.bytes[2 * i] << 8) | a.bytes[2 * i + 1]);
+
+  // Longest run of >= 2 zero groups (RFC 5952: leftmost on ties).
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::ostringstream os;
+  os << std::hex << std::nouppercase;
+  int i = 0;
+  while (i < 8) {
+    if (i == best_start) {
+      os << "::";
+      i += best_len;
+      continue;
+    }
+    os << groups[i];
+    ++i;
+    if (i < 8 && i != best_start) os << ":";
+  }
+  return os.str();
+}
+
+bool Ipv6Prefix::contains(const Ipv6Addr& a) const {
+  std::uint8_t remaining = len;
+  for (int i = 0; i < 16 && remaining > 0; ++i) {
+    const std::uint8_t take = remaining >= 8 ? 8 : remaining;
+    const std::uint8_t mask = static_cast<std::uint8_t>(0xFF << (8 - take));
+    if ((addr.bytes[i] & mask) != (a.bytes[i] & mask)) return false;
+    remaining = static_cast<std::uint8_t>(remaining - take);
+  }
+  return true;
+}
+
+Ipv6Prefix Ipv6Prefix::normalized() const {
+  Ipv6Prefix p = *this;
+  std::uint8_t remaining = len;
+  for (int i = 0; i < 16; ++i) {
+    if (remaining >= 8) {
+      remaining = static_cast<std::uint8_t>(remaining - 8);
+    } else {
+      const std::uint8_t mask = static_cast<std::uint8_t>(0xFF << (8 - remaining));
+      p.addr.bytes[i] &= mask;
+      remaining = 0;
+    }
+  }
+  return p;
+}
+
+Ipv6Prefix parse_ipv6_prefix(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  Ipv6Prefix p;
+  if (slash == std::string_view::npos) {
+    p.addr = parse_ipv6(s);
+    p.len = 128;
+  } else {
+    p.addr = parse_ipv6(s.substr(0, slash));
+    const std::string_view len_s = s.substr(slash + 1);
+    require(!len_s.empty() && len_s.size() <= 3, "parse_ipv6_prefix: bad length");
+    int v = 0;
+    for (const char c : len_s) {
+      require(c >= '0' && c <= '9', "parse_ipv6_prefix: bad length");
+      v = v * 10 + (c - '0');
+    }
+    require(v <= 128, "parse_ipv6_prefix: length > 128");
+    p.len = static_cast<std::uint8_t>(v);
+  }
+  return p.normalized();
+}
+
+std::string format_ipv6_prefix(const Ipv6Prefix& p) {
+  return format_ipv6(p.addr) + "/" + std::to_string(p.len);
+}
+
+HeaderLayout Ipv6Layout::layout() {
+  return HeaderLayout({{"dst_ip6", kDst, 64},
+                       {"dst_ip6_lo", kDst + 64, 64},
+                       {"src_ip6", kSrc, 64},
+                       {"src_ip6_lo", kSrc + 64, 64},
+                       {"dst_port", kDstPort, 16},
+                       {"src_port", kSrcPort, 16},
+                       {"proto", kProto, 8}});
+}
+
+PacketHeader ipv6_header(const Ipv6Addr& src, const Ipv6Addr& dst,
+                         std::uint16_t src_port, std::uint16_t dst_port,
+                         std::uint8_t proto) {
+  PacketHeader h;
+  h.set_field(Ipv6Layout::kDst, 64, dst.hi());
+  h.set_field(Ipv6Layout::kDst + 64, 64, dst.lo());
+  h.set_field(Ipv6Layout::kSrc, 64, src.hi());
+  h.set_field(Ipv6Layout::kSrc + 64, 64, src.lo());
+  h.set_field(Ipv6Layout::kDstPort, 16, dst_port);
+  h.set_field(Ipv6Layout::kSrcPort, 16, src_port);
+  h.set_field(Ipv6Layout::kProto, 8, proto);
+  return h;
+}
+
+namespace {
+std::vector<FieldMatch> ipv6_prefix_match(std::uint32_t base, const Ipv6Prefix& p) {
+  std::vector<FieldMatch> out;
+  const Ipv6Prefix n = p.normalized();
+  FieldMatch hi;
+  hi.offset = base;
+  hi.width = 64;
+  hi.kind = FieldMatch::Kind::Prefix;
+  hi.value = n.addr.hi();
+  hi.prefix_len = std::min<std::uint32_t>(n.len, 64);
+  if (hi.prefix_len > 0) out.push_back(hi);
+  if (n.len > 64) {
+    FieldMatch lo;
+    lo.offset = base + 64;
+    lo.width = 64;
+    lo.kind = FieldMatch::Kind::Prefix;
+    lo.value = n.addr.lo();
+    lo.prefix_len = n.len - 64;
+    out.push_back(lo);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<FieldMatch> ipv6_dst_match(const Ipv6Prefix& p) {
+  return ipv6_prefix_match(Ipv6Layout::kDst, p);
+}
+
+std::vector<FieldMatch> ipv6_src_match(const Ipv6Prefix& p) {
+  return ipv6_prefix_match(Ipv6Layout::kSrc, p);
+}
+
+}  // namespace apc

@@ -1,0 +1,77 @@
+// IPv6 addresses, prefixes, and the IPv6 five-tuple header layout.
+//
+// The AP Classifier pipeline is field-agnostic (predicates are BDDs over
+// header bits), so IPv6 support is a layout plus match helpers: the
+// 296-bit five-tuple layout below, RFC 4291 address parsing with RFC 5952
+// canonical formatting, and FieldMatch builders for OpenFlow-style flow
+// tables (the forwarding state type used for IPv6 networks; the
+// IPv4-specific Fib/Acl types are unaffected).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "packet/header.hpp"
+#include "rules/flow_rule.hpp"
+
+namespace apc {
+
+/// An IPv6 address, network byte order.
+struct Ipv6Addr {
+  std::array<std::uint8_t, 16> bytes{};
+
+  std::uint64_t hi() const;  ///< first 64 bits, MSB-first
+  std::uint64_t lo() const;  ///< last 64 bits, MSB-first
+  static Ipv6Addr from_words(std::uint64_t hi, std::uint64_t lo);
+
+  bool operator==(const Ipv6Addr&) const = default;
+};
+
+/// Parses RFC 4291 text forms: full, "::"-compressed, and the embedded-IPv4
+/// tail ("::ffff:192.0.2.1").  Throws apc::Error on malformed input.
+Ipv6Addr parse_ipv6(std::string_view s);
+
+/// RFC 5952 canonical form: lowercase hex, longest zero run compressed.
+std::string format_ipv6(const Ipv6Addr& a);
+
+/// An IPv6 prefix: top `len` bits of `addr` significant.
+struct Ipv6Prefix {
+  Ipv6Addr addr;
+  std::uint8_t len = 0;
+
+  bool contains(const Ipv6Addr& a) const;
+  Ipv6Prefix normalized() const;  ///< host bits zeroed
+  bool operator==(const Ipv6Prefix&) const = default;
+};
+
+/// Parses "addr/len" (bare address = /128).
+Ipv6Prefix parse_ipv6_prefix(std::string_view s);
+std::string format_ipv6_prefix(const Ipv6Prefix& p);
+
+/// IPv6 five-tuple layout: dst(128) | src(128) | dst_port(16) | src_port(16)
+/// | proto(8) = 296 bits.  Use a BddManager(kIpv6Bits) with it.
+struct Ipv6Layout {
+  static constexpr std::uint32_t kDst = 0;
+  static constexpr std::uint32_t kSrc = 128;
+  static constexpr std::uint32_t kDstPort = 256;
+  static constexpr std::uint32_t kSrcPort = 272;
+  static constexpr std::uint32_t kProto = 288;
+  static constexpr std::uint32_t kBits = 296;
+
+  static HeaderLayout layout();
+};
+
+/// Header for an IPv6 five-tuple.
+PacketHeader ipv6_header(const Ipv6Addr& src, const Ipv6Addr& dst,
+                         std::uint16_t src_port, std::uint16_t dst_port,
+                         std::uint8_t proto);
+
+/// Flow-rule matches for an IPv6 prefix on the dst/src field (one or two
+/// FieldMatch entries, since a 128-bit prefix spans two 64-bit halves).
+std::vector<FieldMatch> ipv6_dst_match(const Ipv6Prefix& p);
+std::vector<FieldMatch> ipv6_src_match(const Ipv6Prefix& p);
+
+}  // namespace apc

@@ -1,0 +1,125 @@
+#include "rules/compiler.hpp"
+
+#include <algorithm>
+
+namespace apc {
+
+bdd::Bdd prefix_predicate(bdd::BddManager& mgr, std::uint32_t field_offset,
+                          const Ipv4Prefix& prefix) {
+  std::vector<std::pair<std::uint32_t, bool>> lits;
+  lits.reserve(prefix.len);
+  for (std::uint32_t i = 0; i < prefix.len; ++i) {
+    const bool bit = (prefix.addr >> (31 - i)) & 1;
+    lits.emplace_back(field_offset + i, bit);
+  }
+  return mgr.cube(lits);
+}
+
+bdd::Bdd acl_rule_predicate(bdd::BddManager& mgr, const AclRule& rule) {
+  bdd::Bdd m = prefix_predicate(mgr, HeaderLayout::kSrcIp, rule.src);
+  if (rule.dst.len > 0) m = m & prefix_predicate(mgr, HeaderLayout::kDstIp, rule.dst);
+  if (!rule.src_port.is_wildcard())
+    m = m & mgr.in_range(HeaderLayout::kSrcPort, 16, rule.src_port.lo, rule.src_port.hi);
+  if (!rule.dst_port.is_wildcard())
+    m = m & mgr.in_range(HeaderLayout::kDstPort, 16, rule.dst_port.lo, rule.dst_port.hi);
+  if (rule.proto) m = m & mgr.equals(HeaderLayout::kProto, 8, *rule.proto);
+  return m;
+}
+
+std::map<std::uint32_t, bdd::Bdd> compile_fib(bdd::BddManager& mgr, const Fib& fib) {
+  // Stable-sort rules by descending priority; equal-priority rules follow
+  // insertion order (matching a real FIB where equal-length prefixes are
+  // disjoint anyway).
+  std::vector<const ForwardingRule*> order;
+  order.reserve(fib.rules.size());
+  for (const auto& r : fib.rules) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const ForwardingRule* a, const ForwardingRule* b) {
+                     return a->effective_priority() > b->effective_priority();
+                   });
+
+  std::map<std::uint32_t, bdd::Bdd> port_pred;
+  bdd::Bdd matched = mgr.bdd_false();
+  for (const ForwardingRule* r : order) {
+    const bdd::Bdd match = prefix_predicate(mgr, HeaderLayout::kDstIp, r->dst);
+    const bdd::Bdd effective = match.minus(matched);
+    if (effective.is_false()) continue;
+    auto it = port_pred.find(r->egress_port);
+    if (it == port_pred.end()) {
+      port_pred.emplace(r->egress_port, effective);
+    } else {
+      it->second = it->second | effective;
+    }
+    matched = matched | match;
+  }
+  return port_pred;
+}
+
+bdd::Bdd flow_rule_predicate(bdd::BddManager& mgr, const FlowRule& rule) {
+  bdd::Bdd m = mgr.bdd_true();
+  for (const FieldMatch& f : rule.matches) {
+    switch (f.kind) {
+      case FieldMatch::Kind::Exact:
+        m = m & mgr.equals(f.offset, f.width, f.value);
+        break;
+      case FieldMatch::Kind::Prefix: {
+        std::vector<std::pair<std::uint32_t, bool>> lits;
+        for (std::uint32_t i = 0; i < f.prefix_len; ++i) {
+          const bool bit = (f.value >> (f.width - 1 - i)) & 1;
+          lits.emplace_back(f.offset + i, bit);
+        }
+        m = m & mgr.cube(lits);
+        break;
+      }
+      case FieldMatch::Kind::Range:
+        m = m & mgr.in_range(f.offset, f.width, f.lo, f.hi);
+        break;
+    }
+  }
+  return m;
+}
+
+std::map<std::uint32_t, bdd::Bdd> compile_flow_table(bdd::BddManager& mgr,
+                                                     const FlowTable& table) {
+  std::vector<const FlowRule*> order;
+  order.reserve(table.rules.size());
+  for (const auto& r : table.rules) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const FlowRule* a, const FlowRule* b) {
+                     return a->priority > b->priority;
+                   });
+
+  std::map<std::uint32_t, bdd::Bdd> port_pred;
+  bdd::Bdd matched = mgr.bdd_false();
+  for (const FlowRule* r : order) {
+    const bdd::Bdd match = flow_rule_predicate(mgr, *r);
+    const bdd::Bdd effective = match.minus(matched);
+    if (effective.is_false()) continue;
+    if (r->action == FlowRule::Action::Forward) {
+      const auto it = port_pred.find(r->egress_port);
+      if (it == port_pred.end())
+        port_pred.emplace(r->egress_port, effective);
+      else
+        it->second = it->second | effective;
+    }
+    matched = matched | match;  // Drop rules also consume matched space
+  }
+  return port_pred;
+}
+
+bdd::Bdd compile_acl(bdd::BddManager& mgr, const Acl& acl) {
+  bdd::Bdd permitted = mgr.bdd_false();
+  bdd::Bdd matched = mgr.bdd_false();
+  for (const auto& r : acl.rules) {
+    const bdd::Bdd match = acl_rule_predicate(mgr, r);
+    const bdd::Bdd effective = match.minus(matched);
+    if (effective.is_false()) continue;
+    if (r.action == AclRule::Action::Permit) permitted = permitted | effective;
+    matched = matched | match;
+  }
+  if (acl.default_action == AclRule::Action::Permit)
+    permitted = permitted | (!matched);
+  return permitted;
+}
+
+}  // namespace apc

@@ -1,0 +1,46 @@
+// Rule -> predicate compiler (the algorithm of AP Verifier, paper SS III).
+//
+// For a forwarding table, each output port's predicate is the set of packets
+// the box forwards to that port after longest-prefix-match resolution:
+// processing rules in descending priority, a rule's *effective* match is its
+// match minus everything already matched by higher-priority rules.
+//
+// For an ACL, the predicate is the set of packets the ACL permits under
+// first-match semantics.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "packet/header.hpp"
+#include "rules/flow_rule.hpp"
+#include "rules/rules.hpp"
+
+namespace apc {
+
+/// BDD for "dst_ip (or src_ip) is inside `prefix`".
+bdd::Bdd prefix_predicate(bdd::BddManager& mgr, std::uint32_t field_offset,
+                          const Ipv4Prefix& prefix);
+
+/// BDD for the match condition of one ACL rule (all five fields).
+bdd::Bdd acl_rule_predicate(bdd::BddManager& mgr, const AclRule& rule);
+
+/// Compiles a FIB into per-port forwarding predicates.
+/// Returns port index -> predicate; ports with no effectively-matching rule
+/// are absent.  The predicates of distinct ports are pairwise disjoint, and
+/// their union is the set of packets the box forwards at all.
+std::map<std::uint32_t, bdd::Bdd> compile_fib(bdd::BddManager& mgr, const Fib& fib);
+
+/// Compiles an ACL into a single "permitted" predicate.
+bdd::Bdd compile_acl(bdd::BddManager& mgr, const Acl& acl);
+
+/// BDD for the match condition of one OpenFlow-style flow rule.
+bdd::Bdd flow_rule_predicate(bdd::BddManager& mgr, const FlowRule& rule);
+
+/// Compiles a flow table into per-port forwarding predicates (priority
+/// resolved; Drop rules consume matched space without forwarding).
+std::map<std::uint32_t, bdd::Bdd> compile_flow_table(bdd::BddManager& mgr,
+                                                     const FlowTable& table);
+
+}  // namespace apc

@@ -1,0 +1,74 @@
+#include "rules/flow_rule.hpp"
+
+#include "util/error.hpp"
+
+namespace apc {
+
+bool FieldMatch::matches(const PacketHeader& h) const {
+  const std::uint64_t v = h.field(offset, width);
+  switch (kind) {
+    case Kind::Exact:
+      return v == value;
+    case Kind::Prefix: {
+      if (prefix_len == 0) return true;
+      const std::uint32_t shift = width - prefix_len;
+      return (v >> shift) == (value >> shift);
+    }
+    case Kind::Range:
+      return v >= lo && v <= hi;
+  }
+  return false;
+}
+
+FieldMatch FieldMatch::dst_prefix(const Ipv4Prefix& p) {
+  FieldMatch m;
+  m.offset = HeaderLayout::kDstIp;
+  m.width = 32;
+  m.kind = Kind::Prefix;
+  m.value = p.normalized().addr;
+  m.prefix_len = p.len;
+  return m;
+}
+
+FieldMatch FieldMatch::src_prefix(const Ipv4Prefix& p) {
+  FieldMatch m = dst_prefix(p);
+  m.offset = HeaderLayout::kSrcIp;
+  return m;
+}
+
+FieldMatch FieldMatch::dst_port_range(std::uint16_t lo, std::uint16_t hi) {
+  require(lo <= hi, "FieldMatch::dst_port_range: inverted range");
+  FieldMatch m;
+  m.offset = HeaderLayout::kDstPort;
+  m.width = 16;
+  m.kind = Kind::Range;
+  m.lo = lo;
+  m.hi = hi;
+  return m;
+}
+
+FieldMatch FieldMatch::src_port_range(std::uint16_t lo, std::uint16_t hi) {
+  FieldMatch m = dst_port_range(lo, hi);
+  m.offset = HeaderLayout::kSrcPort;
+  return m;
+}
+
+FieldMatch FieldMatch::proto(std::uint8_t p) {
+  FieldMatch m;
+  m.offset = HeaderLayout::kProto;
+  m.width = 8;
+  m.kind = Kind::Exact;
+  m.value = p;
+  return m;
+}
+
+const FlowRule* FlowTable::lookup(const PacketHeader& h) const {
+  const FlowRule* best = nullptr;
+  for (const auto& r : rules) {
+    if (best && r.priority <= best->priority) continue;  // stable tie-break
+    if (r.matches_packet(h)) best = &r;
+  }
+  return best;
+}
+
+}  // namespace apc

@@ -1,0 +1,70 @@
+// OpenFlow-style flow rules: priority-ordered, multi-field match entries
+// (paper SS I: the controller "specifies forwarding actions of packets by
+// writing directly into flow tables in each box in the form of rules,
+// through a standard API such as OpenFlow").
+//
+// A box carrying a FlowTable uses it instead of a destination-prefix FIB;
+// the rule->predicate compiler resolves priorities exactly like the FIB
+// path, so the rest of the system (atoms, AP Tree, behavior walk) is
+// oblivious to which table type produced a predicate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "packet/header.hpp"
+#include "packet/ipv4.hpp"
+#include "rules/rules.hpp"
+
+namespace apc {
+
+/// A match on one header field.
+struct FieldMatch {
+  enum class Kind : std::uint8_t { Exact, Prefix, Range };
+
+  std::uint32_t offset = 0;  ///< field's first bit (MSB-first)
+  std::uint32_t width = 0;   ///< field width in bits
+  Kind kind = Kind::Exact;
+  std::uint64_t value = 0;       ///< Exact / Prefix: value (field-aligned)
+  std::uint32_t prefix_len = 0;  ///< Prefix: number of significant MSBs
+  std::uint64_t lo = 0, hi = 0;  ///< Range: inclusive bounds
+
+  bool matches(const PacketHeader& h) const;
+
+  // Five-tuple helpers.
+  static FieldMatch dst_prefix(const Ipv4Prefix& p);
+  static FieldMatch src_prefix(const Ipv4Prefix& p);
+  static FieldMatch dst_port_range(std::uint16_t lo, std::uint16_t hi);
+  static FieldMatch src_port_range(std::uint16_t lo, std::uint16_t hi);
+  static FieldMatch proto(std::uint8_t p);
+};
+
+/// One flow-table entry: a conjunction of field matches with a priority and
+/// an action.  An empty match list matches every packet (table-miss entry).
+struct FlowRule {
+  std::vector<FieldMatch> matches;
+  std::int32_t priority = 0;  ///< higher wins; ties resolve by table order
+  enum class Action : std::uint8_t { Forward, Drop } action = Action::Forward;
+  std::uint32_t egress_port = 0;  ///< for Action::Forward
+
+  bool matches_packet(const PacketHeader& h) const {
+    for (const auto& m : matches)
+      if (!m.matches(h)) return false;
+    return true;
+  }
+};
+
+/// A priority-ordered flow table.
+struct FlowTable {
+  std::vector<FlowRule> rules;
+
+  std::size_t size() const { return rules.size(); }
+  void add(FlowRule r) { rules.push_back(std::move(r)); }
+
+  /// Reference first-match-by-priority evaluation (test oracle / slow path).
+  /// Returns the winning rule, or nullptr on table miss.
+  const FlowRule* lookup(const PacketHeader& h) const;
+};
+
+}  // namespace apc

@@ -1,0 +1,28 @@
+#include "rules/rules.hpp"
+
+namespace apc {
+
+std::optional<std::uint32_t> Fib::lookup(std::uint32_t dst_ip) const {
+  std::int32_t best_priority = -1;
+  std::optional<std::uint32_t> best;
+  for (const auto& r : rules) {
+    if (!r.dst.contains(dst_ip)) continue;
+    const std::int32_t pr = r.effective_priority();
+    if (pr > best_priority) {
+      best_priority = pr;
+      best = r.egress_port;
+    }
+  }
+  return best;
+}
+
+bool Acl::permits(std::uint32_t sip, std::uint32_t dip, std::uint16_t sport,
+                  std::uint16_t dport, std::uint8_t proto) const {
+  for (const auto& r : rules) {
+    if (r.matches(sip, dip, sport, dport, proto))
+      return r.action == AclRule::Action::Permit;
+  }
+  return default_action == AclRule::Action::Permit;
+}
+
+}  // namespace apc

@@ -1,0 +1,180 @@
+#include "util/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace apc {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t nbits) { return (nbits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+FlatBitset::FlatBitset(std::size_t nbits) : nbits_(nbits), words_(words_for(nbits), 0) {}
+
+void FlatBitset::resize(std::size_t nbits) {
+  if (nbits <= nbits_) return;
+  nbits_ = nbits;
+  words_.resize(words_for(nbits), 0);
+}
+
+void FlatBitset::set(std::size_t i) {
+  require(i < nbits_, "FlatBitset::set out of range");
+  words_[i / kWordBits] |= (std::uint64_t{1} << (i % kWordBits));
+}
+
+void FlatBitset::reset(std::size_t i) {
+  require(i < nbits_, "FlatBitset::reset out of range");
+  words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+bool FlatBitset::test(std::size_t i) const {
+  if (i >= nbits_) return false;
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+void FlatBitset::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+void FlatBitset::set_all() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  trim_tail();
+}
+
+void FlatBitset::trim_tail() {
+  const std::size_t extra = words_.size() * kWordBits - nbits_;
+  if (extra > 0 && !words_.empty()) {
+    words_.back() &= (~std::uint64_t{0}) >> extra;
+  }
+}
+
+std::size_t FlatBitset::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool FlatBitset::any() const {
+  for (std::uint64_t w : words_)
+    if (w) return true;
+  return false;
+}
+
+std::size_t FlatBitset::intersect_count(const FlatBitset& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  return c;
+}
+
+std::size_t FlatBitset::minus_count(const FlatBitset& other) const {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t ow = i < other.words_.size() ? other.words_[i] : 0;
+    c += static_cast<std::size_t>(std::popcount(words_[i] & ~ow));
+  }
+  return c;
+}
+
+bool FlatBitset::intersects(const FlatBitset& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (words_[i] & other.words_[i]) return true;
+  return false;
+}
+
+bool FlatBitset::is_subset_of(const FlatBitset& other) const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t ow = i < other.words_.size() ? other.words_[i] : 0;
+    if (words_[i] & ~ow) return false;
+  }
+  return true;
+}
+
+FlatBitset FlatBitset::operator&(const FlatBitset& other) const {
+  FlatBitset out(std::max(nbits_, other.nbits_));
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) out.words_[i] = words_[i] & other.words_[i];
+  return out;
+}
+
+FlatBitset FlatBitset::operator|(const FlatBitset& other) const {
+  FlatBitset out(std::max(nbits_, other.nbits_));
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    out.words_[i] = a | b;
+  }
+  return out;
+}
+
+FlatBitset FlatBitset::minus(const FlatBitset& other) const {
+  FlatBitset out(nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t ow = i < other.words_.size() ? other.words_[i] : 0;
+    out.words_[i] = words_[i] & ~ow;
+  }
+  return out;
+}
+
+FlatBitset& FlatBitset::operator&=(const FlatBitset& other) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t ow = i < other.words_.size() ? other.words_[i] : 0;
+    words_[i] &= ow;
+  }
+  return *this;
+}
+
+FlatBitset& FlatBitset::operator|=(const FlatBitset& other) {
+  resize(other.nbits_);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+bool FlatBitset::operator==(const FlatBitset& other) const {
+  const std::size_t n = std::max(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::size_t FlatBitset::first() const { return next(0); }
+
+std::size_t FlatBitset::next(std::size_t i) const {
+  if (i >= nbits_) return nbits_;
+  std::size_t w = i / kWordBits;
+  std::uint64_t cur = words_[w] & (~std::uint64_t{0} << (i % kWordBits));
+  while (true) {
+    if (cur) return w * kWordBits + static_cast<std::size_t>(std::countr_zero(cur));
+    if (++w >= words_.size()) return nbits_;
+    cur = words_[w];
+  }
+}
+
+std::vector<std::size_t> FlatBitset::to_vector() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::size_t FlatBitset::hash() const {
+  // FNV-1a over the words, ignoring trailing zero words so that equal sets
+  // with different capacities hash identically.
+  std::size_t last = words_.size();
+  while (last > 0 && words_[last - 1] == 0) --last;
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < last; ++i) {
+    h ^= words_[i];
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace apc

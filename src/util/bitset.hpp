@@ -1,0 +1,89 @@
+// FlatBitset: a compact dynamic bitset used for atom-id sets R(p).
+//
+// The OAPT construction algorithm (paper SS V-C) replaces all BDD conjunctions
+// with intersections of integer sets identifying atomic predicates.  These
+// sets are represented here as word-packed bitsets so that |S ∩ R(p)| is a
+// popcount loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apc {
+
+class FlatBitset {
+ public:
+  FlatBitset() = default;
+  /// Creates a bitset holding `nbits` bits, all zero.
+  explicit FlatBitset(std::size_t nbits);
+
+  std::size_t size() const { return nbits_; }
+  bool empty_domain() const { return nbits_ == 0; }
+
+  /// Grows the domain to at least `nbits` bits (new bits are zero).
+  void resize(std::size_t nbits);
+
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  bool test(std::size_t i) const;
+
+  void clear();      ///< zero all bits
+  void set_all();    ///< set all bits in the domain
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// |*this ∩ other| without materializing the intersection.
+  std::size_t intersect_count(const FlatBitset& other) const;
+  /// |*this \ other|.
+  std::size_t minus_count(const FlatBitset& other) const;
+  /// True iff the intersection is non-empty.
+  bool intersects(const FlatBitset& other) const;
+  /// True iff *this ⊆ other.
+  bool is_subset_of(const FlatBitset& other) const;
+
+  FlatBitset operator&(const FlatBitset& other) const;
+  FlatBitset operator|(const FlatBitset& other) const;
+  /// Set difference: bits in *this but not in other.
+  FlatBitset minus(const FlatBitset& other) const;
+
+  FlatBitset& operator&=(const FlatBitset& other);
+  FlatBitset& operator|=(const FlatBitset& other);
+
+  bool operator==(const FlatBitset& other) const;
+
+  /// Index of the first set bit, or size() if none.
+  std::size_t first() const;
+  /// Index of the next set bit at or after `i`, or size() if none.
+  std::size_t next(std::size_t i) const;
+
+  /// Calls f(index) for every set bit in ascending order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t x = words_[w];
+      while (x) {
+        const unsigned b = static_cast<unsigned>(__builtin_ctzll(x));
+        f(w * 64 + b);
+        x &= x - 1;
+      }
+    }
+  }
+
+  /// All set-bit indices in ascending order.
+  std::vector<std::size_t> to_vector() const;
+
+  /// Stable hash of the contents (for memoization keys).
+  std::size_t hash() const;
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+
+  void trim_tail();
+};
+
+}  // namespace apc

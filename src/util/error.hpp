@@ -1,0 +1,23 @@
+// Error type used across the AP Classifier library.
+//
+// Construction-time misuse (bad prefixes, inconsistent wiring, out-of-range
+// field widths, ...) throws apc::Error.  Hot query paths never throw.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace apc {
+
+/// Exception thrown on library misuse or malformed input.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws apc::Error with `msg` when `cond` is false.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace apc

@@ -1,0 +1,84 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace apc {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t x;
+  do {
+    x = next();
+  } while (x >= limit);
+  return x % bound;
+}
+
+std::uint64_t Rng::uniform_range(std::uint64_t lo, std::uint64_t hi) {
+  return lo + uniform(hi - lo + 1);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::coin(double p) { return uniform01() < p; }
+
+double Rng::pareto(double xm, double alpha) {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::exponential(double rate) {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  // Inverse-CDF over the truncated harmonic series; O(n) setup avoided by
+  // a simple rejection-free binary search over precomputed weights would be
+  // heavier; n here is small (prefix pools), linear walk is fine.
+  if (n == 0) return 0;
+  double norm = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = uniform01() * norm;
+  for (std::size_t i = 1; i <= n; ++i) {
+    u -= 1.0 / std::pow(static_cast<double>(i), s);
+    if (u <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace apc

@@ -1,0 +1,47 @@
+// Deterministic random number generation for dataset/trace synthesis.
+//
+// xoshiro256** — fast, high-quality, and reproducible across platforms
+// (std::mt19937 distributions are not bit-identical across standard library
+// implementations, which matters for regenerating the paper's experiments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound).
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  bool coin(double p = 0.5);
+
+  /// Pareto(x_m, alpha) sample (paper SS VII-F uses x_m = 1, alpha = 1).
+  double pareto(double xm, double alpha);
+  /// Exponential(rate) sample — inter-arrival times of a Poisson process.
+  double exponential(double rate);
+  /// Zipf-like rank sample in [0, n) with exponent s.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace apc

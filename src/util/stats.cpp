@@ -1,0 +1,60 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace apc {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double minimum(const std::vector<double>& xs) {
+  require(!xs.empty(), "minimum of empty vector");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maximum(const std::vector<double>& xs) {
+  require(!xs.empty(), "maximum of empty vector");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double q) {
+  require(!xs.empty(), "percentile of empty vector");
+  require(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> cdf(std::vector<double> xs, std::size_t points) {
+  std::vector<std::pair<double, double>> out;
+  if (xs.empty() || points == 0) return out;
+  std::sort(xs.begin(), xs.end());
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    std::size_t idx = static_cast<std::size_t>(frac * static_cast<double>(xs.size()));
+    if (idx > 0) --idx;
+    out.emplace_back(xs[idx], frac);
+  }
+  return out;
+}
+
+std::vector<std::size_t> int_histogram(const std::vector<std::size_t>& xs) {
+  std::size_t mx = 0;
+  for (std::size_t x : xs) mx = std::max(mx, x);
+  std::vector<std::size_t> h(mx + 1, 0);
+  for (std::size_t x : xs) ++h[x];
+  return h;
+}
+
+}  // namespace apc

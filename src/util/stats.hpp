@@ -1,0 +1,25 @@
+// Summary statistics used by the benchmark harnesses (Figs. 9-15).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace apc {
+
+double mean(const std::vector<double>& xs);
+double minimum(const std::vector<double>& xs);
+double maximum(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile; q in [0, 100].  Sorts a copy.
+double percentile(std::vector<double> xs, double q);
+
+/// Empirical CDF sampled at `points` evenly spread quantiles:
+/// returns (value, cumulative fraction) pairs suitable for plotting
+/// Fig. 10 / Fig. 13 style curves.
+std::vector<std::pair<double, double>> cdf(std::vector<double> xs, std::size_t points = 20);
+
+/// Histogram of integer values (e.g. leaf depths): index -> count.
+std::vector<std::size_t> int_histogram(const std::vector<std::size_t>& xs);
+
+}  // namespace apc

@@ -1,0 +1,145 @@
+#include "verify/properties.hpp"
+
+#include <sstream>
+
+namespace apc::verify {
+
+const char* to_string(Violation::Kind k) {
+  switch (k) {
+    case Violation::Kind::NotDelivered: return "not-delivered";
+    case Violation::Kind::UnexpectedDelivery: return "unexpected-delivery";
+    case Violation::Kind::Loop: return "loop";
+    case Violation::Kind::MissedWaypoint: return "missed-waypoint";
+    case Violation::Kind::Blackhole: return "blackhole";
+  }
+  return "?";
+}
+
+std::vector<AtomId> FlowVerifier::atoms_of_flow(const bdd::Bdd& flow_set) const {
+  require(flow_set.valid(), "atoms_of_flow: null flow set");
+  std::vector<AtomId> out;
+  const AtomUniverse& uni = clf_->atoms();
+  for (const AtomId a : uni.alive_ids()) {
+    if (!(uni.bdd_of(a) & flow_set).is_false()) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::pair<AtomId, Behavior>> FlowVerifier::behaviors_of_flow(
+    const bdd::Bdd& flow_set, BoxId ingress) const {
+  std::vector<std::pair<AtomId, Behavior>> out;
+  for (const AtomId a : atoms_of_flow(flow_set)) {
+    out.emplace_back(a, clf_->behavior_of(a, ingress));
+  }
+  return out;
+}
+
+namespace {
+std::string box_name(const ApClassifier& clf, BoxId b) {
+  return clf.network().topology.box(b).name;
+}
+}  // namespace
+
+std::vector<Violation> FlowVerifier::check_reachability(
+    const bdd::Bdd& flow_set, BoxId ingress, std::optional<PortId> expected) const {
+  std::vector<Violation> out;
+  for (const auto& [atom, bh] : behaviors_of_flow(flow_set, ingress)) {
+    if (bh.loop_detected) {
+      out.push_back({Violation::Kind::Loop, atom, ingress, "forwarding loop"});
+      continue;
+    }
+    if (!bh.delivered()) {
+      out.push_back({Violation::Kind::NotDelivered, atom, ingress,
+                     "dropped before any delivery"});
+      continue;
+    }
+    if (expected) {
+      bool hit = false;
+      for (const auto& d : bh.deliveries) hit |= (d == *expected);
+      if (!hit) {
+        std::ostringstream os;
+        os << "delivered, but never at " << box_name(*clf_, expected->box) << ":"
+           << expected->port;
+        out.push_back({Violation::Kind::NotDelivered, atom, ingress, os.str()});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> FlowVerifier::check_waypoint(const bdd::Bdd& flow_set,
+                                                    BoxId ingress,
+                                                    BoxId waypoint) const {
+  std::vector<Violation> out;
+  for (const auto& [atom, bh] : behaviors_of_flow(flow_set, ingress)) {
+    if (!bh.delivered()) continue;  // only delivered traffic must be inspected
+    if (!bh.traverses(waypoint)) {
+      out.push_back({Violation::Kind::MissedWaypoint, atom, ingress,
+                     "delivered without traversing " + box_name(*clf_, waypoint)});
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> FlowVerifier::check_isolation(
+    const bdd::Bdd& flow_set, BoxId ingress,
+    const std::vector<PortId>& forbidden) const {
+  std::vector<Violation> out;
+  for (const auto& [atom, bh] : behaviors_of_flow(flow_set, ingress)) {
+    for (const auto& d : bh.deliveries) {
+      for (const auto& f : forbidden) {
+        if (d == f) {
+          out.push_back({Violation::Kind::UnexpectedDelivery, atom, ingress,
+                         "delivered at forbidden port on " + box_name(*clf_, f.box)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> FlowVerifier::check_loop_freedom(const bdd::Bdd& flow_set,
+                                                        BoxId ingress) const {
+  std::vector<Violation> out;
+  for (const auto& [atom, bh] : behaviors_of_flow(flow_set, ingress)) {
+    if (bh.loop_detected)
+      out.push_back({Violation::Kind::Loop, atom, ingress, "forwarding loop"});
+  }
+  return out;
+}
+
+std::vector<Violation> FlowVerifier::check_no_blackholes(const bdd::Bdd& flow_set,
+                                                         BoxId ingress) const {
+  std::vector<Violation> out;
+  for (const auto& [atom, bh] : behaviors_of_flow(flow_set, ingress)) {
+    for (const auto& d : bh.drops) {
+      if (d.reason == Drop::Reason::NoMatchingRule) {
+        out.push_back({Violation::Kind::Blackhole, atom, ingress,
+                       "no matching rule at " + box_name(*clf_, d.box)});
+      }
+    }
+  }
+  return out;
+}
+
+NetworkSummary network_summary(const ApClassifier& clf) {
+  NetworkSummary s;
+  s.ingresses = clf.network().topology.box_count();
+  const auto atoms = clf.atoms().alive_ids();
+  s.atoms = atoms.size();
+  for (BoxId b = 0; b < s.ingresses; ++b) {
+    for (const AtomId a : atoms) {
+      const Behavior bh = clf.behavior_of(a, b);
+      if (bh.loop_detected) ++s.pairs_loops;
+      if (bh.delivered()) {
+        ++s.pairs_delivered;
+        if (bh.deliveries.size() > 1) ++s.multicast_pairs;
+      } else {
+        ++s.pairs_dropped;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace apc::verify

@@ -1,0 +1,168 @@
+// Tests for atomic-predicate computation (paper SS III, Fig. 1) and the
+// defining properties of atoms.
+#include <gtest/gtest.h>
+
+#include "ap/atoms.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+
+/// The paper's Fig. 1 example realized over a 3-variable space:
+///   p1 = a∧b∧c (triangle: disjoint from the others)
+///   p2 = ¬a∧b  (square)
+///   p3 = ¬a∧c  (circle, properly overlapping p2)
+/// yielding 5 atoms: p1 | p2∧¬p3 | p2∧p3 | p3∧¬p2 | rest.
+struct Fig1 {
+  BddManager mgr{3};
+  PredicateRegistry reg;
+  PredId p1, p2, p3;
+
+  Fig1() {
+    const Bdd a = mgr.var(0), b = mgr.var(1), c = mgr.var(2);
+    p1 = reg.add(a & b & c, PredicateKind::External);
+    p2 = reg.add((!a) & b, PredicateKind::External);
+    p3 = reg.add((!a) & c, PredicateKind::External);
+  }
+};
+
+TEST(Atoms, Fig1HasFiveAtoms) {
+  Fig1 f;
+  const AtomUniverse uni = compute_atoms(f.reg);
+  EXPECT_EQ(uni.alive_count(), 5u);
+  EXPECT_EQ(f.reg.atoms_of(f.p1).count(), 1u);  // p1 is a single atom
+  EXPECT_EQ(f.reg.atoms_of(f.p2).count(), 2u);  // p2 = a3 ∨ a4
+  EXPECT_EQ(f.reg.atoms_of(f.p3).count(), 2u);  // p3 = a4 ∨ a5
+  EXPECT_EQ(f.reg.atoms_of(f.p2).intersect_count(f.reg.atoms_of(f.p3)), 1u);
+  EXPECT_EQ(f.reg.atoms_of(f.p1).intersect_count(f.reg.atoms_of(f.p2)), 0u);
+  EXPECT_EQ(f.reg.atoms_of(f.p1).intersect_count(f.reg.atoms_of(f.p3)), 0u);
+}
+
+TEST(Atoms, NoPredicatesYieldsSingleTrueAtom) {
+  PredicateRegistry reg;
+  const AtomUniverse uni = compute_atoms(reg);
+  EXPECT_EQ(uni.alive_count(), 0u);  // empty registry: nothing to refine
+}
+
+TEST(Atoms, SinglePredicateSplitsInTwo) {
+  BddManager mgr(4);
+  PredicateRegistry reg;
+  reg.add(mgr.var(1), PredicateKind::External);
+  const AtomUniverse uni = compute_atoms(reg);
+  EXPECT_EQ(uni.alive_count(), 2u);
+}
+
+TEST(Atoms, TautologyPredicateDoesNotSplit) {
+  BddManager mgr(4);
+  PredicateRegistry reg;
+  reg.add(mgr.bdd_true(), PredicateKind::External);
+  reg.add(mgr.var(0), PredicateKind::External);
+  const AtomUniverse uni = compute_atoms(reg);
+  EXPECT_EQ(uni.alive_count(), 2u);  // only var(0) splits
+  EXPECT_EQ(reg.atoms_of(0).count(), 2u);  // R(true) = all atoms
+}
+
+TEST(Atoms, DeletedPredicatesIgnored) {
+  BddManager mgr(4);
+  PredicateRegistry reg;
+  reg.add(mgr.var(0), PredicateKind::External);
+  const PredId dead = reg.add(mgr.var(1), PredicateKind::External);
+  reg.mark_deleted(dead);
+  const AtomUniverse uni = compute_atoms(reg);
+  EXPECT_EQ(uni.alive_count(), 2u);  // var(1) no longer refines
+  EXPECT_EQ(reg.atoms_of(dead).count(), 0u);
+}
+
+TEST(Atoms, UniverseKillAndMask) {
+  BddManager mgr(3);
+  AtomUniverse uni;
+  const AtomId a = uni.add(mgr.var(0));
+  const AtomId b = uni.add(mgr.nvar(0));
+  EXPECT_EQ(uni.alive_count(), 2u);
+  uni.kill(a);
+  EXPECT_EQ(uni.alive_count(), 1u);
+  EXPECT_FALSE(uni.is_alive(a));
+  EXPECT_TRUE(uni.is_alive(b));
+  const FlatBitset mask = uni.alive_mask();
+  EXPECT_FALSE(mask.test(a));
+  EXPECT_TRUE(mask.test(b));
+  EXPECT_EQ(uni.alive_ids(), std::vector<AtomId>{b});
+  EXPECT_THROW(uni.add(mgr.bdd_false()), Error);
+}
+
+// ---- Defining properties of atoms over random predicate sets ----
+
+class AtomProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static Bdd random_pred(BddManager& mgr, Rng& rng) {
+    Bdd f = mgr.bdd_false();
+    const int cubes = 1 + static_cast<int>(rng.uniform(3));
+    for (int c = 0; c < cubes; ++c) {
+      Bdd cube = mgr.bdd_true();
+      for (std::uint32_t v = 0; v < mgr.num_vars(); ++v) {
+        const auto r = rng.uniform(3);
+        if (r == 0) cube = cube & mgr.var(v);
+        if (r == 1) cube = cube & mgr.nvar(v);
+      }
+      f = f | cube;
+    }
+    return f;
+  }
+};
+
+TEST_P(AtomProperties, DisjointCoveringMinimal) {
+  BddManager mgr(6);
+  Rng rng(GetParam());
+  PredicateRegistry reg;
+  for (int i = 0; i < 6; ++i) {
+    Bdd p = random_pred(mgr, rng);
+    if (p.is_false()) p = mgr.var(0);
+    reg.add(std::move(p), PredicateKind::External);
+  }
+  const AtomUniverse uni = compute_atoms(reg);
+  const auto ids = uni.alive_ids();
+  ASSERT_GE(ids.size(), 1u);
+
+  // (1) Atoms are pairwise disjoint and non-false.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_FALSE(uni.bdd_of(ids[i]).is_false());
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_TRUE((uni.bdd_of(ids[i]) & uni.bdd_of(ids[j])).is_false());
+    }
+  }
+
+  // (2) Atoms cover the whole space.
+  Bdd all = mgr.bdd_false();
+  for (const AtomId a : ids) all = all | uni.bdd_of(a);
+  EXPECT_TRUE(all.is_true());
+
+  // (3) Every predicate equals the disjunction of its R(p) atoms.
+  for (PredId p = 0; p < reg.size(); ++p) {
+    Bdd dis = mgr.bdd_false();
+    reg.atoms_of(p).for_each([&](std::size_t a) {
+      dis = dis | uni.bdd_of(static_cast<AtomId>(a));
+    });
+    EXPECT_EQ(dis, reg.bdd_of(p)) << "predicate " << p;
+  }
+
+  // (4) Minimality: every pair of atoms is separated by some predicate
+  //     (otherwise they would be one equivalence class).
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      bool separated = false;
+      for (PredId p = 0; p < reg.size() && !separated; ++p) {
+        separated = reg.atoms_of(p).test(ids[i]) != reg.atoms_of(p).test(ids[j]);
+      }
+      EXPECT_TRUE(separated) << "atoms " << ids[i] << "," << ids[j];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtomProperties,
+                         ::testing::Values(3, 9, 17, 29, 51, 77));
+
+}  // namespace
+}  // namespace apc

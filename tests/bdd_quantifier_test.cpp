@@ -1,0 +1,138 @@
+// Property sweeps for BDD restrict/exists/support against a truth-table
+// oracle, plus garbage-collector stress under sustained churn.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "bdd/bdd.hpp"
+#include "util/rng.hpp"
+
+namespace apc::bdd {
+namespace {
+
+constexpr std::uint32_t kVars = 6;
+using Table = std::array<bool, 64>;
+
+struct Entry {
+  Bdd bdd;
+  Table table;
+};
+
+Entry random_entry(BddManager& mgr, apc::Rng& rng) {
+  // Random function as an OR of two random cubes.
+  Entry e{mgr.bdd_false(), {}};
+  for (int c = 0; c < 2; ++c) {
+    Bdd cube = mgr.bdd_true();
+    std::array<int, kVars> lits{};  // 0 = free, 1 = positive, 2 = negative
+    for (std::uint32_t v = 0; v < kVars; ++v) {
+      const auto r = rng.uniform(3);
+      lits[v] = static_cast<int>(r);
+      if (r == 1) cube = cube & mgr.var(v);
+      if (r == 2) cube = cube & mgr.nvar(v);
+    }
+    e.bdd = e.bdd | cube;
+    for (std::uint32_t x = 0; x < 64; ++x) {
+      bool in = true;
+      for (std::uint32_t v = 0; v < kVars; ++v) {
+        const bool bit = (x >> v) & 1;
+        if (lits[v] == 1 && !bit) in = false;
+        if (lits[v] == 2 && bit) in = false;
+      }
+      e.table[x] = e.table[x] || in;
+    }
+  }
+  return e;
+}
+
+class QuantifierSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantifierSweep, RestrictMatchesCofactor) {
+  BddManager mgr(kVars);
+  apc::Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    const Entry e = random_entry(mgr, rng);
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.uniform(kVars));
+    for (const bool val : {false, true}) {
+      const Bdd r = mgr.restrict_var(e.bdd, v, val);
+      for (std::uint32_t x = 0; x < 64; ++x) {
+        const std::uint32_t forced =
+            val ? (x | (1u << v)) : (x & ~(1u << v));
+        const bool got = r.eval([&](std::uint32_t q) { return (x >> q) & 1; });
+        ASSERT_EQ(e.table[forced], got) << "x=" << x << " v=" << v;
+      }
+      // The restriction no longer depends on v.
+      for (const std::uint32_t s : mgr.support(r)) ASSERT_NE(s, v);
+    }
+  }
+}
+
+TEST_P(QuantifierSweep, ExistsIsDisjunctionOfCofactors) {
+  BddManager mgr(kVars);
+  apc::Rng rng(GetParam() * 3 + 1);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Entry e = random_entry(mgr, rng);
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.uniform(kVars));
+    const Bdd ex = mgr.exists(e.bdd, v);
+    for (std::uint32_t x = 0; x < 64; ++x) {
+      const bool expect = e.table[x | (1u << v)] || e.table[x & ~(1u << v)];
+      const bool got = ex.eval([&](std::uint32_t q) { return (x >> q) & 1; });
+      ASSERT_EQ(expect, got);
+    }
+    // Monotone: f implies exists(f).
+    ASSERT_TRUE(e.bdd.implies(ex));
+  }
+}
+
+TEST_P(QuantifierSweep, SupportIsExact) {
+  BddManager mgr(kVars);
+  apc::Rng rng(GetParam() * 7 + 5);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Entry e = random_entry(mgr, rng);
+    const auto support = mgr.support(e.bdd);
+    for (std::uint32_t v = 0; v < kVars; ++v) {
+      // v is in the support iff some assignment's value flips with v.
+      bool depends = false;
+      for (std::uint32_t x = 0; x < 64 && !depends; ++x)
+        depends = e.table[x | (1u << v)] != e.table[x & ~(1u << v)];
+      bool listed = false;
+      for (const auto s : support) listed |= (s == v);
+      ASSERT_EQ(depends, listed) << "var " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantifierSweep, ::testing::Values(11, 22, 33, 44));
+
+TEST(BddGc, AutoGcBoundsPoolUnderChurn) {
+  BddManager mgr(32);
+  apc::Rng rng(9);
+  Bdd keep = mgr.var(0) & mgr.var(5) & mgr.nvar(17);
+  std::size_t peak = 0;
+  // Sustained garbage generation; the adaptive threshold must keep the
+  // allocated pool bounded instead of growing without limit.
+  for (int round = 0; round < 4000; ++round) {
+    Bdd junk = mgr.bdd_true();
+    for (int i = 0; i < 6; ++i) {
+      const std::uint32_t v = static_cast<std::uint32_t>(rng.uniform(32));
+      junk = rng.coin() ? (junk & mgr.var(v)) : (junk | mgr.nvar(v));
+    }
+    peak = std::max(peak, mgr.allocated_node_count());
+  }
+  EXPECT_LT(peak, std::size_t{1} << 21);  // far below unbounded accumulation
+  // Long-lived function survived every collection.
+  EXPECT_TRUE(keep.eval([](std::uint32_t v) { return v == 0 || v == 5; }));
+}
+
+TEST(BddGc, LiveCountTracksHandles) {
+  BddManager mgr(16);
+  const std::size_t base = mgr.live_node_count();
+  {
+    Bdd a = mgr.var(3) & mgr.var(7) & mgr.var(11);
+    EXPECT_GT(mgr.live_node_count(), base);
+  }
+  mgr.gc();
+  EXPECT_EQ(mgr.live_node_count(), base);
+}
+
+}  // namespace
+}  // namespace apc::bdd

@@ -1,0 +1,232 @@
+// Tests for stage 2: behavior computation on hand-built networks, including
+// the paper's Fig. 1(c)/Fig. 3 example, drops, loops, and multicast.
+#include <gtest/gtest.h>
+
+#include "ap/atoms.hpp"
+#include "classifier/behavior.hpp"
+#include "rules/compiler.hpp"
+
+namespace apc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+
+/// The paper's example network (Fig. 1(c)): b1 -> h1, b1 -> b2 -> h2.
+///   p1: packets b1 forwards to h1      (dst 10.1.0.0/16)
+///   p2: packets b1 forwards to b2      (dst 10.2.0.0/15: covers 10.2/16+10.3/16)
+///   p3: packets b2 forwards to h2      (dst 10.2.0.0/16)
+/// Atom a4 = ¬p1∧p2∧p3 travels b1 -> b2 -> h2; a5 = ¬p1∧¬p2∧p3 is dropped
+/// at b1 but delivered from b2.
+struct PaperNet {
+  NetworkModel net;
+  std::shared_ptr<BddManager> mgr = std::make_shared<BddManager>(HeaderLayout::kBits);
+  PredicateRegistry reg;
+  CompiledNetwork cn;
+  AtomUniverse uni;
+  BoxId b1, b2;
+  PortId h1, h2;
+
+  PaperNet() {
+    b1 = net.topology.add_box("b1");
+    b2 = net.topology.add_box("b2");
+    net.topology.add_link(b1, b2);  // port 0 on both
+    h1 = net.topology.add_host_port(b1, "h1");
+    h2 = net.topology.add_host_port(b2, "h2");
+
+    net.fib(b1).add(parse_prefix("10.1.0.0/16"), h1.port);
+    net.fib(b1).add(parse_prefix("10.2.0.0/15"), 0);  // toward b2
+    net.fib(b2).add(parse_prefix("10.2.0.0/16"), h2.port);
+
+    cn = compile_network(net, *mgr, reg);
+    uni = compute_atoms(reg);
+  }
+
+  AtomId atom_of(const char* dst) {
+    const PacketHeader h =
+        PacketHeader::from_five_tuple(0, parse_ipv4(dst), 0, 0, 6);
+    for (const AtomId a : uni.alive_ids()) {
+      if (uni.bdd_of(a).eval([&](std::uint32_t v) { return h.bit(v); })) return a;
+    }
+    throw Error("no atom");
+  }
+};
+
+TEST(Behavior, PaperExamplePathToH2) {
+  PaperNet n;
+  const AtomId a4 = n.atom_of("10.2.7.7");
+  const Behavior b = compute_behavior(n.cn, n.net.topology, n.reg, a4, n.b1);
+  ASSERT_TRUE(b.delivered());
+  ASSERT_EQ(b.deliveries.size(), 1u);
+  EXPECT_EQ(b.deliveries[0].box, n.b2);
+  EXPECT_EQ(b.deliveries[0].port, n.h2.port);
+  EXPECT_EQ(b.edges.size(), 2u);  // b1->b2, b2->h2
+  EXPECT_TRUE(b.traverses(n.b1));
+  EXPECT_TRUE(b.traverses(n.b2));
+  EXPECT_FALSE(b.loop_detected);
+  EXPECT_TRUE(b.drops.empty());
+}
+
+TEST(Behavior, PaperExamplePathToH1) {
+  PaperNet n;
+  const AtomId a1 = n.atom_of("10.1.3.3");
+  const Behavior b = compute_behavior(n.cn, n.net.topology, n.reg, a1, n.b1);
+  ASSERT_TRUE(b.delivered());
+  EXPECT_EQ(b.deliveries[0].box, n.b1);
+  EXPECT_EQ(b.deliveries[0].port, n.h1.port);
+  EXPECT_FALSE(b.traverses(n.b2));
+}
+
+TEST(Behavior, A5DroppedAtB1ButDeliveredFromB2) {
+  PaperNet n;
+  // 10.3.x.x is in p2 (10.2/15) -- pick a dst in p3 but NOT p1/p2:
+  // none exists here because p3 ⊂ p2; instead emulate a5 with a dst that
+  // only b2 can deliver by querying from b2 for a dropped-at-b1 class:
+  const AtomId unmatched = n.atom_of("11.0.0.1");
+  const Behavior from_b1 =
+      compute_behavior(n.cn, n.net.topology, n.reg, unmatched, n.b1);
+  EXPECT_FALSE(from_b1.delivered());
+  ASSERT_EQ(from_b1.drops.size(), 1u);
+  EXPECT_EQ(from_b1.drops[0].box, n.b1);
+  EXPECT_EQ(from_b1.drops[0].reason, Drop::Reason::NoMatchingRule);
+}
+
+TEST(Behavior, DifferentIngressDifferentBehavior) {
+  PaperNet n;
+  const AtomId a4 = n.atom_of("10.2.7.7");
+  const Behavior from_b2 = compute_behavior(n.cn, n.net.topology, n.reg, a4, n.b2);
+  ASSERT_TRUE(from_b2.delivered());
+  EXPECT_EQ(from_b2.edges.size(), 1u);  // direct b2 -> h2
+  EXPECT_FALSE(from_b2.traverses(n.b1));
+}
+
+TEST(Behavior, ForwardingLoopDetected) {
+  NetworkModel net;
+  auto mgr = std::make_shared<BddManager>(HeaderLayout::kBits);
+  const BoxId a = net.topology.add_box("A");
+  const BoxId b = net.topology.add_box("B");
+  net.topology.add_link(a, b);  // port 0 both sides
+  // Both boxes forward 10/8 to each other: loop.
+  net.fib(a).add(parse_prefix("10.0.0.0/8"), 0);
+  net.fib(b).add(parse_prefix("10.0.0.0/8"), 0);
+  PredicateRegistry reg;
+  const CompiledNetwork cn = compile_network(net, *mgr, reg);
+  const AtomUniverse uni = compute_atoms(reg);
+  // Atom for 10.x dst:
+  AtomId atom = 0;
+  const PacketHeader h = PacketHeader::from_five_tuple(0, parse_ipv4("10.1.1.1"), 0, 0, 6);
+  for (const AtomId x : uni.alive_ids())
+    if (uni.bdd_of(x).eval([&](std::uint32_t v) { return h.bit(v); })) atom = x;
+  const Behavior bh = compute_behavior(cn, net.topology, reg, atom, a);
+  EXPECT_TRUE(bh.loop_detected);
+  EXPECT_FALSE(bh.delivered());
+}
+
+TEST(Behavior, InputAclDrops) {
+  PaperNet base;  // rebuild with an ACL on b2's ingress from b1
+  NetworkModel net = base.net;
+  Acl acl;
+  AclRule deny;
+  deny.dst = parse_prefix("10.2.0.0/16");
+  deny.action = AclRule::Action::Deny;
+  acl.rules.push_back(deny);
+  net.input_acls[{base.b2, 0}] = acl;  // b2 port 0 faces b1
+
+  auto mgr = std::make_shared<BddManager>(HeaderLayout::kBits);
+  PredicateRegistry reg;
+  const CompiledNetwork cn = compile_network(net, *mgr, reg);
+  const AtomUniverse uni = compute_atoms(reg);
+  const PacketHeader h =
+      PacketHeader::from_five_tuple(0, parse_ipv4("10.2.7.7"), 0, 0, 6);
+  AtomId atom = 0;
+  for (const AtomId x : uni.alive_ids())
+    if (uni.bdd_of(x).eval([&](std::uint32_t v) { return h.bit(v); })) atom = x;
+
+  const Behavior bh = compute_behavior(cn, net.topology, reg, atom, base.b1);
+  EXPECT_FALSE(bh.delivered());
+  ASSERT_EQ(bh.drops.size(), 1u);
+  EXPECT_EQ(bh.drops[0].box, base.b2);
+  EXPECT_EQ(bh.drops[0].reason, Drop::Reason::InputAcl);
+}
+
+TEST(Behavior, OutputAclDrops) {
+  PaperNet base;
+  NetworkModel net = base.net;
+  Acl acl;
+  AclRule deny;
+  deny.dst = parse_prefix("10.2.0.0/16");
+  deny.action = AclRule::Action::Deny;
+  acl.rules.push_back(deny);
+  net.output_acls[{base.b2, base.h2.port}] = acl;
+
+  auto mgr = std::make_shared<BddManager>(HeaderLayout::kBits);
+  PredicateRegistry reg;
+  const CompiledNetwork cn = compile_network(net, *mgr, reg);
+  const AtomUniverse uni = compute_atoms(reg);
+  const PacketHeader h =
+      PacketHeader::from_five_tuple(0, parse_ipv4("10.2.7.7"), 0, 0, 6);
+  AtomId atom = 0;
+  for (const AtomId x : uni.alive_ids())
+    if (uni.bdd_of(x).eval([&](std::uint32_t v) { return h.bit(v); })) atom = x;
+
+  const Behavior bh = compute_behavior(cn, net.topology, reg, atom, base.b1);
+  EXPECT_FALSE(bh.delivered());
+  ASSERT_EQ(bh.drops.size(), 1u);
+  EXPECT_EQ(bh.drops[0].reason, Drop::Reason::OutputAcl);
+}
+
+TEST(Behavior, MulticastExploresAllMatchingPorts) {
+  // Hand-build a compiled network where two port predicates overlap
+  // (multicast): box A sends 10/8 to both host ports.
+  NetworkModel net;
+  auto mgr = std::make_shared<BddManager>(HeaderLayout::kBits);
+  const BoxId a = net.topology.add_box("A");
+  const PortId m1 = net.topology.add_host_port(a, "m1");
+  const PortId m2 = net.topology.add_host_port(a, "m2");
+
+  PredicateRegistry reg;
+  const Bdd p = prefix_predicate(*mgr, HeaderLayout::kDstIp, parse_prefix("10.0.0.0/8"));
+  CompiledNetwork cn;
+  cn.port_preds.resize(1);
+  cn.in_acl_by_port.resize(1);
+  cn.in_acl_by_port[0].assign(net.topology.box(a).ports.size(), kNoPred);
+  cn.port_preds[0].push_back({m1.port, reg.add(p, PredicateKind::Forward, m1), kNoPred});
+  cn.port_preds[0].push_back({m2.port, reg.add(p, PredicateKind::Forward, m2), kNoPred});
+  const AtomUniverse uni = compute_atoms(reg);
+
+  const PacketHeader h = PacketHeader::from_five_tuple(0, parse_ipv4("10.5.5.5"), 0, 0, 6);
+  AtomId atom = 0;
+  for (const AtomId x : uni.alive_ids())
+    if (uni.bdd_of(x).eval([&](std::uint32_t v) { return h.bit(v); })) atom = x;
+
+  const Behavior bh = compute_behavior(cn, net.topology, reg, atom, a);
+  EXPECT_EQ(bh.deliveries.size(), 2u);
+  EXPECT_EQ(bh.edges.size(), 2u);
+}
+
+TEST(Behavior, DeletedForwardingPredicateIgnoredInStage2) {
+  PaperNet n;
+  const AtomId a4 = n.atom_of("10.2.7.7");
+  // Delete b2's forwarding predicate to h2: packet now dies at b2.
+  for (PredId p = 0; p < n.reg.size(); ++p) {
+    const auto& info = n.reg.info(p);
+    if (info.origin && info.origin->box == n.b2) n.reg.mark_deleted(p);
+  }
+  const Behavior b = compute_behavior(n.cn, n.net.topology, n.reg, a4, n.b1);
+  EXPECT_FALSE(b.delivered());
+  ASSERT_EQ(b.drops.size(), 1u);
+  EXPECT_EQ(b.drops[0].box, n.b2);
+}
+
+TEST(Behavior, ToStringMentionsPathAndDrops) {
+  PaperNet n;
+  const AtomId a4 = n.atom_of("10.2.7.7");
+  const Behavior b = compute_behavior(n.cn, n.net.topology, n.reg, a4, n.b1);
+  const std::string s = b.to_string(n.net.topology);
+  EXPECT_NE(s.find("b1"), std::string::npos);
+  EXPECT_NE(s.find("b2"), std::string::npos);
+  EXPECT_NE(s.find("(host)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,207 @@
+// Integration tests: the full two-stage ApClassifier cross-validated against
+// all three baselines and the reference FIB/ACL oracles on generated
+// datasets.
+#include <gtest/gtest.h>
+
+#include "baselines/ap_linear.hpp"
+#include "baselines/forwarding_sim.hpp"
+#include "baselines/hsa.hpp"
+#include "baselines/pscan.hpp"
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/traces.hpp"
+
+namespace apc {
+namespace {
+
+using datasets::Dataset;
+using datasets::Scale;
+
+std::vector<PacketHeader> sample_packets(const ApClassifier& clf, std::size_t n,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  return datasets::uniform_trace(reps, n, rng);
+}
+
+bool same_behavior(const Behavior& a, const Behavior& b) {
+  if (a.deliveries.size() != b.deliveries.size()) return false;
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    bool found = false;
+    for (const auto& d : b.deliveries)
+      found |= d == a.deliveries[i];
+    if (!found) return false;
+  }
+  if (a.drops.size() != b.drops.size()) return false;
+  if (a.loop_detected != b.loop_detected) return false;
+  return true;
+}
+
+class ClassifierCrossValidation
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ClassifierCrossValidation, AllEnginesAgree) {
+  const auto [which, seed] = GetParam();
+  Dataset d = which == 0 ? datasets::internet2_like(Scale::Tiny, seed)
+                         : datasets::stanford_like(Scale::Tiny, seed);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+
+  const ForwardingSimulation fsim(clf.compiled(), d.net.topology, clf.registry());
+  const PScan pscan(clf.compiled(), d.net.topology, clf.registry());
+  const ApLinear lin(clf.atoms());
+  const HsaEngine hsa(d.net);
+
+  const auto packets = sample_packets(clf, 60, seed * 31 + 1);
+  for (const auto& h : packets) {
+    for (BoxId ingress = 0; ingress < d.net.topology.box_count(); ingress += 3) {
+      const Behavior want = clf.query(h, ingress);
+      ASSERT_TRUE(same_behavior(want, fsim.query(h, ingress))) << h.to_string();
+      ASSERT_TRUE(same_behavior(want, pscan.query(h, ingress))) << h.to_string();
+      ASSERT_TRUE(same_behavior(want, hsa.query(h, ingress))) << h.to_string();
+      ASSERT_EQ(clf.classify(h), lin.classify(h));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, ClassifierCrossValidation,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Values(7u, 13u, 29u)));
+
+TEST(Classifier, DeliveriesMatchFibChainOracle) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 5);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+
+  const auto packets = sample_packets(clf, 40, 99);
+  for (const auto& h : packets) {
+    // Reference: chase FIB lookups from box 0.
+    BoxId cur = 0;
+    std::optional<PortId> delivered;
+    std::vector<bool> seen(d.net.topology.box_count(), false);
+    while (!seen[cur]) {
+      seen[cur] = true;
+      const auto port = d.net.fib(cur).lookup(h.dst_ip());
+      if (!port) break;
+      const Port& p = d.net.topology.box(cur).ports[*port];
+      if (p.kind == Port::Kind::Host) {
+        delivered = PortId{cur, *port};
+        break;
+      }
+      cur = p.peer->box;
+    }
+    const Behavior b = clf.query(h, 0);
+    if (delivered) {
+      ASSERT_TRUE(b.delivered()) << h.to_string();
+      EXPECT_EQ(b.deliveries[0], *delivered);
+    } else {
+      EXPECT_FALSE(b.delivered()) << h.to_string();
+    }
+  }
+}
+
+TEST(Classifier, BuildMethodsAgreeOnClassification) {
+  Dataset d = datasets::stanford_like(Scale::Tiny, 3);
+  auto mgr = Dataset::make_manager();
+  ApClassifier::Options opt;
+  opt.method = BuildMethod::Oapt;
+  const ApClassifier a(d.net, mgr, opt);
+  opt.method = BuildMethod::QuickOrdering;
+  const ApClassifier b(d.net, Dataset::make_manager(), opt);
+
+  const auto packets = sample_packets(a, 50, 17);
+  for (const auto& h : packets) {
+    // Atom ids may differ across instances; compare behaviors instead.
+    for (BoxId ingress = 0; ingress < 3; ++ingress)
+      EXPECT_TRUE(same_behavior(a.query(h, ingress), b.query(h, ingress)));
+  }
+}
+
+TEST(Classifier, StatsAndMemory) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 5);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  EXPECT_GT(clf.predicate_count(), 10u);
+  EXPECT_GT(clf.atom_count(), 5u);
+  EXPECT_EQ(clf.tree().leaf_count(), clf.atom_count());
+  const auto mem = clf.memory();
+  EXPECT_GT(mem.bdd_bytes, 0u);
+  EXPECT_GT(mem.tree_bytes, 0u);
+  EXPECT_GT(mem.registry_bytes, 0u);
+  EXPECT_EQ(mem.total(), mem.bdd_bytes + mem.tree_bytes + mem.registry_bytes);
+}
+
+TEST(Classifier, VisitTrackingAndDistributionAwareRebuild) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 5);
+  auto mgr = Dataset::make_manager();
+  ApClassifier::Options opt;
+  opt.track_visits = true;
+  ApClassifier clf(d.net, mgr, opt);
+
+  Rng rng(4);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  const auto trace =
+      datasets::pareto_trace(reps, clf.atoms().capacity(), 3000, rng);
+  for (const auto& h : trace.packets) clf.classify(h);
+
+  std::uint64_t total = 0;
+  for (const auto c : clf.visit_counts()) total += c;
+  EXPECT_EQ(total, 3000u);
+
+  const double unaware =
+      clf.tree().weighted_average_depth(clf.visit_weights());
+  const auto weights_before = clf.visit_weights();
+  clf.rebuild({}, /*distribution_aware=*/true);
+  // Weights were carried across the rebuild by construction; re-measure with
+  // a fresh trace replay.
+  clf.reset_visit_counts();
+  for (const auto& h : trace.packets) clf.classify(h);
+  const double aware = clf.tree().weighted_average_depth(clf.visit_weights());
+  EXPECT_LE(aware, unaware + 1e-9);
+  (void)weights_before;
+}
+
+TEST(Classifier, UpdateKeepsQueriesCorrect) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 8);
+  auto mgr = Dataset::make_manager();
+  ApClassifier clf(d.net, mgr);
+
+  const std::size_t atoms_before = clf.atom_count();
+  // Add a predicate that slices on protocol (orthogonal to all FIBs).
+  clf.add_predicate(mgr->equals(HeaderLayout::kProto, 8, 17));
+  EXPECT_GT(clf.atom_count(), atoms_before);
+
+  const ApLinear lin(clf.atoms());
+  const auto packets = sample_packets(clf, 40, 2);
+  for (const auto& h : packets) {
+    ASSERT_EQ(clf.classify(h), lin.classify(h));
+  }
+  // Stage 2 still matches forwarding simulation.
+  const ForwardingSimulation fsim(clf.compiled(), d.net.topology, clf.registry());
+  for (const auto& h : packets)
+    EXPECT_TRUE(same_behavior(clf.query(h, 0), fsim.query(h, 0)));
+}
+
+TEST(Classifier, RemovePredicateIsIgnoredByStage2) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 8);
+  auto mgr = Dataset::make_manager();
+  ApClassifier clf(d.net, mgr);
+  const auto res = clf.add_predicate(mgr->equals(HeaderLayout::kProto, 8, 6));
+  clf.remove_predicate(res.pred_id);
+  EXPECT_TRUE(clf.registry().is_deleted(res.pred_id));
+  // Queries still work and agree with forwarding simulation.
+  const ForwardingSimulation fsim(clf.compiled(), d.net.topology, clf.registry());
+  const auto packets = sample_packets(clf, 20, 3);
+  for (const auto& h : packets)
+    EXPECT_TRUE(same_behavior(clf.query(h, 0), fsim.query(h, 0)));
+}
+
+TEST(Classifier, BadIngressThrows) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 8);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  EXPECT_THROW(clf.query_probabilistic(PacketHeader{}, 999), Error);
+}
+
+}  // namespace
+}  // namespace apc

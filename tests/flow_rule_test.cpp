@@ -1,0 +1,243 @@
+// Tests for OpenFlow-style flow tables: rule semantics, the compiler
+// (validated against the reference lookup oracle), engine agreement,
+// updates, and serialization.
+#include <gtest/gtest.h>
+
+#include "baselines/forwarding_sim.hpp"
+#include "baselines/hsa.hpp"
+#include "baselines/trie.hpp"
+#include "classifier/classifier.hpp"
+#include "io/network_io.hpp"
+#include "rules/compiler.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+PacketHeader pkt(const char* src, const char* dst, std::uint16_t sport,
+                 std::uint16_t dport, std::uint8_t proto) {
+  return PacketHeader::from_five_tuple(parse_ipv4(src), parse_ipv4(dst), sport,
+                                       dport, proto);
+}
+
+TEST(FieldMatch, Semantics) {
+  const auto m1 = FieldMatch::dst_prefix(parse_prefix("10.2.0.0/16"));
+  EXPECT_TRUE(m1.matches(pkt("1.1.1.1", "10.2.9.9", 1, 2, 6)));
+  EXPECT_FALSE(m1.matches(pkt("1.1.1.1", "10.3.9.9", 1, 2, 6)));
+
+  const auto m2 = FieldMatch::dst_port_range(100, 200);
+  EXPECT_TRUE(m2.matches(pkt("1.1.1.1", "2.2.2.2", 1, 150, 6)));
+  EXPECT_FALSE(m2.matches(pkt("1.1.1.1", "2.2.2.2", 1, 99, 6)));
+  EXPECT_FALSE(m2.matches(pkt("1.1.1.1", "2.2.2.2", 1, 201, 6)));
+  EXPECT_THROW(FieldMatch::dst_port_range(5, 4), Error);
+
+  const auto m3 = FieldMatch::proto(6);
+  EXPECT_TRUE(m3.matches(pkt("1.1.1.1", "2.2.2.2", 1, 2, 6)));
+  EXPECT_FALSE(m3.matches(pkt("1.1.1.1", "2.2.2.2", 1, 2, 17)));
+
+  const auto m4 = FieldMatch::src_prefix(parse_prefix("0.0.0.0/0"));
+  EXPECT_TRUE(m4.matches(pkt("9.9.9.9", "2.2.2.2", 1, 2, 6)));
+}
+
+TEST(FlowTable, PriorityLookup) {
+  FlowTable t;
+  FlowRule low;
+  low.priority = 1;
+  low.egress_port = 1;  // match-all default
+  FlowRule high;
+  high.priority = 10;
+  high.egress_port = 2;
+  high.matches.push_back(FieldMatch::proto(6));
+  t.add(low);
+  t.add(high);
+
+  EXPECT_EQ(t.lookup(pkt("1.1.1.1", "2.2.2.2", 1, 2, 6))->egress_port, 2u);
+  EXPECT_EQ(t.lookup(pkt("1.1.1.1", "2.2.2.2", 1, 2, 17))->egress_port, 1u);
+}
+
+TEST(FlowTable, EmptyTableMisses) {
+  FlowTable t;
+  EXPECT_EQ(t.lookup(pkt("1.1.1.1", "2.2.2.2", 1, 2, 6)), nullptr);
+}
+
+class FlowCompileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowCompileProperty, CompilerMatchesLookupOracle) {
+  bdd::BddManager mgr(HeaderLayout::kBits);
+  Rng rng(GetParam());
+
+  FlowTable table;
+  for (int i = 0; i < 12; ++i) {
+    FlowRule r;
+    r.priority = static_cast<std::int32_t>(rng.uniform(8));
+    r.action = rng.coin(0.8) ? FlowRule::Action::Forward : FlowRule::Action::Drop;
+    r.egress_port = static_cast<std::uint32_t>(rng.uniform(4));
+    if (rng.coin()) {
+      r.matches.push_back(FieldMatch::dst_prefix(
+          {(10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0xFF0000u),
+           static_cast<std::uint8_t>(8 + rng.uniform(9))}));
+    }
+    if (rng.coin(0.4)) {
+      const std::uint16_t lo = static_cast<std::uint16_t>(rng.uniform(1000));
+      r.matches.push_back(FieldMatch::dst_port_range(
+          lo, static_cast<std::uint16_t>(lo + rng.uniform(300))));
+    }
+    if (rng.coin(0.4)) r.matches.push_back(FieldMatch::proto(rng.coin() ? 6 : 17));
+    table.add(std::move(r));
+  }
+
+  const auto port_preds = compile_flow_table(mgr, table);
+  for (int i = 0; i < 500; ++i) {
+    const PacketHeader h = pkt("1.2.3.4", "10.0.0.0", 0, 0, 0);
+    PacketHeader probe = h;
+    probe.set_dst_ip((10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0xFFFFFFu));
+    probe.set_dst_port(static_cast<std::uint16_t>(rng.uniform(1400)));
+    probe.set_proto(rng.coin() ? 6 : 17);
+
+    const FlowRule* want = table.lookup(probe);
+    std::optional<std::uint32_t> got;
+    for (const auto& [port, pred] : port_preds) {
+      if (pred.eval([&](std::uint32_t v) { return probe.bit(v); })) {
+        ASSERT_FALSE(got.has_value()) << "port predicates must be disjoint";
+        got = port;
+      }
+    }
+    if (want && want->action == FlowRule::Action::Forward) {
+      ASSERT_EQ(got, want->egress_port) << probe.to_string();
+    } else {
+      ASSERT_EQ(got, std::nullopt) << probe.to_string();  // miss or drop
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowCompileProperty, ::testing::Values(3, 17, 42, 99));
+
+struct SdnWorld {
+  NetworkModel net;
+  std::shared_ptr<bdd::BddManager> mgr =
+      std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  std::unique_ptr<ApClassifier> clf;
+  BoxId sw = 0, b2 = 1;
+
+  SdnWorld() {
+    sw = net.topology.add_box("sw");
+    b2 = net.topology.add_box("b2");
+    net.topology.add_link(sw, b2);  // port 0 both
+    net.topology.add_host_port(sw, "h1");   // port 1
+    net.topology.add_host_port(b2, "h2");   // port 1
+
+    FlowTable t;
+    FlowRule web;  // TCP/80 to 10.2/16 -> b2
+    web.priority = 20;
+    web.matches = {FieldMatch::dst_prefix(parse_prefix("10.2.0.0/16")),
+                   FieldMatch::dst_port_range(80, 80), FieldMatch::proto(6)};
+    web.egress_port = 0;
+    FlowRule blocked;  // everything else to 10.2/16: drop
+    blocked.priority = 10;
+    blocked.matches = {FieldMatch::dst_prefix(parse_prefix("10.2.0.0/16"))};
+    blocked.action = FlowRule::Action::Drop;
+    FlowRule local;  // table-miss default: deliver locally
+    local.priority = 0;
+    local.egress_port = 1;
+    t.add(web);
+    t.add(blocked);
+    t.add(local);
+    net.flow_tables[sw] = std::move(t);
+
+    net.fib(b2).add(parse_prefix("10.2.0.0/16"), 1);
+    clf = std::make_unique<ApClassifier>(net, mgr);
+  }
+};
+
+TEST(FlowTableNetwork, ClassifierFollowsFlowSemantics) {
+  SdnWorld w;
+  // Web traffic reaches h2.
+  const Behavior web = w.clf->query(pkt("10.1.0.1", "10.2.0.9", 999, 80, 6), w.sw);
+  ASSERT_TRUE(web.delivered());
+  EXPECT_EQ(web.deliveries[0].box, w.b2);
+  // Non-web traffic to 10.2 is dropped by the flow table.
+  const Behavior ssh = w.clf->query(pkt("10.1.0.1", "10.2.0.9", 999, 22, 6), w.sw);
+  EXPECT_FALSE(ssh.delivered());
+  // Everything else takes the table-miss default to h1.
+  const Behavior other = w.clf->query(pkt("10.1.0.1", "10.9.0.9", 999, 80, 6), w.sw);
+  ASSERT_TRUE(other.delivered());
+  EXPECT_EQ(other.deliveries[0].box, w.sw);
+}
+
+TEST(FlowTableNetwork, AllEnginesAgree) {
+  SdnWorld w;
+  const ForwardingSimulation fsim(w.clf->compiled(), w.net.topology, w.clf->registry());
+  const HsaEngine hsa(w.net);
+  const TrieEngine trie(w.net);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    PacketHeader h = pkt("10.1.0.1", "10.0.0.0", 0, 0, 0);
+    h.set_dst_ip((10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0x03FFFFFFu));
+    h.set_dst_port(rng.coin() ? 80 : static_cast<std::uint16_t>(rng.uniform(1000)));
+    h.set_proto(rng.coin() ? 6 : 17);
+    const Behavior a = w.clf->query(h, w.sw);
+    const Behavior f = fsim.query(h, w.sw);
+    const Behavior x = hsa.query(h, w.sw);
+    const Behavior t = trie.query(h, w.sw);
+    ASSERT_EQ(a.delivered(), f.delivered()) << h.to_string();
+    ASSERT_EQ(a.delivered(), x.delivered()) << h.to_string();
+    ASSERT_EQ(a.delivered(), t.delivered()) << h.to_string();
+    if (a.delivered()) {
+      ASSERT_EQ(a.deliveries[0], f.deliveries[0]);
+      ASSERT_EQ(a.deliveries[0], x.deliveries[0]);
+      ASSERT_EQ(a.deliveries[0], t.deliveries[0]);
+    }
+  }
+}
+
+TEST(FlowTableNetwork, FlowRuleUpdates) {
+  SdnWorld w;
+  // Allow SSH to 10.2.7/24 with a higher-priority rule.
+  FlowRule ssh;
+  ssh.priority = 30;
+  ssh.matches = {FieldMatch::dst_prefix(parse_prefix("10.2.7.0/24")),
+                 FieldMatch::dst_port_range(22, 22), FieldMatch::proto(6)};
+  ssh.egress_port = 0;
+  const auto res = w.clf->insert_flow_rule(w.sw, ssh);
+  EXPECT_GE(res.predicates_changed, 1u);
+
+  EXPECT_TRUE(w.clf->query(pkt("1.1.1.1", "10.2.7.9", 9, 22, 6), w.sw).delivered());
+  EXPECT_FALSE(w.clf->query(pkt("1.1.1.1", "10.2.8.9", 9, 22, 6), w.sw).delivered());
+
+  // Remove it (it is the last rule in the table) and behavior reverts.
+  const std::size_t idx = w.clf->network().flow_tables.at(w.sw).rules.size() - 1;
+  w.clf->remove_flow_rule(w.sw, idx);
+  EXPECT_FALSE(w.clf->query(pkt("1.1.1.1", "10.2.7.9", 9, 22, 6), w.sw).delivered());
+  EXPECT_THROW(w.clf->remove_flow_rule(w.sw, 999), Error);
+}
+
+TEST(FlowTableNetwork, FibExclusivityEnforced) {
+  NetworkModel net;
+  const BoxId a = net.topology.add_box("a");
+  net.topology.add_host_port(a);
+  net.fib(a).add(parse_prefix("10.0.0.0/8"), 0);
+  FlowRule r;
+  r.egress_port = 0;
+  net.flow_tables[a].add(r);
+  EXPECT_THROW(net.validate(), Error);
+}
+
+TEST(FlowTableNetwork, IoRoundTrip) {
+  SdnWorld w;
+  const NetworkModel back = io::read_network_string(io::write_network_string(w.net));
+  ASSERT_EQ(back.flow_tables.size(), 1u);
+  const FlowTable& t = back.flow_tables.at(w.sw);
+  ASSERT_EQ(t.rules.size(), 3u);
+  // Behavior equivalence after the round trip.
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  const ApClassifier clf2(back, mgr);
+  for (const auto& probe :
+       {pkt("10.1.0.1", "10.2.0.9", 9, 80, 6), pkt("10.1.0.1", "10.2.0.9", 9, 22, 6),
+        pkt("10.1.0.1", "10.9.0.9", 9, 80, 6)}) {
+    EXPECT_EQ(w.clf->query(probe, w.sw).delivered(),
+              clf2.query(probe, w.sw).delivered());
+  }
+}
+
+}  // namespace
+}  // namespace apc

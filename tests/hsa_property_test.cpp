@@ -1,0 +1,123 @@
+// Property tests: HSA ternary set arithmetic cross-validated against the
+// BDD engine — two independent implementations of header-space sets must
+// agree on membership for random cubes and random packets.
+#include <gtest/gtest.h>
+
+#include "baselines/hsa.hpp"
+#include "bdd/bdd.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+constexpr std::uint32_t kBits = 32;  // compact space keeps BDDs cheap
+
+struct CubePair {
+  Ternary ternary;
+  bdd::Bdd bdd;
+};
+
+CubePair random_cube(bdd::BddManager& mgr, Rng& rng) {
+  CubePair c{Ternary::wildcard(), mgr.bdd_true()};
+  for (std::uint32_t v = 0; v < kBits; ++v) {
+    const auto r = rng.uniform(4);
+    if (r >= 2) continue;  // wildcard bit
+    const bool val = r == 1;
+    c.ternary.set_field(v, 1, val ? 1 : 0);
+    c.bdd = c.bdd & (val ? mgr.var(v) : mgr.nvar(v));
+  }
+  return c;
+}
+
+PacketHeader random_header(Rng& rng) {
+  PacketHeader h;
+  for (std::uint32_t v = 0; v < kBits; ++v) h.set_bit(v, rng.coin());
+  return h;
+}
+
+bool bdd_contains(const bdd::Bdd& f, const PacketHeader& h) {
+  return f.eval([&](std::uint32_t v) { return h.bit(v); });
+}
+
+class HsaVsBdd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HsaVsBdd, CubeMembershipAgrees) {
+  bdd::BddManager mgr(kBits);
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    const CubePair c = random_cube(mgr, rng);
+    for (int i = 0; i < 50; ++i) {
+      const PacketHeader h = random_header(rng);
+      ASSERT_EQ(c.ternary.contains(h), bdd_contains(c.bdd, h));
+    }
+  }
+}
+
+TEST_P(HsaVsBdd, IntersectAgrees) {
+  bdd::BddManager mgr(kBits);
+  Rng rng(GetParam() * 7 + 1);
+  for (int iter = 0; iter < 20; ++iter) {
+    const CubePair a = random_cube(mgr, rng);
+    const CubePair b = random_cube(mgr, rng);
+    const auto ti = a.ternary.intersect(b.ternary);
+    const bdd::Bdd bi = a.bdd & b.bdd;
+    ASSERT_EQ(ti.has_value(), !bi.is_false());
+    if (!ti) continue;
+    for (int i = 0; i < 50; ++i) {
+      const PacketHeader h = random_header(rng);
+      ASSERT_EQ(ti->contains(h), bdd_contains(bi, h));
+    }
+  }
+}
+
+TEST_P(HsaVsBdd, SubtractAgrees) {
+  bdd::BddManager mgr(kBits);
+  Rng rng(GetParam() * 13 + 3);
+  for (int iter = 0; iter < 15; ++iter) {
+    const CubePair a = random_cube(mgr, rng);
+    const CubePair b = random_cube(mgr, rng);
+    const HeaderSet diff = HeaderSet(a.ternary).subtract(b.ternary);
+    const bdd::Bdd bd = a.bdd.minus(b.bdd);
+    for (int i = 0; i < 80; ++i) {
+      const PacketHeader h = random_header(rng);
+      ASSERT_EQ(diff.contains(h), bdd_contains(bd, h))
+          << "seed=" << GetParam() << " iter=" << iter;
+    }
+  }
+}
+
+TEST_P(HsaVsBdd, ChainedRuleConsumptionAgrees) {
+  // Emulate a transfer-function scan: subtract a sequence of rule matches
+  // from an initial set, comparing the surviving space against BDDs.
+  bdd::BddManager mgr(kBits);
+  Rng rng(GetParam() * 29 + 11);
+  const CubePair start = random_cube(mgr, rng);
+  HeaderSet hs(start.ternary);
+  bdd::Bdd remaining = start.bdd;
+  for (int r = 0; r < 8; ++r) {
+    const CubePair rule = random_cube(mgr, rng);
+    hs = hs.subtract(rule.ternary);
+    remaining = remaining.minus(rule.bdd);
+    for (int i = 0; i < 40; ++i) {
+      const PacketHeader h = random_header(rng);
+      ASSERT_EQ(hs.contains(h), bdd_contains(remaining, h)) << "rule " << r;
+    }
+    ASSERT_EQ(hs.empty() || !remaining.is_false() || !hs.contains(random_header(rng)),
+              true);
+  }
+}
+
+TEST_P(HsaVsBdd, CoversMatchesImplication) {
+  bdd::BddManager mgr(kBits);
+  Rng rng(GetParam() * 31 + 17);
+  for (int iter = 0; iter < 40; ++iter) {
+    const CubePair a = random_cube(mgr, rng);
+    const CubePair b = random_cube(mgr, rng);
+    ASSERT_EQ(a.ternary.covers(b.ternary), b.bdd.implies(a.bdd));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsaVsBdd, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,160 @@
+// Tests for the network text format (src/io).
+#include <gtest/gtest.h>
+
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "io/network_io.hpp"
+
+namespace apc::io {
+namespace {
+
+constexpr const char* kSample = R"(
+# tiny two-box network
+box left
+box right
+link left right
+hostport left h1
+hostport right h2
+fib left 10.1.0.0/16 1
+fib left 10.2.0.0/16 0
+fib right 10.2.0.0/16 1
+acl in right 0 default permit
+aclrule in right 0 deny src 0.0.0.0/0 dst 10.2.9.0/24 sport 0-65535 dport 23-23 proto 6
+)";
+
+TEST(NetworkIo, ParsesSample) {
+  const NetworkModel net = read_network_string(kSample);
+  EXPECT_EQ(net.topology.box_count(), 2u);
+  EXPECT_EQ(net.topology.find_box("left"), 0u);
+  EXPECT_EQ(net.total_forwarding_rules(), 3u);
+  EXPECT_EQ(net.total_acl_rules(), 1u);
+  const Acl* acl = net.input_acl(1, 0);
+  ASSERT_NE(acl, nullptr);
+  EXPECT_EQ(acl->rules.size(), 1u);
+  EXPECT_EQ(acl->rules[0].dst_port.lo, 23);
+  EXPECT_EQ(*acl->rules[0].proto, 6);
+  // Port layout: link ports are port 0, host ports port 1.
+  EXPECT_EQ(net.topology.port({0, 0}).kind, Port::Kind::Link);
+  EXPECT_EQ(net.topology.port({0, 1}).kind, Port::Kind::Host);
+}
+
+TEST(NetworkIo, ParsedNetworkClassifies) {
+  const NetworkModel net = read_network_string(kSample);
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  const ApClassifier clf(net, mgr);
+  const PacketHeader ok = PacketHeader::from_five_tuple(
+      parse_ipv4("10.1.0.9"), parse_ipv4("10.2.1.1"), 1000, 80, 6);
+  const Behavior b = clf.query(ok, 0);
+  ASSERT_TRUE(b.delivered());
+  EXPECT_EQ(b.deliveries[0].box, 1u);
+
+  // Telnet to the guarded /24 is dropped by the input ACL at `right`.
+  const PacketHeader blocked = PacketHeader::from_five_tuple(
+      parse_ipv4("10.1.0.9"), parse_ipv4("10.2.9.1"), 1000, 23, 6);
+  const Behavior bb = clf.query(blocked, 0);
+  EXPECT_FALSE(bb.delivered());
+  ASSERT_EQ(bb.drops.size(), 1u);
+  EXPECT_EQ(bb.drops[0].reason, Drop::Reason::InputAcl);
+}
+
+TEST(NetworkIo, RoundTripSample) {
+  const NetworkModel a = read_network_string(kSample);
+  const NetworkModel b = read_network_string(write_network_string(a));
+  EXPECT_EQ(a.topology.box_count(), b.topology.box_count());
+  EXPECT_EQ(a.total_forwarding_rules(), b.total_forwarding_rules());
+  EXPECT_EQ(a.total_acl_rules(), b.total_acl_rules());
+  for (BoxId x = 0; x < a.topology.box_count(); ++x) {
+    ASSERT_EQ(a.topology.box(x).ports.size(), b.topology.box(x).ports.size());
+    for (std::uint32_t p = 0; p < a.topology.box(x).ports.size(); ++p) {
+      EXPECT_EQ(a.topology.port({x, p}).kind, b.topology.port({x, p}).kind);
+      EXPECT_EQ(a.topology.port({x, p}).peer, b.topology.port({x, p}).peer);
+    }
+    ASSERT_EQ(a.fib(x).rules.size(), b.fib(x).rules.size());
+    for (std::size_t i = 0; i < a.fib(x).rules.size(); ++i) {
+      EXPECT_EQ(a.fib(x).rules[i].dst, b.fib(x).rules[i].dst);
+      EXPECT_EQ(a.fib(x).rules[i].egress_port, b.fib(x).rules[i].egress_port);
+    }
+  }
+}
+
+TEST(NetworkIo, RoundTripGeneratedDatasets) {
+  for (int which : {0, 1}) {
+    const datasets::Dataset d = which == 0
+                                    ? datasets::internet2_like(datasets::Scale::Tiny, 3)
+                                    : datasets::stanford_like(datasets::Scale::Tiny, 3);
+    const NetworkModel back = read_network_string(write_network_string(d.net));
+    EXPECT_EQ(back.topology.box_count(), d.net.topology.box_count());
+    EXPECT_EQ(back.total_forwarding_rules(), d.net.total_forwarding_rules());
+    EXPECT_EQ(back.total_acl_rules(), d.net.total_acl_rules());
+    // Behavior equivalence: same queries, same answers.
+    auto m1 = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+    auto m2 = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+    const ApClassifier c1(d.net, m1), c2(back, m2);
+    EXPECT_EQ(c1.predicate_count(), c2.predicate_count());
+    EXPECT_EQ(c1.atom_count(), c2.atom_count());
+  }
+}
+
+TEST(NetworkIo, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* text, const char* fragment) {
+    try {
+      read_network_string(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("frobnicate x\n", "unknown directive");
+  expect_error("box a\nbox a\n", "duplicate box");
+  expect_error("link a b\n", "unknown box");
+  expect_error("box a\nfib a banana 0\n", "malformed");
+  // Port-existence is checked by NetworkModel::validate() after parsing
+  // (structural, so no line number).
+  EXPECT_THROW(read_network_string("box a\nhostport a\nfib a 10.0.0.0/8 7\n"), Error);
+  expect_error("box a\nbox b\nlink a b\naclrule in a 0 deny src 0.0.0.0/0 dst "
+               "0.0.0.0/0 sport 0-65535 dport 0-65535 proto any\n",
+               "before matching acl");
+}
+
+TEST(NetworkIo, CommentsAndBlankLinesIgnored) {
+  const NetworkModel net = read_network_string(
+      "# header\n\nbox a   # trailing comment\n\n# done\n");
+  EXPECT_EQ(net.topology.box_count(), 1u);
+}
+
+TEST(NetworkIo, FileRoundTrip) {
+  const datasets::Dataset d = datasets::internet2_like(datasets::Scale::Tiny, 5);
+  const std::string path = "/tmp/apc_io_test_net.txt";
+  write_network_file(d.net, path);
+  const NetworkModel back = read_network_file(path);
+  EXPECT_EQ(back.total_forwarding_rules(), d.net.total_forwarding_rules());
+  EXPECT_THROW(read_network_file("/nonexistent/nope.txt"), Error);
+}
+
+TEST(NetworkIo, WriterRejectsNonSerializablePortOrder) {
+  NetworkModel net;
+  const BoxId a = net.topology.add_box("a");
+  const BoxId b = net.topology.add_box("b");
+  net.topology.add_host_port(a);  // host port BEFORE the link
+  net.topology.add_link(a, b);
+  EXPECT_THROW(write_network_string(net), Error);
+}
+
+TEST(NetworkIo, InterleavedLinkOrderSerializes) {
+  // Link creation order that differs from box order: B-C before A-B.
+  NetworkModel net;
+  const BoxId a = net.topology.add_box("a");
+  const BoxId b = net.topology.add_box("b");
+  const BoxId c = net.topology.add_box("c");
+  net.topology.add_link(b, c);
+  net.topology.add_link(a, b);
+  const NetworkModel back = read_network_string(write_network_string(net));
+  // b's port 0 must still point at c, port 1 at a.
+  EXPECT_EQ(back.topology.port({b, 0}).peer->box, c);
+  EXPECT_EQ(back.topology.port({b, 1}).peer->box, a);
+}
+
+}  // namespace
+}  // namespace apc::io

@@ -1,0 +1,216 @@
+// IPv6 support: address parsing/formatting (RFC 4291 / 5952), prefixes, and
+// a full IPv6 flow-table network through the whole pipeline.
+#include <gtest/gtest.h>
+
+#include "baselines/ap_linear.hpp"
+#include "baselines/forwarding_sim.hpp"
+#include "baselines/hsa.hpp"
+#include "classifier/classifier.hpp"
+#include "packet/ipv6.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+TEST(Ipv6, ParseFullForm) {
+  const Ipv6Addr a = parse_ipv6("2001:0db8:0000:0000:0000:ff00:0042:8329");
+  EXPECT_EQ(a.hi(), 0x20010db800000000ull);
+  EXPECT_EQ(a.lo(), 0x0000ff0000428329ull);
+}
+
+TEST(Ipv6, ParseCompressed) {
+  EXPECT_EQ(parse_ipv6("::"), Ipv6Addr{});
+  EXPECT_EQ(parse_ipv6("::1").lo(), 1u);
+  EXPECT_EQ(parse_ipv6("::1").hi(), 0u);
+  EXPECT_EQ(parse_ipv6("fe80::1").hi(), 0xfe80000000000000ull);
+  EXPECT_EQ(parse_ipv6("2001:db8::8a2e:370:7334"),
+            parse_ipv6("2001:0db8:0000:0000:0000:8a2e:0370:7334"));
+  EXPECT_EQ(parse_ipv6("2001:db8::"), Ipv6Addr::from_words(0x20010db800000000ull, 0));
+}
+
+TEST(Ipv6, ParseEmbeddedIpv4) {
+  const Ipv6Addr a = parse_ipv6("::ffff:192.0.2.128");
+  EXPECT_EQ(a.hi(), 0u);
+  EXPECT_EQ(a.lo(), 0x0000ffffc0000280ull);
+}
+
+TEST(Ipv6, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_ipv6(""), Error);
+  EXPECT_THROW(parse_ipv6("1:2:3"), Error);
+  EXPECT_THROW(parse_ipv6("1::2::3"), Error);
+  EXPECT_THROW(parse_ipv6("12345::"), Error);
+  EXPECT_THROW(parse_ipv6("g::1"), Error);
+  EXPECT_THROW(parse_ipv6("1:2:3:4:5:6:7:8:9"), Error);
+  EXPECT_THROW(parse_ipv6("1:2:3:4:5:6:7::8"), Error);  // :: expands to nothing
+  EXPECT_THROW(parse_ipv6("::1.2.3.4.5"), Error);
+}
+
+TEST(Ipv6, FormatCanonical) {
+  // RFC 5952 vectors.
+  EXPECT_EQ(format_ipv6(parse_ipv6("2001:0db8:0:0:0:0:2:1")), "2001:db8::2:1");
+  EXPECT_EQ(format_ipv6(parse_ipv6("2001:db8:0:1:1:1:1:1")), "2001:db8:0:1:1:1:1:1");
+  EXPECT_EQ(format_ipv6(parse_ipv6("2001:0:0:1:0:0:0:1")), "2001:0:0:1::1");
+  EXPECT_EQ(format_ipv6(parse_ipv6("::")), "::");
+  EXPECT_EQ(format_ipv6(parse_ipv6("::1")), "::1");
+  EXPECT_EQ(format_ipv6(parse_ipv6("2001:db8::")), "2001:db8::");
+  EXPECT_EQ(format_ipv6(parse_ipv6("1:2:3:4:5:6:7:8")), "1:2:3:4:5:6:7:8");
+}
+
+TEST(Ipv6, ParseFormatRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    Ipv6Addr a;
+    for (auto& b : a.bytes) b = static_cast<std::uint8_t>(rng.next());
+    // Zero out random spans to exercise compression.
+    if (rng.coin()) {
+      const int start = static_cast<int>(rng.uniform(14));
+      const int len = 2 + static_cast<int>(rng.uniform(8));
+      for (int j = start; j < std::min(16, start + len); ++j) a.bytes[j] = 0;
+    }
+    EXPECT_EQ(parse_ipv6(format_ipv6(a)), a);
+  }
+}
+
+TEST(Ipv6, PrefixContainsAndNormalize) {
+  const Ipv6Prefix p = parse_ipv6_prefix("2001:db8::/32");
+  EXPECT_TRUE(p.contains(parse_ipv6("2001:db8:ffff::1")));
+  EXPECT_FALSE(p.contains(parse_ipv6("2001:db9::1")));
+  EXPECT_TRUE(parse_ipv6_prefix("::/0").contains(parse_ipv6("fe80::1")));
+  // Normalization zeroes host bits.
+  EXPECT_EQ(parse_ipv6_prefix("2001:db8::ff/32"), parse_ipv6_prefix("2001:db8::/32"));
+  // /128 = exact.
+  const Ipv6Prefix host = parse_ipv6_prefix("::1");
+  EXPECT_EQ(host.len, 128);
+  EXPECT_TRUE(host.contains(parse_ipv6("::1")));
+  EXPECT_FALSE(host.contains(parse_ipv6("::2")));
+  EXPECT_THROW(parse_ipv6_prefix("::/129"), Error);
+  EXPECT_EQ(format_ipv6_prefix(p), "2001:db8::/32");
+}
+
+TEST(Ipv6, PrefixMatchHelpers) {
+  // <=64-bit prefix: one FieldMatch; longer: two.
+  EXPECT_EQ(ipv6_dst_match(parse_ipv6_prefix("2001:db8::/32")).size(), 1u);
+  EXPECT_EQ(ipv6_dst_match(parse_ipv6_prefix("2001:db8::1/128")).size(), 2u);
+  EXPECT_TRUE(ipv6_dst_match(parse_ipv6_prefix("::/0")).empty());
+  const auto m = ipv6_src_match(parse_ipv6_prefix("fe80::/10"));
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].offset, Ipv6Layout::kSrc);
+}
+
+struct V6World {
+  NetworkModel net;
+  std::shared_ptr<bdd::BddManager> mgr =
+      std::make_shared<bdd::BddManager>(Ipv6Layout::kBits);
+  std::unique_ptr<ApClassifier> clf;
+  BoxId edge = 0, core = 1, dc = 2;
+
+  V6World() {
+    edge = net.topology.add_box("edge");
+    core = net.topology.add_box("core");
+    dc = net.topology.add_box("dc");
+    net.topology.add_link(edge, core);  // edge:0
+    net.topology.add_link(core, dc);    // core:1
+    net.topology.add_host_port(edge, "h");  // edge:1
+    net.topology.add_host_port(dc, "srv");  // dc:1
+
+    const auto table_for = [](const Ipv6Prefix& toward, std::uint32_t port,
+                              const Ipv6Prefix& local, std::uint32_t local_port) {
+      FlowTable t;
+      FlowRule fwd;
+      fwd.priority = 10;
+      fwd.matches = ipv6_dst_match(toward);
+      fwd.egress_port = port;
+      t.add(fwd);
+      FlowRule loc;
+      loc.priority = 10;
+      loc.matches = ipv6_dst_match(local);
+      loc.egress_port = local_port;
+      t.add(loc);
+      return t;
+    };
+    const Ipv6Prefix dc_net = parse_ipv6_prefix("2001:db8:1000::/48");
+    const Ipv6Prefix edge_net = parse_ipv6_prefix("2001:db8:2000::/48");
+    net.flow_tables[edge] = table_for(dc_net, 0, edge_net, 1);
+    net.flow_tables[core] = table_for(dc_net, 1, edge_net, 0);
+    FlowTable td;
+    FlowRule deliver;
+    deliver.matches = ipv6_dst_match(dc_net);
+    deliver.egress_port = 1;
+    td.add(deliver);
+    FlowRule back;
+    back.matches = ipv6_dst_match(edge_net);
+    back.egress_port = 0;  // toward core
+    td.add(back);
+    net.flow_tables[dc] = std::move(td);
+
+    clf = std::make_unique<ApClassifier>(net, mgr);
+  }
+
+  static PacketHeader pkt(const char* src, const char* dst) {
+    return ipv6_header(parse_ipv6(src), parse_ipv6(dst), 40000, 443, 6);
+  }
+};
+
+TEST(Ipv6, EndToEndClassification) {
+  V6World w;
+  EXPECT_GE(w.clf->atom_count(), 3u);
+
+  const Behavior to_dc = w.clf->query(
+      V6World::pkt("2001:db8:2000::5", "2001:db8:1000::9"), w.edge);
+  ASSERT_TRUE(to_dc.delivered());
+  EXPECT_EQ(to_dc.deliveries[0].box, w.dc);
+
+  const Behavior to_edge = w.clf->query(
+      V6World::pkt("2001:db8:1000::9", "2001:db8:2000::5"), w.dc);
+  ASSERT_TRUE(to_edge.delivered());
+  EXPECT_EQ(to_edge.deliveries[0].box, w.edge);
+
+  const Behavior off_net = w.clf->query(
+      V6World::pkt("2001:db8:2000::5", "2001:db8:3000::1"), w.edge);
+  EXPECT_FALSE(off_net.delivered());
+}
+
+TEST(Ipv6, EnginesAgreeOnV6Network) {
+  V6World w;
+  const ForwardingSimulation fsim(w.clf->compiled(), w.net.topology,
+                                  w.clf->registry());
+  const HsaEngine hsa(w.net);
+  const ApLinear lin(w.clf->atoms());
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    Ipv6Addr dst = parse_ipv6(rng.coin() ? "2001:db8:1000::" : "2001:db8:2000::");
+    dst.bytes[15] = static_cast<std::uint8_t>(rng.next());
+    if (rng.coin(0.2)) dst.bytes[3] = static_cast<std::uint8_t>(rng.next());
+    const PacketHeader h = ipv6_header(parse_ipv6("2001:db8:2000::5"), dst,
+                                       static_cast<std::uint16_t>(rng.next()), 443, 6);
+    ASSERT_EQ(w.clf->classify(h), lin.classify(h));
+    const Behavior a = w.clf->query(h, w.edge);
+    const Behavior f = fsim.query(h, w.edge);
+    const Behavior x = hsa.query(h, w.edge);
+    ASSERT_EQ(a.delivered(), f.delivered());
+    ASSERT_EQ(a.delivered(), x.delivered());
+    if (a.delivered()) {
+      ASSERT_EQ(a.deliveries[0], f.deliveries[0]);
+      ASSERT_EQ(a.deliveries[0], x.deliveries[0]);
+    }
+  }
+}
+
+TEST(Ipv6, FlowRuleUpdatesOnV6) {
+  V6World w;
+  FlowRule block;
+  block.priority = 20;
+  block.matches = ipv6_dst_match(parse_ipv6_prefix("2001:db8:1000:0:dead::/80"));
+  block.action = FlowRule::Action::Drop;
+  w.clf->insert_flow_rule(w.edge, block);
+
+  EXPECT_FALSE(w.clf->query(
+      V6World::pkt("2001:db8:2000::5", "2001:db8:1000:0:dead::1"), w.edge)
+                   .delivered());
+  EXPECT_TRUE(w.clf->query(
+      V6World::pkt("2001:db8:2000::5", "2001:db8:1000::9"), w.edge)
+                  .delivered());
+}
+
+}  // namespace
+}  // namespace apc

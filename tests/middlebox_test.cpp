@@ -1,0 +1,259 @@
+// Tests for middlebox header changes (paper SS V-E): Type 1 (flow table with
+// precomputed atom), Type 2 (re-search the AP Tree), Type 3 (probabilistic).
+#include <gtest/gtest.h>
+
+#include "classifier/classifier.hpp"
+#include "network/model.hpp"
+#include "rules/compiler.hpp"
+
+namespace apc {
+namespace {
+
+using bdd::BddManager;
+
+/// Fig. 7-style network: b1 --(link)-- b2; b1 also delivers locally.
+/// A middlebox at b1 rewrites (NATs) certain destinations.
+struct MbNet {
+  NetworkModel net;
+  std::shared_ptr<BddManager> mgr = std::make_shared<BddManager>(HeaderLayout::kBits);
+  BoxId b1 = 0, b2 = 0;
+  PortId h1, h2;
+
+  MbNet() {
+    b1 = net.topology.add_box("b1");
+    b2 = net.topology.add_box("b2");
+    net.topology.add_link(b1, b2);  // port 0 both
+    h1 = net.topology.add_host_port(b1, "h1");
+    h2 = net.topology.add_host_port(b2, "h2");
+    net.fib(b1).add(parse_prefix("10.1.0.0/16"), h1.port);
+    net.fib(b1).add(parse_prefix("10.2.0.0/16"), 0);
+    net.fib(b2).add(parse_prefix("10.2.0.0/16"), h2.port);
+  }
+};
+
+PacketHeader pkt(const char* dst) {
+  return PacketHeader::from_five_tuple(parse_ipv4("192.168.0.1"), parse_ipv4(dst),
+                                       4242, 80, 6);
+}
+
+HeaderRewrite rewrite_dst(const char* dst) {
+  HeaderRewrite rw;
+  rw.sets.push_back({HeaderLayout::kDstIp, 32, parse_ipv4(dst)});
+  return rw;
+}
+
+FlatBitset all_atoms_matching(const ApClassifier& clf, const PacketHeader& h) {
+  FlatBitset m(clf.atoms().capacity());
+  m.set(clf.classify(h));
+  return m;
+}
+
+TEST(Middlebox, Type1PrecomputedAtomRedirects) {
+  MbNet n;
+  ApClassifier clf(n.net, n.mgr);
+
+  // NAT at b1: packets to 10.1.9.9 are rewritten to 10.2.9.9 (delivered at
+  // h2 instead of h1).  The flow table stores the new atom (Type 1).
+  const PacketHeader before = pkt("10.1.9.9");
+  const PacketHeader after = pkt("10.2.9.9");
+  MiddleboxEntry e;
+  e.match_atoms = all_atoms_matching(clf, before);
+  e.type = ChangeType::Deterministic;
+  e.rewrite = rewrite_dst("10.2.9.9");
+  e.next_atom = clf.classify(after);
+  Middlebox mb;
+  mb.box = n.b1;
+  mb.entries.push_back(std::move(e));
+  clf.attach_middlebox(std::move(mb));
+
+  const Behavior b = clf.query(before, n.b1);
+  ASSERT_TRUE(b.delivered());
+  EXPECT_EQ(b.deliveries[0].box, n.b2);  // rerouted through the NAT
+  EXPECT_EQ(b.deliveries[0].port, n.h2.port);
+
+  // Unmatched packets pass through unchanged.
+  const Behavior other = clf.query(pkt("10.2.1.1"), n.b1);
+  ASSERT_TRUE(other.delivered());
+  EXPECT_EQ(other.deliveries[0].box, n.b2);
+}
+
+TEST(Middlebox, Type2ResearchesTree) {
+  MbNet n;
+  ApClassifier clf(n.net, n.mgr);
+
+  const PacketHeader before = pkt("10.2.5.5");
+  MiddleboxEntry e;
+  e.match_atoms = all_atoms_matching(clf, before);
+  e.type = ChangeType::PayloadDependent;
+  e.rewrite = rewrite_dst("10.1.5.5");  // payload-derived rewrite (simulated)
+  Middlebox mb;
+  mb.box = n.b1;
+  mb.entries.push_back(std::move(e));
+  clf.attach_middlebox(std::move(mb));
+
+  const Behavior b = clf.query(before, n.b1);
+  ASSERT_TRUE(b.delivered());
+  EXPECT_EQ(b.deliveries[0].box, n.b1);  // now matches h1's prefix
+  EXPECT_EQ(b.deliveries[0].port, n.h1.port);
+}
+
+TEST(Middlebox, Type3ProducesWeightedBehaviors) {
+  MbNet n;
+  ApClassifier clf(n.net, n.mgr);
+
+  const PacketHeader before = pkt("10.2.5.5");
+  MiddleboxEntry e;
+  e.match_atoms = all_atoms_matching(clf, before);
+  e.type = ChangeType::Probabilistic;
+  e.choices = {{0.75, rewrite_dst("10.1.5.5")}, {0.25, HeaderRewrite{}}};
+  Middlebox mb;
+  mb.box = n.b1;
+  mb.entries.push_back(std::move(e));
+  clf.attach_middlebox(std::move(mb));
+
+  const auto results = clf.query_probabilistic(before, n.b1);
+  ASSERT_EQ(results.size(), 2u);
+  double total = 0.0;
+  bool saw_h1 = false, saw_h2 = false;
+  for (const auto& [p, b] : results) {
+    total += p;
+    ASSERT_TRUE(b.delivered());
+    if (b.deliveries[0].box == n.b1) {
+      saw_h1 = true;
+      EXPECT_DOUBLE_EQ(p, 0.75);
+    }
+    if (b.deliveries[0].box == n.b2) {
+      saw_h2 = true;
+      EXPECT_DOUBLE_EQ(p, 0.25);
+    }
+  }
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  EXPECT_TRUE(saw_h1);
+  EXPECT_TRUE(saw_h2);
+
+  // The single-behavior query API refuses ambiguity.
+  EXPECT_THROW(clf.query(before, n.b1), Error);
+}
+
+TEST(Middlebox, RewriteChainAcrossBoxes) {
+  // Type 2 rewrite at b1 sends the packet to b2, where another middlebox
+  // bounces it — verifying the repeat-until-done loop of SS V-E (here the
+  // second rewrite sends it into empty space = drop at b2).
+  MbNet n;
+  ApClassifier clf(n.net, n.mgr);
+
+  MiddleboxEntry e1;
+  e1.match_atoms = all_atoms_matching(clf, pkt("10.1.7.7"));
+  e1.type = ChangeType::PayloadDependent;
+  e1.rewrite = rewrite_dst("10.2.7.7");
+  Middlebox mb1;
+  mb1.box = n.b1;
+  mb1.entries.push_back(std::move(e1));
+  clf.attach_middlebox(std::move(mb1));
+
+  MiddleboxEntry e2;
+  e2.match_atoms = all_atoms_matching(clf, pkt("10.2.7.7"));
+  e2.type = ChangeType::PayloadDependent;
+  e2.rewrite = rewrite_dst("11.0.0.1");  // no route at b2
+  Middlebox mb2;
+  mb2.box = n.b2;
+  mb2.entries.push_back(std::move(e2));
+  clf.attach_middlebox(std::move(mb2));
+
+  const Behavior b = clf.query(pkt("10.1.7.7"), n.b1);
+  EXPECT_FALSE(b.delivered());
+  ASSERT_EQ(b.drops.size(), 1u);
+  EXPECT_EQ(b.drops[0].box, n.b2);
+}
+
+TEST(Middlebox, PassThroughWhenNoEntryMatches) {
+  MbNet n;
+  ApClassifier clf(n.net, n.mgr);
+  Middlebox mb;
+  mb.box = n.b1;  // empty table
+  clf.attach_middlebox(std::move(mb));
+  const Behavior b = clf.query(pkt("10.1.3.3"), n.b1);
+  ASSERT_TRUE(b.delivered());
+  EXPECT_EQ(b.deliveries[0].port, n.h1.port);
+}
+
+TEST(Middlebox, HeaderRewriteApplies) {
+  HeaderRewrite rw;
+  rw.sets.push_back({HeaderLayout::kDstIp, 32, parse_ipv4("1.2.3.4")});
+  rw.sets.push_back({HeaderLayout::kDstPort, 16, 8080});
+  const PacketHeader h = rw.apply(pkt("9.9.9.9"));
+  EXPECT_EQ(h.dst_ip(), parse_ipv4("1.2.3.4"));
+  EXPECT_EQ(h.dst_port(), 8080);
+  EXPECT_EQ(h.src_port(), 4242);  // untouched
+  EXPECT_TRUE(HeaderRewrite{}.empty());
+}
+
+TEST(Middlebox, SurvivesAtomSplits) {
+  // Adding a predicate splits atoms; middlebox match fields must follow the
+  // tombstoned parent to its children, and a Type 1 entry whose precomputed
+  // result atom split is demoted to re-search (SS V-E correctness).
+  MbNet n;
+  ApClassifier clf(n.net, n.mgr);
+
+  const PacketHeader before = pkt("10.1.9.9");
+  MiddleboxEntry e;
+  e.match_atoms = all_atoms_matching(clf, before);
+  e.type = ChangeType::Deterministic;
+  e.rewrite = rewrite_dst("10.2.9.9");
+  e.next_atom = clf.classify(pkt("10.2.9.9"));
+  Middlebox mb;
+  mb.box = n.b1;
+  mb.entries.push_back(std::move(e));
+  clf.attach_middlebox(std::move(mb));
+
+  ASSERT_EQ(clf.query(before, n.b1).deliveries[0].box, n.b2);
+
+  // Split the matching atom (src-IP slice: both children keep the match)
+  // and ALSO the result atom (the rewritten header's class splits too).
+  clf.add_predicate(prefix_predicate(clf.manager(), HeaderLayout::kSrcIp,
+                                     parse_prefix("192.168.0.0/16")));
+
+  // Same packet, same NAT behavior after the split.
+  const Behavior after = clf.query(before, n.b1);
+  ASSERT_TRUE(after.delivered());
+  EXPECT_EQ(after.deliveries[0].box, n.b2);
+  EXPECT_EQ(after.deliveries[0].port, n.h2.port);
+
+  // A packet with a different source (the other split child) also matches.
+  PacketHeader other_src = before;
+  other_src.set_src_ip(parse_ipv4("203.0.113.50"));
+  const Behavior after2 = clf.query(other_src, n.b1);
+  ASSERT_TRUE(after2.delivered());
+  EXPECT_EQ(after2.deliveries[0].box, n.b2);
+}
+
+TEST(Middlebox, RuleUpdateAlsoPatchesEntries) {
+  MbNet n;
+  ApClassifier clf(n.net, n.mgr);
+  const PacketHeader before = pkt("10.1.9.9");
+  MiddleboxEntry e;
+  e.match_atoms = all_atoms_matching(clf, before);
+  e.type = ChangeType::PayloadDependent;
+  e.rewrite = rewrite_dst("10.2.9.9");
+  Middlebox mb;
+  mb.box = n.b1;
+  mb.entries.push_back(std::move(e));
+  clf.attach_middlebox(std::move(mb));
+
+  // A rule-level update that splits 10.1/16 into finer atoms.
+  clf.insert_fib_rule(n.b1, {parse_prefix("10.1.9.0/24"), n.h1.port, -1});
+  const Behavior after = clf.query(before, n.b1);
+  ASSERT_TRUE(after.delivered());
+  EXPECT_EQ(after.deliveries[0].box, n.b2);  // NAT still applies
+}
+
+TEST(Middlebox, AttachValidatesBox) {
+  MbNet n;
+  ApClassifier clf(n.net, n.mgr);
+  Middlebox mb;
+  mb.box = 42;
+  EXPECT_THROW(clf.attach_middlebox(std::move(mb)), Error);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,160 @@
+// Tests for multicast packet behavior (paper SS IV-B: a multicast packet may
+// be forwarded to multiple ports; AP Classifier follows every branch).
+#include <gtest/gtest.h>
+
+#include "baselines/forwarding_sim.hpp"
+#include "baselines/hsa.hpp"
+#include "baselines/pscan.hpp"
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/traces.hpp"
+#include "io/network_io.hpp"
+
+namespace apc {
+namespace {
+
+PacketHeader mc_pkt(const Ipv4Prefix& group) {
+  return PacketHeader::from_five_tuple(parse_ipv4("10.1.0.1"), group.addr, 5000,
+                                       5001, 17);
+}
+
+struct Chain {
+  // a --- b --- c, every box with one host port.
+  NetworkModel net = io::read_network_string(R"(
+box a
+box b
+box c
+link a b
+link b c
+hostport a ha
+hostport b hb
+hostport c hc
+fib a 10.2.0.0/16 0
+fib b 10.2.0.0/16 1
+fib c 10.2.0.0/16 1
+mcast a 224.0.1.0/32 0
+mcast b 224.0.1.0/32 1 2
+mcast c 224.0.1.0/32 1
+)");
+  std::shared_ptr<bdd::BddManager> mgr =
+      std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  ApClassifier clf{net, mgr};
+};
+
+TEST(Multicast, ReplicatesAtBranchBox) {
+  Chain w;
+  // Group tree: a -> b; b replicates to c and its own host; c delivers.
+  const Behavior bh = w.clf.query(mc_pkt(parse_prefix("224.0.1.0/32")), 0);
+  EXPECT_EQ(bh.deliveries.size(), 2u);  // hb and hc
+  bool saw_b = false, saw_c = false;
+  for (const auto& d : bh.deliveries) {
+    saw_b |= (d.box == 1);
+    saw_c |= (d.box == 2);
+  }
+  EXPECT_TRUE(saw_b);
+  EXPECT_TRUE(saw_c);
+  EXPECT_FALSE(bh.loop_detected);
+}
+
+TEST(Multicast, UnicastUnaffectedByGroupTable) {
+  Chain w;
+  const PacketHeader uni = PacketHeader::from_five_tuple(
+      parse_ipv4("10.1.0.1"), parse_ipv4("10.2.0.9"), 5000, 80, 6);
+  const Behavior bh = w.clf.query(uni, 0);
+  ASSERT_EQ(bh.deliveries.size(), 1u);
+  EXPECT_EQ(bh.deliveries[0].box, 2u);  // delivered only at c
+}
+
+TEST(Multicast, NonMemberGroupIsDropped) {
+  Chain w;
+  const Behavior bh = w.clf.query(mc_pkt(parse_prefix("224.0.2.0/32")), 0);
+  EXPECT_FALSE(bh.delivered());
+}
+
+TEST(Multicast, AllEnginesAgreeOnHandNetwork) {
+  Chain w;
+  const ForwardingSimulation fsim(w.clf.compiled(), w.net.topology, w.clf.registry());
+  const PScan ps(w.clf.compiled(), w.net.topology, w.clf.registry());
+  const HsaEngine hsa(w.net);
+  for (const char* dst : {"224.0.1.0", "224.0.2.0", "10.2.0.9"}) {
+    PacketHeader h = mc_pkt(parse_prefix(dst));
+    for (BoxId ingress = 0; ingress < 3; ++ingress) {
+      const Behavior a = w.clf.query(h, ingress);
+      const Behavior f = fsim.query(h, ingress);
+      const Behavior p = ps.query(h, ingress);
+      const Behavior x = hsa.query(h, ingress);
+      ASSERT_EQ(a.deliveries.size(), f.deliveries.size()) << dst << " " << ingress;
+      ASSERT_EQ(a.deliveries.size(), p.deliveries.size()) << dst << " " << ingress;
+      ASSERT_EQ(a.deliveries.size(), x.deliveries.size()) << dst << " " << ingress;
+    }
+  }
+}
+
+TEST(Multicast, MulticastShadowsUnicastFib) {
+  // A group prefix that collides with unicast space: multicast wins.
+  NetworkModel net = io::read_network_string(R"(
+box a
+hostport a h0
+hostport a h1
+fib a 10.2.0.0/16 0
+mcast a 10.2.9.9/32 0 1
+)");
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  const ApClassifier clf(net, mgr);
+  const PacketHeader mc = PacketHeader::from_five_tuple(1, parse_ipv4("10.2.9.9"),
+                                                        1, 2, 17);
+  EXPECT_EQ(clf.query(mc, 0).deliveries.size(), 2u);
+  const PacketHeader uni = PacketHeader::from_five_tuple(1, parse_ipv4("10.2.1.1"),
+                                                         1, 2, 17);
+  EXPECT_EQ(clf.query(uni, 0).deliveries.size(), 1u);
+}
+
+TEST(Multicast, ValidateRejectsBadRules) {
+  NetworkModel net;
+  const BoxId a = net.topology.add_box("a");
+  net.topology.add_host_port(a);
+  net.multicast[a].push_back({parse_prefix("224.0.0.1/32"), {}});
+  EXPECT_THROW(net.validate(), Error);
+  net.multicast[a].back().ports = {7};
+  EXPECT_THROW(net.validate(), Error);
+  net.multicast[a].back().ports = {0};
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(Multicast, IoRoundTrip) {
+  Chain w;
+  const NetworkModel back = io::read_network_string(io::write_network_string(w.net));
+  ASSERT_EQ(back.multicast.size(), w.net.multicast.size());
+  const auto& rules = back.multicast.at(1);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].ports, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Multicast, GeneratedGroupsDeliverToAllMembers) {
+  datasets::Dataset d = datasets::internet2_like(datasets::Scale::Tiny, 9);
+  Rng rng(5);
+  const auto groups = datasets::add_multicast_groups(d.net, 6, rng);
+  ASSERT_EQ(groups.size(), 6u);
+  d.net.validate();
+
+  auto mgr = datasets::Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  const HsaEngine hsa(d.net);
+
+  for (const auto& g : groups) {
+    // Root box: the one whose multicast entry exists and reaches others.
+    // Query from every box; where the tree is rooted, >= 1 delivery.
+    std::size_t max_deliveries = 0;
+    for (BoxId b = 0; b < d.net.topology.box_count(); ++b) {
+      const Behavior bh = clf.query(mc_pkt(g), b);
+      max_deliveries = std::max(max_deliveries, bh.deliveries.size());
+      // Cross-check against HSA from each ingress.
+      const Behavior hx = hsa.query(mc_pkt(g), b);
+      ASSERT_EQ(bh.deliveries.size(), hx.deliveries.size());
+    }
+    EXPECT_GE(max_deliveries, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,113 @@
+// Tests for the exact F(Q,S) dynamic program (paper SS V-C eq. 1) and its
+// use as a quality oracle for the OAPT heuristic.
+#include <gtest/gtest.h>
+
+#include "ap/atoms.hpp"
+#include "aptree/build.hpp"
+#include "aptree/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+
+TEST(Oracle, SingleAtom) {
+  BddManager mgr(2);
+  PredicateRegistry reg;
+  reg.add(mgr.bdd_true(), PredicateKind::External);
+  AtomUniverse uni = compute_atoms(reg);
+  const auto res = optimal_tree(reg, uni);
+  EXPECT_EQ(res.total_leaf_depth, 0u);
+  EXPECT_EQ(res.tree.leaf_count(), 1u);
+}
+
+TEST(Oracle, TwoAtoms) {
+  BddManager mgr(2);
+  PredicateRegistry reg;
+  reg.add(mgr.var(0), PredicateKind::External);
+  AtomUniverse uni = compute_atoms(reg);
+  const auto res = optimal_tree(reg, uni);
+  EXPECT_EQ(res.total_leaf_depth, 2u);  // both leaves at depth 1
+  EXPECT_DOUBLE_EQ(res.tree.average_leaf_depth(), 1.0);
+}
+
+TEST(Oracle, RefusesLargeInstances) {
+  BddManager mgr(8);
+  PredicateRegistry reg;
+  for (std::uint32_t v = 0; v < 6; ++v) reg.add(mgr.var(v), PredicateKind::External);
+  AtomUniverse uni = compute_atoms(reg);  // 64 atoms
+  EXPECT_THROW(optimal_tree(reg, uni, /*max_atoms=*/20), Error);
+}
+
+TEST(Oracle, TreeDepthMatchesReportedCost) {
+  BddManager mgr(4);
+  PredicateRegistry reg;
+  reg.add(mgr.var(0), PredicateKind::External);
+  reg.add(mgr.var(1) | mgr.var(2), PredicateKind::External);
+  reg.add(mgr.var(3) & mgr.var(0), PredicateKind::External);
+  AtomUniverse uni = compute_atoms(reg);
+  const auto res = optimal_tree(reg, uni);
+  const auto depths = res.tree.leaf_depths();
+  std::size_t total = 0;
+  for (const std::size_t d : depths) total += d;
+  EXPECT_EQ(total, res.total_leaf_depth);
+  EXPECT_EQ(depths.size(), uni.alive_count());
+}
+
+class OracleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleSweep, HeuristicsNeverBeatOracleAndOaptIsClose) {
+  BddManager mgr(5);
+  Rng rng(GetParam());
+  PredicateRegistry reg;
+  for (int i = 0; i < 6; ++i) {
+    Bdd p = mgr.bdd_true();
+    for (std::uint32_t v = 0; v < 5; ++v) {
+      const auto r = rng.uniform(3);
+      if (r == 0) p = p & mgr.var(v);
+      if (r == 1) p = p & mgr.nvar(v);
+    }
+    Bdd q = mgr.bdd_true();
+    for (std::uint32_t v = 0; v < 5; ++v) {
+      const auto r = rng.uniform(4);
+      if (r == 0) q = q & mgr.var(v);
+      if (r == 1) q = q & mgr.nvar(v);
+    }
+    Bdd f = p | q;
+    if (f.is_false() || f.is_true()) f = mgr.var(static_cast<std::uint32_t>(i % 5));
+    reg.add(std::move(f), PredicateKind::External);
+  }
+  AtomUniverse uni = compute_atoms(reg);
+  if (uni.alive_count() > 18) GTEST_SKIP() << "instance too large for exact DP";
+
+  const auto oracle = optimal_tree(reg, uni);
+
+  const auto total_depth = [](const ApTree& t) {
+    std::size_t s = 0;
+    for (const std::size_t d : t.leaf_depths()) s += d;
+    return s;
+  };
+
+  BuildOptions oapt;
+  oapt.method = BuildMethod::Oapt;
+  const std::size_t oapt_cost = total_depth(build_tree(reg, uni, oapt));
+  BuildOptions quick;
+  quick.method = BuildMethod::QuickOrdering;
+  const std::size_t quick_cost = total_depth(build_tree(reg, uni, quick));
+  const std::size_t rand_cost = total_depth(best_from_random(reg, uni, 5, GetParam()));
+
+  EXPECT_GE(oapt_cost, oracle.total_leaf_depth);
+  EXPECT_GE(quick_cost, oracle.total_leaf_depth);
+  EXPECT_GE(rand_cost, oracle.total_leaf_depth);
+  // Heuristic quality: OAPT within 35% of optimal on these tiny instances.
+  EXPECT_LE(static_cast<double>(oapt_cost),
+            1.35 * static_cast<double>(oracle.total_leaf_depth) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace apc

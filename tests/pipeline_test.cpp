@@ -1,0 +1,122 @@
+// End-to-end pipeline tests: dataset -> serialize -> parse -> classify ->
+// verify, exercising the whole public surface the way the CLI tools do.
+#include <gtest/gtest.h>
+
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/traces.hpp"
+#include "io/network_io.hpp"
+#include "rules/compiler.hpp"
+#include "verify/properties.hpp"
+
+namespace apc {
+namespace {
+
+TEST(Pipeline, DatasetThroughFileThroughVerifier) {
+  // Generate, serialize, re-parse, and verify a full workflow end to end.
+  datasets::Dataset d = datasets::stanford_like(datasets::Scale::Tiny, 19);
+  Rng rng(20);
+  datasets::add_multicast_groups(d.net, 2, rng);
+
+  const std::string text = io::write_network_string(d.net);
+  const NetworkModel net = io::read_network_string(text);
+  net.validate();
+
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  const ApClassifier clf(net, mgr);
+  const verify::FlowVerifier v(clf);
+
+  // Whole header space: loop freedom from every ingress.
+  const bdd::Bdd everything = mgr->bdd_true();
+  for (BoxId b = 0; b < net.topology.box_count(); b += 5) {
+    EXPECT_TRUE(v.check_loop_freedom(everything, b).empty());
+  }
+
+  // Every delivered representative's path is reproducible after the
+  // round trip: query twice, identical string renderings.
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  for (const auto& h : reps.headers) {
+    const Behavior b1 = clf.query(h, 0);
+    const Behavior b2 = clf.query(h, 0);
+    EXPECT_EQ(b1.to_string(net.topology), b2.to_string(net.topology));
+  }
+}
+
+TEST(Pipeline, ForkUpdateSerializeCycle) {
+  // fork -> rule update -> serialize the fork's network -> reload -> the
+  // reloaded classifier behaves like the fork.
+  datasets::Dataset d = datasets::internet2_like(datasets::Scale::Tiny, 23);
+  auto mgr = datasets::Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+
+  auto fork = clf.fork();
+  const BoxId box = 2;
+  const auto& fib = fork->network().fib(box);
+  ASSERT_FALSE(fib.rules.empty());
+  const Ipv4Prefix parent = fib.rules.front().dst;
+  const ForwardingRule extra{
+      Ipv4Prefix{parent.addr | (1u << (31 - parent.len)),
+                 static_cast<std::uint8_t>(parent.len + 1)},
+      0, -1};
+  fork->insert_fib_rule(box, extra);
+
+  const NetworkModel reloaded =
+      io::read_network_string(io::write_network_string(fork->network()));
+  const ApClassifier clf2(reloaded, datasets::Dataset::make_manager());
+
+  Rng rng(24);
+  const auto reps = datasets::atom_representatives(fork->atoms(), rng);
+  for (const auto& h : reps.headers) {
+    const Behavior a = fork->query(h, box);
+    const Behavior b = clf2.query(h, box);
+    ASSERT_EQ(a.delivered(), b.delivered());
+    if (a.delivered()) {
+      ASSERT_EQ(a.deliveries[0], b.deliveries[0]);
+    }
+  }
+}
+
+TEST(Pipeline, VerifierOverFlowTableNetwork) {
+  // The verifier works identically over flow-table forwarding.
+  NetworkModel net = io::read_network_string(R"(
+box sw
+box dst
+link sw dst
+hostport dst h
+flowrule sw 10 forward 0 prefix 0 32 167772160 8
+flowrule sw 5 drop
+fib dst 10.0.0.0/8 1
+)");
+  // prefix 0 32 167772160 8 == dst_ip in 10.0.0.0/8.
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  const ApClassifier clf(net, mgr);
+  const verify::FlowVerifier v(clf);
+
+  const bdd::Bdd ten =
+      prefix_predicate(*mgr, HeaderLayout::kDstIp, parse_prefix("10.0.0.0/8"));
+  EXPECT_TRUE(v.check_reachability(ten, 0, PortId{1, 1}).empty());
+  // Everything outside 10/8 is dropped by the explicit drop rule — an
+  // intentional drop is NOT a blackhole in our taxonomy? It reports as
+  // NoMatchingRule-drop from the flow table; the verifier flags it, which
+  // is the conservative behavior a controller wants:
+  const bdd::Bdd other = !ten;
+  EXPECT_FALSE(v.check_no_blackholes(other, 0).empty());
+  EXPECT_TRUE(v.check_loop_freedom(mgr->bdd_true(), 0).empty());
+}
+
+TEST(Pipeline, StatsRemainConsistentAcrossApis) {
+  datasets::Dataset d = datasets::internet2_like(datasets::Scale::Tiny, 29);
+  auto mgr = datasets::Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  // Cross-API consistency of the counts every tool prints.
+  EXPECT_EQ(clf.predicate_count(), clf.registry().live_count());
+  EXPECT_EQ(clf.atom_count(), clf.atoms().alive_count());
+  EXPECT_EQ(clf.tree().leaf_count(), clf.atom_count());
+  std::size_t port_entries = 0;
+  for (const auto& per_box : clf.compiled().port_preds)
+    port_entries += per_box.size();
+  EXPECT_EQ(port_entries, clf.predicate_count());  // FIB-only dataset
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,218 @@
+// Tests for rule types and the rule->predicate compiler, cross-validated
+// against reference (non-BDD) evaluation oracles.
+#include <gtest/gtest.h>
+
+#include "packet/header.hpp"
+#include "rules/compiler.hpp"
+#include "rules/rules.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+PacketHeader random_packet(Rng& rng) {
+  return PacketHeader::from_five_tuple(
+      static_cast<std::uint32_t>(rng.next()), static_cast<std::uint32_t>(rng.next()),
+      static_cast<std::uint16_t>(rng.next()), static_cast<std::uint16_t>(rng.next()),
+      static_cast<std::uint8_t>(rng.next()));
+}
+
+PacketHeader random_10slash8_packet(Rng& rng) {
+  PacketHeader h = random_packet(rng);
+  h.set_dst_ip((10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0x00FFFFFFu));
+  return h;
+}
+
+// ---------- Fib reference lookup ----------
+
+TEST(Fib, LongestPrefixWins) {
+  Fib fib;
+  fib.add(parse_prefix("10.0.0.0/8"), 1);
+  fib.add(parse_prefix("10.1.0.0/16"), 2);
+  fib.add(parse_prefix("10.1.2.0/24"), 3);
+  EXPECT_EQ(fib.lookup(parse_ipv4("10.1.2.3")), 3u);
+  EXPECT_EQ(fib.lookup(parse_ipv4("10.1.9.9")), 2u);
+  EXPECT_EQ(fib.lookup(parse_ipv4("10.200.0.1")), 1u);
+  EXPECT_EQ(fib.lookup(parse_ipv4("11.0.0.1")), std::nullopt);
+}
+
+TEST(Fib, ExplicitPriorityOverridesLength) {
+  Fib fib;
+  fib.add(parse_prefix("10.0.0.0/8"), 1, /*priority=*/100);
+  fib.add(parse_prefix("10.1.0.0/16"), 2);
+  EXPECT_EQ(fib.lookup(parse_ipv4("10.1.0.1")), 1u);
+}
+
+// ---------- Acl reference evaluation ----------
+
+TEST(Acl, FirstMatchSemantics) {
+  Acl acl;
+  AclRule deny;
+  deny.dst = parse_prefix("10.1.0.0/16");
+  deny.action = AclRule::Action::Deny;
+  AclRule permit;
+  permit.dst = parse_prefix("10.0.0.0/8");
+  permit.action = AclRule::Action::Permit;
+  acl.rules = {deny, permit};
+  acl.default_action = AclRule::Action::Deny;
+
+  EXPECT_FALSE(acl.permits(0, parse_ipv4("10.1.2.3"), 0, 0, 6));
+  EXPECT_TRUE(acl.permits(0, parse_ipv4("10.2.0.1"), 0, 0, 6));
+  EXPECT_FALSE(acl.permits(0, parse_ipv4("11.0.0.1"), 0, 0, 6));
+}
+
+TEST(Acl, MatchesAllFields) {
+  AclRule r;
+  r.src = parse_prefix("10.0.0.0/8");
+  r.dst = parse_prefix("10.9.0.0/16");
+  r.src_port = {1000, 2000};
+  r.dst_port = {80, 80};
+  r.proto = 6;
+  EXPECT_TRUE(r.matches(parse_ipv4("10.5.5.5"), parse_ipv4("10.9.1.1"), 1500, 80, 6));
+  EXPECT_FALSE(r.matches(parse_ipv4("11.5.5.5"), parse_ipv4("10.9.1.1"), 1500, 80, 6));
+  EXPECT_FALSE(r.matches(parse_ipv4("10.5.5.5"), parse_ipv4("10.8.1.1"), 1500, 80, 6));
+  EXPECT_FALSE(r.matches(parse_ipv4("10.5.5.5"), parse_ipv4("10.9.1.1"), 999, 80, 6));
+  EXPECT_FALSE(r.matches(parse_ipv4("10.5.5.5"), parse_ipv4("10.9.1.1"), 1500, 81, 6));
+  EXPECT_FALSE(r.matches(parse_ipv4("10.5.5.5"), parse_ipv4("10.9.1.1"), 1500, 80, 17));
+}
+
+TEST(Acl, EmptyAclUsesDefault) {
+  Acl permit_all;
+  EXPECT_TRUE(permit_all.permits(1, 2, 3, 4, 5));
+  Acl deny_all;
+  deny_all.default_action = AclRule::Action::Deny;
+  EXPECT_FALSE(deny_all.permits(1, 2, 3, 4, 5));
+}
+
+// ---------- prefix predicate ----------
+
+TEST(Compiler, PrefixPredicateMatchesContains) {
+  bdd::BddManager mgr(HeaderLayout::kBits);
+  Rng rng(21);
+  const Ipv4Prefix p = parse_prefix("10.37.128.0/17");
+  const bdd::Bdd pred = prefix_predicate(mgr, HeaderLayout::kDstIp, p);
+  for (int i = 0; i < 500; ++i) {
+    PacketHeader h = random_packet(rng);
+    if (i % 2 == 0) {  // force half the samples inside the prefix
+      h.set_dst_ip(p.addr | (static_cast<std::uint32_t>(rng.next()) & 0x7FFFu));
+    }
+    const bool expect = p.contains(h.dst_ip());
+    EXPECT_EQ(expect, pred.eval([&](std::uint32_t v) { return h.bit(v); }));
+  }
+}
+
+TEST(Compiler, ZeroLengthPrefixIsTrue) {
+  bdd::BddManager mgr(HeaderLayout::kBits);
+  EXPECT_TRUE(prefix_predicate(mgr, HeaderLayout::kDstIp, {0, 0}).is_true());
+}
+
+// ---------- compile_fib vs Fib::lookup oracle ----------
+
+class FibCompileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FibCompileProperty, MatchesReferenceLookup) {
+  bdd::BddManager mgr(HeaderLayout::kBits);
+  Rng rng(GetParam());
+
+  // Random FIB with nested prefixes to stress LPM resolution.
+  Fib fib;
+  for (int i = 0; i < 40; ++i) {
+    const std::uint8_t len = static_cast<std::uint8_t>(8 + rng.uniform(17));
+    const std::uint32_t addr =
+        (10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0x00FFFF00u);
+    fib.add(Ipv4Prefix{addr, len}, static_cast<std::uint32_t>(rng.uniform(5)));
+  }
+
+  const auto port_preds = compile_fib(mgr, fib);
+  for (int i = 0; i < 400; ++i) {
+    const PacketHeader h = random_10slash8_packet(rng);
+    const auto bit = [&](std::uint32_t v) { return h.bit(v); };
+    const auto expect = fib.lookup(h.dst_ip());
+    std::optional<std::uint32_t> got;
+    for (const auto& [port, pred] : port_preds) {
+      if (pred.eval(bit)) {
+        ASSERT_FALSE(got.has_value()) << "port predicates must be disjoint";
+        got = port;
+      }
+    }
+    ASSERT_EQ(expect, got) << "dst=" << format_ipv4(h.dst_ip());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FibCompileProperty, ::testing::Values(1, 7, 19, 33));
+
+TEST(Compiler, FibPortPredicatesPartitionMatchedSpace) {
+  bdd::BddManager mgr(HeaderLayout::kBits);
+  Fib fib;
+  fib.add(parse_prefix("10.0.0.0/9"), 0);
+  fib.add(parse_prefix("10.128.0.0/9"), 1);
+  fib.add(parse_prefix("10.0.0.0/8"), 2);  // shadowed completely
+  const auto preds = compile_fib(mgr, fib);
+  ASSERT_EQ(preds.size(), 2u);  // port 2 never effectively matches
+  EXPECT_TRUE((preds.at(0) & preds.at(1)).is_false());
+  const bdd::Bdd whole = prefix_predicate(mgr, HeaderLayout::kDstIp,
+                                          parse_prefix("10.0.0.0/8"));
+  EXPECT_EQ(preds.at(0) | preds.at(1), whole);
+}
+
+TEST(Compiler, EmptyFibYieldsNoPredicates) {
+  bdd::BddManager mgr(HeaderLayout::kBits);
+  EXPECT_TRUE(compile_fib(mgr, Fib{}).empty());
+}
+
+// ---------- compile_acl vs Acl::permits oracle ----------
+
+class AclCompileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AclCompileProperty, MatchesReferencePermits) {
+  bdd::BddManager mgr(HeaderLayout::kBits);
+  Rng rng(GetParam());
+
+  Acl acl;
+  for (int i = 0; i < 15; ++i) {
+    AclRule r;
+    if (rng.coin()) {
+      const std::uint8_t len = static_cast<std::uint8_t>(8 + rng.uniform(9));
+      r.src = Ipv4Prefix{(10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0xFFFF00u),
+                         len};
+    }
+    if (rng.coin()) {
+      const std::uint8_t len = static_cast<std::uint8_t>(8 + rng.uniform(9));
+      r.dst = Ipv4Prefix{(10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0xFFFF00u),
+                         len};
+    }
+    if (rng.coin()) {
+      const std::uint16_t lo = static_cast<std::uint16_t>(rng.uniform(1000));
+      r.dst_port = {lo, static_cast<std::uint16_t>(lo + rng.uniform(200))};
+    }
+    if (rng.coin()) r.proto = rng.coin() ? 6 : 17;
+    r.action = rng.coin() ? AclRule::Action::Permit : AclRule::Action::Deny;
+    acl.rules.push_back(r);
+  }
+  acl.default_action = rng.coin() ? AclRule::Action::Permit : AclRule::Action::Deny;
+
+  const bdd::Bdd permitted = compile_acl(mgr, acl);
+  for (int i = 0; i < 400; ++i) {
+    PacketHeader h = random_10slash8_packet(rng);
+    h.set_src_ip((10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0x00FFFFFFu));
+    if (rng.coin()) h.set_dst_port(static_cast<std::uint16_t>(rng.uniform(1400)));
+    if (rng.coin()) h.set_proto(rng.coin() ? 6 : 17);
+    const bool expect =
+        acl.permits(h.src_ip(), h.dst_ip(), h.src_port(), h.dst_port(), h.proto());
+    const bool got = permitted.eval([&](std::uint32_t v) { return h.bit(v); });
+    ASSERT_EQ(expect, got) << h.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AclCompileProperty, ::testing::Values(2, 11, 23, 41));
+
+TEST(Compiler, EmptyPermitAclIsTrue) {
+  bdd::BddManager mgr(HeaderLayout::kBits);
+  EXPECT_TRUE(compile_acl(mgr, Acl{}).is_true());
+  Acl deny_all;
+  deny_all.default_action = AclRule::Action::Deny;
+  EXPECT_TRUE(compile_acl(mgr, deny_all).is_false());
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,119 @@
+// Tests for BDD text serialization and topology DOT export.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "datasets/topo_gen.hpp"
+#include "rules/compiler.hpp"
+#include "util/rng.hpp"
+
+namespace apc::bdd {
+namespace {
+
+TEST(Serialize, RoundTripSimple) {
+  BddManager mgr(16);
+  const Bdd f = (mgr.var(2) & mgr.nvar(5)) | (mgr.var(9) & mgr.var(15));
+  const Bdd g = deserialize(mgr, serialize(f));
+  EXPECT_EQ(f, g);  // canonical: same node
+}
+
+TEST(Serialize, RoundTripTerminals) {
+  BddManager mgr(4);
+  EXPECT_TRUE(deserialize(mgr, serialize(mgr.bdd_true())).is_true());
+  EXPECT_TRUE(deserialize(mgr, serialize(mgr.bdd_false())).is_false());
+}
+
+TEST(Serialize, RoundTripAcrossManagers) {
+  BddManager a(12), b(12);
+  apc::Rng rng(4);
+  Bdd f = a.bdd_false();
+  for (int i = 0; i < 10; ++i) {
+    Bdd cube = a.bdd_true();
+    for (std::uint32_t v = 0; v < 12; ++v) {
+      const auto r = rng.uniform(3);
+      if (r == 0) cube = cube & a.var(v);
+      if (r == 1) cube = cube & a.nvar(v);
+    }
+    f = f | cube;
+  }
+  const Bdd g = deserialize(b, serialize(f));
+  for (int i = 0; i < 500; ++i) {
+    std::vector<bool> bits(12);
+    for (std::size_t v = 0; v < bits.size(); ++v) bits[v] = rng.coin();
+    const auto fn = [&](std::uint32_t v) { return bits[v]; };
+    ASSERT_EQ(f.eval(fn), g.eval(fn));
+  }
+  EXPECT_EQ(f.node_count(), g.node_count());
+}
+
+TEST(Serialize, IntoLargerManagerOk) {
+  BddManager small(8), big(104);
+  const Bdd f = small.var(3) & small.nvar(7);
+  const Bdd g = deserialize(big, serialize(f));
+  EXPECT_TRUE(g.eval([](std::uint32_t v) { return v == 3; }));
+}
+
+TEST(Serialize, IntoSmallerManagerRejected) {
+  BddManager big(32), small(8);
+  const Bdd f = big.var(20);
+  EXPECT_THROW(deserialize(small, serialize(f)), apc::Error);
+}
+
+TEST(Serialize, MalformedInputRejected) {
+  BddManager mgr(8);
+  EXPECT_THROW(deserialize(mgr, ""), apc::Error);
+  EXPECT_THROW(deserialize(mgr, "not a bdd\n"), apc::Error);
+  EXPECT_THROW(deserialize(mgr, "bdd v2 8 0\n"), apc::Error);
+  // Node referencing an undeclared child.
+  EXPECT_THROW(deserialize(mgr, "bdd v1 8 5\n5 0 99 1\n"), apc::Error);
+  // Missing root.
+  EXPECT_THROW(deserialize(mgr, "bdd v1 8 5\n"), apc::Error);
+}
+
+TEST(Serialize, PredicateRoundTripStressfully) {
+  BddManager mgr(104);
+  apc::Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    apc::Fib fib;
+    for (int r = 0; r < 20; ++r) {
+      fib.add({(10u << 24) | static_cast<std::uint32_t>(rng.next() & 0xFFFF00),
+               static_cast<std::uint8_t>(16 + rng.uniform(9))},
+              static_cast<std::uint32_t>(rng.uniform(4)));
+    }
+    for (const auto& [port, pred] : apc::compile_fib(mgr, fib)) {
+      ASSERT_EQ(deserialize(mgr, serialize(pred)), pred);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apc::bdd
+
+namespace apc {
+namespace {
+
+TEST(TopologyDot, ContainsBoxesAndLinks) {
+  const Topology t = datasets::abilene_topology();
+  const std::string dot = t.to_dot("abilene");
+  EXPECT_NE(dot.find("graph abilene"), std::string::npos);
+  EXPECT_NE(dot.find("\"SEAT\""), std::string::npos);
+  EXPECT_NE(dot.find("\"SEAT\" -- \"SALT\""), std::string::npos);
+  // 12 links -> 12 edges exactly once.
+  std::size_t edges = 0, pos = 0;
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, 12u);
+}
+
+TEST(TopologyDot, HostPortsRendered) {
+  Topology t;
+  const BoxId a = t.add_box("A");
+  t.add_host_port(a, "server1");
+  const std::string dot = t.to_dot();
+  EXPECT_NE(dot.find("server1"), std::string::npos);
+  EXPECT_NE(dot.find("ellipse"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,120 @@
+// Tests for the topology graph and NetworkModel validation.
+#include <gtest/gtest.h>
+
+#include "datasets/topo_gen.hpp"
+#include "network/model.hpp"
+
+namespace apc {
+namespace {
+
+TEST(Topology, AddBoxAndFind) {
+  Topology t;
+  const BoxId a = t.add_box("A");
+  const BoxId b = t.add_box("B");
+  EXPECT_EQ(t.box_count(), 2u);
+  EXPECT_EQ(t.find_box("A"), a);
+  EXPECT_EQ(t.find_box("B"), b);
+  EXPECT_THROW(t.find_box("C"), Error);
+}
+
+TEST(Topology, LinksAreSymmetric) {
+  Topology t;
+  const BoxId a = t.add_box("A");
+  const BoxId b = t.add_box("B");
+  const auto [pa, pb] = t.add_link(a, b);
+  EXPECT_EQ(t.port(pa).peer, std::optional<PortId>(pb));
+  EXPECT_EQ(t.port(pb).peer, std::optional<PortId>(pa));
+  EXPECT_EQ(t.next_box(pa), std::optional<BoxId>(b));
+  EXPECT_EQ(t.next_box(pb), std::optional<BoxId>(a));
+  EXPECT_THROW(t.add_link(a, a), Error);
+  EXPECT_THROW(t.add_link(a, 99), Error);
+}
+
+TEST(Topology, HostPortsTerminate) {
+  Topology t;
+  const BoxId a = t.add_box("A");
+  const PortId h = t.add_host_port(a, "edge");
+  EXPECT_EQ(t.port(h).kind, Port::Kind::Host);
+  EXPECT_EQ(t.next_box(h), std::nullopt);
+  EXPECT_EQ(t.box(a).ports.size(), 1u);
+}
+
+TEST(Topology, NextHopsOnChain) {
+  Topology t;
+  const BoxId a = t.add_box("A");
+  const BoxId b = t.add_box("B");
+  const BoxId c = t.add_box("C");
+  t.add_link(a, b);
+  t.add_link(b, c);
+  const auto nh = t.next_hops_toward(c);
+  ASSERT_TRUE(nh[a].has_value());
+  ASSERT_TRUE(nh[b].has_value());
+  EXPECT_FALSE(nh[c].has_value());
+  // A's next hop toward C goes to B, then B's goes to C.
+  EXPECT_EQ(t.next_box({a, *nh[a]}), std::optional<BoxId>(b));
+  EXPECT_EQ(t.next_box({b, *nh[b]}), std::optional<BoxId>(c));
+}
+
+TEST(Topology, NextHopsUnreachable) {
+  Topology t;
+  t.add_box("A");
+  t.add_box("B");  // no links
+  const auto nh = t.next_hops_toward(0);
+  EXPECT_FALSE(nh[1].has_value());
+}
+
+TEST(Topology, AbileneShape) {
+  const Topology t = datasets::abilene_topology();
+  EXPECT_EQ(t.box_count(), 9u);
+  EXPECT_EQ(t.total_ports(), 24u);  // 12 bidirectional links
+  // Fully connected: every box reaches every other.
+  for (BoxId target = 0; target < t.box_count(); ++target) {
+    const auto nh = t.next_hops_toward(target);
+    for (BoxId b = 0; b < t.box_count(); ++b) {
+      if (b == target) continue;
+      EXPECT_TRUE(nh[b].has_value()) << "box " << b << " cannot reach " << target;
+    }
+  }
+}
+
+TEST(Topology, CampusShape) {
+  const Topology t = datasets::campus_topology();
+  EXPECT_EQ(t.box_count(), 16u);
+  EXPECT_EQ(t.total_ports(), 2u * (1 + 14 * 2));  // core-core + 14 dual-homed zones
+}
+
+TEST(NetworkModel, ValidateCatchesBadRules) {
+  NetworkModel net;
+  const BoxId a = net.topology.add_box("A");
+  net.topology.add_host_port(a);
+  net.fib(a).add(parse_prefix("10.0.0.0/8"), 0);
+  EXPECT_NO_THROW(net.validate());
+  net.fib(a).add(parse_prefix("10.0.0.0/8"), 5);  // missing port
+  EXPECT_THROW(net.validate(), Error);
+}
+
+TEST(NetworkModel, ValidateCatchesBadAclPlacement) {
+  NetworkModel net;
+  const BoxId a = net.topology.add_box("A");
+  net.topology.add_host_port(a);
+  net.input_acls[{a, 7}] = Acl{};
+  EXPECT_THROW(net.validate(), Error);
+}
+
+TEST(NetworkModel, RuleCounting) {
+  NetworkModel net;
+  const BoxId a = net.topology.add_box("A");
+  const BoxId b = net.topology.add_box("B");
+  net.topology.add_link(a, b);
+  net.topology.add_host_port(a);
+  net.fib(a).add(parse_prefix("10.0.0.0/8"), 0);
+  net.fib(b).add(parse_prefix("10.0.0.0/8"), 0);
+  Acl acl;
+  acl.rules.push_back(AclRule{});
+  net.input_acls[{a, 0}] = acl;
+  EXPECT_EQ(net.total_forwarding_rules(), 2u);
+  EXPECT_EQ(net.total_acl_rules(), 1u);
+}
+
+}  // namespace
+}  // namespace apc

@@ -1,0 +1,180 @@
+// Tests for the flow-property verifier (paper SS I application scenarios).
+#include <gtest/gtest.h>
+
+#include "io/network_io.hpp"
+#include "rules/compiler.hpp"
+#include "verify/properties.hpp"
+
+namespace apc::verify {
+namespace {
+
+// edge1 --- core --- edge2, with a side box `rogue` that bypasses core.
+// Port layout per box: link ports in declaration order, then host ports
+// (edge1: 0->core, 1->rogue, 2=h1; edge2: 0->core, 1->rogue, 2=h2).
+struct World {
+  NetworkModel net;
+  std::shared_ptr<bdd::BddManager> mgr =
+      std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  std::unique_ptr<ApClassifier> clf;
+  BoxId edge1, core, edge2, rogue;
+
+  World() {
+    net = io::read_network_string(fixed_text());
+    edge1 = net.topology.find_box("edge1");
+    core = net.topology.find_box("core");
+    edge2 = net.topology.find_box("edge2");
+    rogue = net.topology.find_box("rogue");
+    clf = std::make_unique<ApClassifier>(net, mgr);
+  }
+
+  static std::string fixed_text() {
+    return R"(
+box edge1
+box core
+box edge2
+box rogue
+link edge1 core
+link core edge2
+link edge1 rogue
+link rogue edge2
+hostport edge1 h1
+hostport edge2 h2
+fib edge1 10.1.0.0/16 2
+fib edge1 10.2.0.0/16 0
+fib edge1 10.3.0.0/16 1
+fib core 10.2.0.0/16 1
+fib edge2 10.2.0.0/16 2
+fib edge2 10.3.0.0/16 2
+fib rogue 10.3.0.0/16 1
+)";
+  }
+
+  bdd::Bdd flow(const char* prefix) const {
+    return prefix_predicate(*mgr, HeaderLayout::kDstIp, parse_prefix(prefix));
+  }
+};
+
+TEST(Verify, AtomsOfFlowCoversOnlyIntersecting) {
+  World w;
+  const FlowVerifier v(*w.clf);
+  const auto atoms = v.atoms_of_flow(w.flow("10.1.0.0/16"));
+  ASSERT_FALSE(atoms.empty());
+  for (const AtomId a : atoms) {
+    EXPECT_FALSE((w.clf->atoms().bdd_of(a) & w.flow("10.1.0.0/16")).is_false());
+  }
+  const auto all = v.atoms_of_flow(w.mgr->bdd_true());
+  EXPECT_EQ(all.size(), w.clf->atom_count());
+  EXPECT_THROW(v.atoms_of_flow(bdd::Bdd{}), Error);
+}
+
+TEST(Verify, ReachabilityHoldsForRoutedFlow) {
+  World w;
+  const FlowVerifier v(*w.clf);
+  // h2 is edge2 port 2.
+  const auto violations =
+      v.check_reachability(w.flow("10.2.0.0/16"), w.edge1, PortId{w.edge2, 2});
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Verify, ReachabilityFlagsUnroutedFlow) {
+  World w;
+  const FlowVerifier v(*w.clf);
+  const auto violations = v.check_reachability(w.flow("10.9.0.0/16"), w.edge1);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::NotDelivered);
+}
+
+TEST(Verify, WaypointHoldsViaCore) {
+  World w;
+  const FlowVerifier v(*w.clf);
+  // 10.2/16 goes edge1 -> core -> edge2: waypoint satisfied.
+  EXPECT_TRUE(v.check_waypoint(w.flow("10.2.0.0/16"), w.edge1, w.core).empty());
+}
+
+TEST(Verify, WaypointViolatedByRoguePath) {
+  World w;
+  const FlowVerifier v(*w.clf);
+  // 10.3/16 goes edge1 -> rogue -> edge2, skipping core.
+  const auto violations = v.check_waypoint(w.flow("10.3.0.0/16"), w.edge1, w.core);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::MissedWaypoint);
+  EXPECT_NE(violations[0].detail.find("core"), std::string::npos);
+}
+
+TEST(Verify, IsolationFlagsForbiddenDelivery) {
+  World w;
+  const FlowVerifier v(*w.clf);
+  const std::vector<PortId> forbidden{{w.edge2, 2}};
+  const auto violations =
+      v.check_isolation(w.flow("10.2.0.0/16"), w.edge1, forbidden);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::UnexpectedDelivery);
+  // A flow that never reaches edge2 is isolated.
+  EXPECT_TRUE(v.check_isolation(w.flow("10.1.0.0/16"), w.edge1, forbidden).empty());
+}
+
+TEST(Verify, BlackholeDetection) {
+  World w;
+  const FlowVerifier v(*w.clf);
+  const auto violations = v.check_no_blackholes(w.flow("10.9.0.0/16"), w.edge1);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::Blackhole);
+  EXPECT_TRUE(v.check_no_blackholes(w.flow("10.2.0.0/16"), w.edge1).empty());
+}
+
+TEST(Verify, LoopDetection) {
+  // Two boxes forwarding 10/8 at each other.
+  NetworkModel net = io::read_network_string(R"(
+box a
+box b
+link a b
+fib a 10.0.0.0/8 0
+fib b 10.0.0.0/8 0
+)");
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  const ApClassifier clf(net, mgr);
+  const FlowVerifier v(clf);
+  const bdd::Bdd flow =
+      prefix_predicate(*mgr, HeaderLayout::kDstIp, parse_prefix("10.0.0.0/8"));
+  const auto violations = v.check_loop_freedom(flow, 0);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, Violation::Kind::Loop);
+}
+
+TEST(Verify, NetworkSummaryCounts) {
+  World w;
+  const NetworkSummary s = network_summary(*w.clf);
+  EXPECT_EQ(s.ingresses, 4u);
+  EXPECT_EQ(s.atoms, w.clf->atom_count());
+  EXPECT_EQ(s.pairs_delivered + s.pairs_dropped, s.ingresses * s.atoms);
+  EXPECT_EQ(s.pairs_loops, 0u);
+  EXPECT_EQ(s.multicast_pairs, 0u);
+  EXPECT_GT(s.pairs_delivered, 0u);
+}
+
+TEST(Verify, NetworkSummarySeesLoopsAndMulticast) {
+  NetworkModel net = io::read_network_string(R"(
+box a
+box b
+link a b
+hostport a h0
+hostport a h1
+fib a 10.1.0.0/16 0
+fib b 10.1.0.0/16 0
+mcast a 224.0.1.0/32 1 2
+)");
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  const ApClassifier clf(net, mgr);
+  const NetworkSummary s = network_summary(clf);
+  EXPECT_GT(s.pairs_loops, 0u);       // a<->b ping-pong for 10.1/16
+  EXPECT_GT(s.multicast_pairs, 0u);   // the group replicates to two hosts
+}
+
+TEST(Verify, KindToString) {
+  EXPECT_STREQ(to_string(Violation::Kind::Loop), "loop");
+  EXPECT_STREQ(to_string(Violation::Kind::Blackhole), "blackhole");
+  EXPECT_STREQ(to_string(Violation::Kind::MissedWaypoint), "missed-waypoint");
+}
+
+}  // namespace
+}  // namespace apc::verify

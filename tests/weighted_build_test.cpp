@@ -1,0 +1,108 @@
+// Parameterized property sweep for distribution-aware tree construction
+// (paper SS V-D): weighted builds stay correct for arbitrary weights and
+// never lose to the unweighted tree on the visit-weighted depth metric
+// they optimize.
+#include <gtest/gtest.h>
+
+#include "ap/atoms.hpp"
+#include "aptree/build.hpp"
+#include "baselines/ap_linear.hpp"
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/traces.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+class WeightedBuildSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedBuildSweep, CorrectAndNoWorseOnWeightedDepth) {
+  datasets::Dataset d = datasets::internet2_like(datasets::Scale::Tiny, 4);
+  auto mgr = datasets::Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  Rng rng(GetParam());
+
+  // Random positive weights, heavily skewed for some atoms.
+  std::vector<double> weights(clf.atoms().capacity(), 1.0);
+  for (const AtomId a : clf.atoms().alive_ids()) {
+    weights[a] = rng.coin(0.2) ? 50.0 + rng.uniform01() * 1000.0
+                               : 0.5 + rng.uniform01();
+  }
+
+  BuildOptions plain;
+  const ApTree t_plain = build_tree(clf.registry(), clf.atoms(), plain);
+  BuildOptions weighted;
+  weighted.weights = &weights;
+  const ApTree t_weighted = build_tree(clf.registry(), clf.atoms(), weighted);
+
+  // Correctness: same partition as a linear scan.
+  const ApLinear lin(clf.atoms());
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  for (const auto& h : reps.headers) {
+    ASSERT_EQ(t_weighted.classify(h, clf.registry()), lin.classify(h));
+  }
+  EXPECT_EQ(t_weighted.leaf_count(), clf.atoms().alive_count());
+
+  // Objective: weighted average depth no worse than the unweighted tree's
+  // (the heuristic optimizes exactly this weighted sum).
+  EXPECT_LE(t_weighted.weighted_average_depth(weights),
+            t_plain.weighted_average_depth(weights) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedBuildSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(WeightedBuild, RebuildWithWeightsApiKeepsAtoms) {
+  datasets::Dataset d = datasets::internet2_like(datasets::Scale::Tiny, 4);
+  auto mgr = datasets::Dataset::make_manager();
+  ApClassifier clf(d.net, mgr);
+  const std::size_t atoms_before = clf.atom_count();
+
+  std::vector<double> weights(clf.atoms().capacity(), 1.0);
+  weights[clf.atoms().alive_ids().front()] = 500.0;
+  clf.rebuild_with_weights(weights);
+
+  EXPECT_EQ(clf.atom_count(), atoms_before);  // no re-atomization
+  EXPECT_EQ(clf.tree().leaf_count(), atoms_before);
+  // Still classifies correctly.
+  Rng rng(2);
+  const ApLinear lin(clf.atoms());
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  for (const auto& h : reps.headers) EXPECT_EQ(clf.classify(h), lin.classify(h));
+}
+
+TEST(WeightedBuild, ZeroWeightAtomsStayReachable) {
+  // Structural emptiness decisions must use cardinalities, not weights:
+  // an atom with weight 0 still gets a leaf.
+  datasets::Dataset d = datasets::internet2_like(datasets::Scale::Tiny, 4);
+  auto mgr = datasets::Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  std::vector<double> weights(clf.atoms().capacity(), 0.0);
+  BuildOptions o;
+  o.weights = &weights;
+  const ApTree t = build_tree(clf.registry(), clf.atoms(), o);
+  EXPECT_EQ(t.leaf_count(), clf.atoms().alive_count());
+}
+
+TEST(Behavior, BoxesTraversedOrderAndUniqueness) {
+  datasets::Dataset d = datasets::internet2_like(datasets::Scale::Tiny, 4);
+  auto mgr = datasets::Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  Rng rng(3);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  for (const auto& h : reps.headers) {
+    const Behavior b = clf.query(h, 0);
+    const auto boxes = b.boxes_traversed();
+    // Unique and starting at the ingress when anything happened there.
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      for (std::size_t j = i + 1; j < boxes.size(); ++j)
+        ASSERT_NE(boxes[i], boxes[j]);
+    if (!boxes.empty()) {
+      EXPECT_EQ(boxes.front(), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apc
