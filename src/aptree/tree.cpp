@@ -54,13 +54,22 @@ AtomId ApTree::classify(const PacketHeader& h, const PredicateRegistry& reg,
 template <typename Fn>
 void ApTree::visit_leaves(std::int32_t idx, std::size_t depth, Fn&& fn) const {
   if (idx == kNil) return;
-  const Node& n = nodes_[idx];
-  if (n.is_leaf()) {
-    fn(n, depth);
-    return;
+  // Explicit stack instead of recursion: adversarial predicate orders can
+  // degenerate the tree to linear depth (one leaf per level), and a
+  // per-level C-stack frame would overflow long before the node vector
+  // does.  Pushing right before left preserves the in-order leaf sequence.
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{idx, depth}};
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[i];
+    if (n.is_leaf()) {
+      fn(n, d);
+      continue;
+    }
+    stack.emplace_back(n.right, d + 1);
+    stack.emplace_back(n.left, d + 1);
   }
-  visit_leaves(n.left, depth + 1, fn);
-  visit_leaves(n.right, depth + 1, fn);
 }
 
 std::vector<std::size_t> ApTree::leaf_depths() const {

@@ -95,8 +95,13 @@ Bdd Bdd::minus(const Bdd& other) const {
 
 bool Bdd::implies(const Bdd& other) const {
   require(mgr_ && mgr_ == other.mgr_, "Bdd::implies across managers");
-  const NodeRef diff = mgr_->apply(BddManager::Op::Diff, ref_, other.ref_);
-  return diff == kFalse;
+  // Wrap the apply() result even though only its identity is inspected: an
+  // unreferenced NodeRef is exactly what maybe_gc() reclaims, and leaving
+  // the temporary uncounted both blocks GC here (pool growth) and invites a
+  // use-after-free if any code between apply and use ever collects.
+  const Bdd diff = mgr_->wrap(mgr_->apply(BddManager::Op::Diff, ref_, other.ref_));
+  mgr_->maybe_gc();
+  return diff.is_false();
 }
 
 std::size_t Bdd::node_count() const {
@@ -463,9 +468,13 @@ NodeRef BddManager::ite_rec(NodeRef f, NodeRef g, NodeRef h) {
 
 NodeRef BddManager::restrict_rec(NodeRef f, std::uint32_t v, bool value) {
   if (f <= kTrue) return f;
-  const Node& n = nodes_[f];
-  if (n.var > v) return f;  // v does not appear below (ordered BDD)
-  if (n.var == v) return value ? n.high : n.low;
+  // Copy the fields: the recursions below may make_node() and reallocate
+  // the node pool, which would invalidate a held reference into it.
+  const std::uint32_t var = nodes_[f].var;
+  const NodeRef f_low = nodes_[f].low;
+  const NodeRef f_high = nodes_[f].high;
+  if (var > v) return f;  // v does not appear below (ordered BDD)
+  if (var == v) return value ? f_high : f_low;
 
   const std::uint64_t key =
       static_cast<std::uint64_t>(Op::Restrict) | (std::uint64_t{v} << 8) |
@@ -473,9 +482,9 @@ NodeRef BddManager::restrict_rec(NodeRef f, std::uint32_t v, bool value) {
   CacheEntry& slot = cache_slot(key, f, 0, 0);
   if (slot.key == key && slot.a == f) return slot.result;
 
-  const NodeRef low = restrict_rec(n.low, v, value);
-  const NodeRef high = restrict_rec(n.high, v, value);
-  const NodeRef result = make_node(n.var, low, high);
+  const NodeRef low = restrict_rec(f_low, v, value);
+  const NodeRef high = restrict_rec(f_high, v, value);
+  const NodeRef result = make_node(var, low, high);
 
   slot = {key, f, 0, 0, result};
   return result;
@@ -598,6 +607,50 @@ Bdd transfer(const Bdd& src, BddManager& dst) {
           "transfer: destination manager has fewer variables");
   std::unordered_map<NodeRef, Bdd> memo;
   return transfer_rec(*src.manager(), src.ref(), dst, memo);
+}
+
+// ---------- flatten (manager-free export) ----------
+
+std::vector<std::uint32_t> flatten(const std::vector<Bdd>& roots,
+                                   std::vector<FlatBddNode>& out_nodes) {
+  if (out_nodes.empty()) {
+    out_nodes.push_back({0xFFFFFFFFu, kFalse, kFalse});  // terminal FALSE
+    out_nodes.push_back({0xFFFFFFFFu, kTrue, kTrue});    // terminal TRUE
+  }
+  const BddManager* mgr = nullptr;
+  for (const Bdd& r : roots) {
+    require(r.valid(), "flatten: null Bdd");
+    require(mgr == nullptr || r.manager() == mgr, "flatten: mixed managers");
+    mgr = r.manager();
+  }
+
+  // Discover every reachable node once, assigning dense ids on first visit;
+  // terminals keep ids 0/1.
+  std::unordered_map<NodeRef, std::uint32_t> dense;
+  dense.emplace(kFalse, kFalse);
+  dense.emplace(kTrue, kTrue);
+  std::vector<NodeRef> stack;
+  for (const Bdd& r : roots) stack.push_back(r.ref());
+  while (!stack.empty()) {
+    const NodeRef r = stack.back();
+    stack.pop_back();
+    if (dense.count(r)) continue;
+    dense.emplace(r, static_cast<std::uint32_t>(out_nodes.size()));
+    out_nodes.push_back({mgr->node_var(r), 0, 0});  // children patched below
+    stack.push_back(mgr->node_low(r));
+    stack.push_back(mgr->node_high(r));
+  }
+  // Patch children now that every reachable node has a dense id.
+  for (const auto& [ref, id] : dense) {
+    if (ref <= kTrue) continue;
+    out_nodes[id].lo = dense.at(mgr->node_low(ref));
+    out_nodes[id].hi = dense.at(mgr->node_high(ref));
+  }
+
+  std::vector<std::uint32_t> out;
+  out.reserve(roots.size());
+  for (const Bdd& r : roots) out.push_back(dense.at(r.ref()));
+  return out;
 }
 
 // ---------- text serialization ----------

@@ -223,6 +223,36 @@ class BddManager {
 /// paper runs reconstruction as a separate process, SS VI-B).
 Bdd transfer(const Bdd& src, BddManager& dst);
 
+/// A manager-free BDD node for flattened (frozen) evaluation.  Children are
+/// indices into the same array; slots 0 and 1 are the FALSE/TRUE terminals.
+/// No ref counts, no unique table, no GC — an array of these is immutable
+/// and safe to read from any number of threads.
+struct FlatBddNode {
+  std::uint32_t var;
+  std::uint32_t lo;
+  std::uint32_t hi;
+};
+
+/// Exports the subgraphs reachable from `roots` (all on one manager) into a
+/// single contiguous node array shared across all roots, appending to
+/// `out_nodes` (which is initialized with the two terminal slots if empty).
+/// Returns the dense index of each root, in input order.  The export is a
+/// pure read of the manager: it takes no references and triggers no GC.
+std::vector<std::uint32_t> flatten(const std::vector<Bdd>& roots,
+                                   std::vector<FlatBddNode>& out_nodes);
+
+/// Evaluates a flattened BDD: walk from `root` taking `hi` when bit(var) is
+/// set, else `lo`, until a terminal.  The loop the concurrent query engine
+/// runs — a dependent-load array walk with zero shared mutable state.
+template <typename BitFn>
+inline bool eval_flat(const FlatBddNode* nodes, std::uint32_t root, BitFn&& bit) {
+  while (root > kTrue) {
+    const FlatBddNode& n = nodes[root];
+    root = bit(n.var) ? n.hi : n.lo;
+  }
+  return root == kTrue;
+}
+
 /// Serializes a BDD to a compact text form ("bdd v1" header + one node per
 /// line, children before parents).  Deserializing into any manager with at
 /// least as many variables reproduces an equivalent (canonical) function.

@@ -17,15 +17,15 @@ ApClassifier::ApClassifier(const NetworkModel& net, std::shared_ptr<bdd::BddMana
   bo.method = opts_.method;
   bo.seed = opts_.seed;
   tree_ = build_tree(reg_, uni_, bo);
-  visit_counts_.assign(uni_.capacity(), 0);
+  visit_counts_.reset(uni_.capacity());
 }
 
 AtomId ApClassifier::classify(const PacketHeader& h) const {
   const AtomId a = tree_.classify(h, reg_);
-  if (opts_.track_visits) {
-    if (a >= visit_counts_.size()) visit_counts_.resize(a + 1, 0);
-    ++visit_counts_[a];
-  }
+  // Relaxed atomic bump: classify() is const and callable from many threads
+  // at once.  No growth here — an atom can only appear via an update call,
+  // and those grow the counter array before returning.
+  if (opts_.track_visits) visit_counts_.bump(a);
   return a;
 }
 
@@ -157,7 +157,7 @@ AddPredicateResult ApClassifier::add_predicate(bdd::Bdd p, PredicateKind kind,
                                                std::optional<PortId> origin) {
   auto res = apc::add_predicate(tree_, reg_, uni_, std::move(p), kind, origin);
   apply_atom_splits(res.splits);
-  visit_counts_.resize(uni_.capacity(), 0);
+  visit_counts_.grow(uni_.capacity());
   return res;
 }
 
@@ -228,7 +228,7 @@ ApClassifier::RuleUpdateResult ApClassifier::refresh_box_predicates(BoxId box) {
     ++res.predicates_changed;
   }
   entries = std::move(next);
-  visit_counts_.resize(uni_.capacity(), 0);
+  visit_counts_.grow(uni_.capacity());
   return res;
 }
 
@@ -378,7 +378,7 @@ ApClassifier::RuleUpdateResult ApClassifier::move_region_to_port(
     res.atoms_split += add.leaves_split;
     ++res.predicates_changed;
   }
-  visit_counts_.resize(uni_.capacity(), 0);
+  visit_counts_.grow(uni_.capacity());
   return res;
 }
 
@@ -409,7 +409,7 @@ ApClassifier::RuleUpdateResult ApClassifier::remove_region(BoxId box,
     res.atoms_split += add.leaves_split;
     ++i;
   }
-  visit_counts_.resize(uni_.capacity(), 0);
+  visit_counts_.grow(uni_.capacity());
   return res;
 }
 
@@ -463,7 +463,7 @@ ApClassifier::RuleUpdateResult ApClassifier::set_input_acl(BoxId box,
   compiled_.input_acl_pred[{box, port}] = add.pred_id;
   res.atoms_split += add.leaves_split;
   ++res.predicates_changed;
-  visit_counts_.resize(uni_.capacity(), 0);
+  visit_counts_.grow(uni_.capacity());
   return res;
 }
 
@@ -499,7 +499,7 @@ void ApClassifier::rebuild(std::optional<BuildMethod> method, bool distribution_
     bo.weights = &new_weights;
   }
   tree_ = build_tree(reg_, uni_, bo);
-  visit_counts_.assign(uni_.capacity(), 0);
+  visit_counts_.reset(uni_.capacity());
 }
 
 void ApClassifier::rebuild_with_weights(const std::vector<double>& atom_weights,
@@ -512,13 +512,20 @@ void ApClassifier::rebuild_with_weights(const std::vector<double>& atom_weights,
 }
 
 void ApClassifier::reset_visit_counts() {
-  visit_counts_.assign(uni_.capacity(), 0);
+  visit_counts_.reset(uni_.capacity());
+}
+
+void ApClassifier::merge_visit_counts(const std::vector<std::uint64_t>& counts) {
+  visit_counts_.grow(uni_.capacity());
+  for (std::size_t i = 0; i < counts.size(); ++i) visit_counts_.add(i, counts[i]);
 }
 
 std::vector<double> ApClassifier::visit_weights() const {
   std::vector<double> w(uni_.capacity(), 1.0);
-  for (std::size_t i = 0; i < visit_counts_.size() && i < w.size(); ++i)
-    if (visit_counts_[i] > 0) w[i] = static_cast<double>(visit_counts_[i]);
+  for (std::size_t i = 0; i < visit_counts_.size() && i < w.size(); ++i) {
+    const std::uint64_t c = visit_counts_.get(i);
+    if (c > 0) w[i] = static_cast<double>(c);
+  }
   return w;
 }
 

@@ -16,6 +16,7 @@
 #include "classifier/behavior.hpp"
 #include "classifier/middlebox.hpp"
 #include "network/model.hpp"
+#include "util/visit_counters.hpp"
 
 namespace apc {
 
@@ -126,12 +127,20 @@ class ApClassifier {
                             std::optional<BuildMethod> method = {});
 
   void reset_visit_counts();
-  /// Per-atom visit counts (indexed by atom id).
-  const std::vector<std::uint64_t>& visit_counts() const { return visit_counts_; }
+  /// Per-atom visit counts (indexed by atom id).  Counters are relaxed
+  /// atomics, so concurrent classify() calls are race-free; this returns a
+  /// point-in-time copy.
+  std::vector<std::uint64_t> visit_counts() const { return visit_counts_.to_vector(); }
+  /// Folds externally accumulated counts in (the snapshot engine drains a
+  /// retired FlatSnapshot's stats block here before republishing, so
+  /// distribution-aware rebuilds still see engine traffic).
+  void merge_visit_counts(const std::vector<std::uint64_t>& counts);
   /// Visit counts normalized into weights (atoms never seen weigh 1).
   std::vector<double> visit_weights() const;
 
   // ---- Introspection ----
+  const Options& options() const { return opts_; }
+  bool has_middleboxes() const { return !middleboxes_.empty(); }
   const ApTree& tree() const { return tree_; }
   const PredicateRegistry& registry() const { return reg_; }
   const AtomUniverse& atoms() const { return uni_; }
@@ -178,7 +187,10 @@ class ApClassifier {
   ApTree tree_;
   Options opts_;
   std::vector<Middlebox> middleboxes_;
-  mutable std::vector<std::uint64_t> visit_counts_;
+  // Atomic so that const classify() calls from several threads never race
+  // (the resize-on-update, grow-only discipline lives in the non-const
+  // update methods, which require external serialization anyway).
+  VisitCounters visit_counts_;
 };
 
 }  // namespace apc

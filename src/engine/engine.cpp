@@ -1,0 +1,92 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+namespace apc::engine {
+
+namespace {
+std::size_t default_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? std::min<std::size_t>(hw - 1, 8) : 0;
+}
+}  // namespace
+
+QueryEngine::QueryEngine(ApClassifier& clf, Options opts)
+    : clf_(clf), opts_(opts), pool_(default_threads(opts.num_threads)) {
+  require(opts_.batch_grain > 0, "QueryEngine: zero batch grain");
+  snap_.store(FlatSnapshot::build(clf_));
+  publish_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<AtomId> QueryEngine::classify_batch(
+    const std::vector<PacketHeader>& hs) const {
+  std::vector<AtomId> out(hs.size());
+  const std::shared_ptr<const FlatSnapshot> s = snapshot();
+  pool_.parallel_for(hs.size(), opts_.batch_grain,
+                     [&](std::size_t first, std::size_t last) {
+                       for (std::size_t i = first; i < last; ++i)
+                         out[i] = s->classify(hs[i]);
+                     });
+  return out;
+}
+
+std::vector<Behavior> QueryEngine::query_batch(const std::vector<PacketHeader>& hs,
+                                               BoxId ingress) const {
+  std::vector<Behavior> out(hs.size());
+  const std::shared_ptr<const FlatSnapshot> s = snapshot();
+  pool_.parallel_for(hs.size(), opts_.batch_grain,
+                     [&](std::size_t first, std::size_t last) {
+                       for (std::size_t i = first; i < last; ++i)
+                         out[i] = s->query(hs[i], ingress);
+                     });
+  return out;
+}
+
+void QueryEngine::drain_visits_locked() {
+  // Readers may still bump the old snapshot's counters until they drop it;
+  // those late bumps are lost with the snapshot — acceptable for a rebuild
+  // heuristic, and the alternative (blocking readers) defeats the design.
+  const std::shared_ptr<const FlatSnapshot> old = snap_.load();
+  if (old && old->tracks_visits()) clf_.merge_visit_counts(old->visit_counts());
+}
+
+void QueryEngine::republish_locked() {
+  snap_.store(FlatSnapshot::build(clf_));
+  publish_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+AddPredicateResult QueryEngine::add_predicate(bdd::Bdd p, PredicateKind kind,
+                                              std::optional<PortId> origin) {
+  return update([&](ApClassifier& c) {
+    return c.add_predicate(std::move(p), kind, origin);
+  });
+}
+
+void QueryEngine::remove_predicate(PredId id) {
+  update([&](ApClassifier& c) { c.remove_predicate(id); });
+}
+
+ApClassifier::RuleUpdateResult QueryEngine::insert_fib_rule(
+    BoxId box, const ForwardingRule& r) {
+  return update([&](ApClassifier& c) { return c.insert_fib_rule(box, r); });
+}
+
+ApClassifier::RuleUpdateResult QueryEngine::remove_fib_rule(
+    BoxId box, const ForwardingRule& r) {
+  return update([&](ApClassifier& c) { return c.remove_fib_rule(box, r); });
+}
+
+ApClassifier::RuleUpdateResult QueryEngine::set_input_acl(BoxId box,
+                                                          std::uint32_t port,
+                                                          Acl acl) {
+  return update(
+      [&](ApClassifier& c) { return c.set_input_acl(box, port, std::move(acl)); });
+}
+
+void QueryEngine::rebuild(std::optional<BuildMethod> method,
+                          bool distribution_aware) {
+  update([&](ApClassifier& c) { c.rebuild(method, distribution_aware); });
+}
+
+}  // namespace apc::engine

@@ -1,0 +1,157 @@
+// QueryEngine — snapshot-based concurrent batch query engine.
+//
+// The paper's headline claim is stage-1 throughput (Figs. 12/14).  This
+// engine serves that workload from FlatSnapshots: immutable, manager-free
+// freezes of the AP Tree (see snapshot.hpp) published RCU-style.
+//
+//   readers                 writer (one at a time)
+//   -------                 ----------------------
+//   s = snapshot()          lock writer mutex
+//   s->classify(h) ...      mutate ApClassifier (add/remove predicate,
+//   (never blocks,           rule updates, rebuild) — BDD work happens here
+//    never sees a           build a fresh FlatSnapshot off to the side
+//    half-updated tree)     atomically swap the shared_ptr  (release)
+//
+// Readers acquire the current snapshot pointer and keep the shared_ptr
+// alive for the duration of their batch, so a snapshot retires only after
+// its last reader drops it.  Updates therefore never block in-flight
+// queries and queries never observe intermediate tree states.
+//
+// The publication slot is a mutex-guarded shared_ptr rather than
+// std::atomic<std::shared_ptr>: libstdc++'s lock-bit implementation
+// releases its load() lock with a relaxed RMW, which leaves no provable
+// happens-before edge to the next store()'s pointer swap (TSan flags it).
+// The guarded slot's critical section is a single refcount bump — queries
+// themselves never hold the lock.
+//
+// classify_batch()/query_batch() fan a vector of headers across a small
+// worker pool; every item in one batch is answered from one snapshot, so a
+// batch is atomic with respect to updates.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "classifier/classifier.hpp"
+#include "engine/snapshot.hpp"
+#include "engine/worker_pool.hpp"
+
+namespace apc::engine {
+
+class QueryEngine {
+ public:
+  struct Options {
+    /// Worker threads for batch fan-out (the calling thread always
+    /// participates too).  0 = hardware_concurrency - 1, capped at 8.
+    std::size_t num_threads = 0;
+    /// Headers per work chunk when fanning out a batch.
+    std::size_t batch_grain = 256;
+  };
+
+  /// Builds the initial snapshot from `clf`.  The engine keeps a reference:
+  /// `clf` must outlive it, and all mutations of `clf` must go through the
+  /// engine (or through update()) so they are serialized and republished.
+  QueryEngine(ApClassifier& clf, Options opts);
+  explicit QueryEngine(ApClassifier& clf) : QueryEngine(clf, Options{}) {}
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // ---- Read side (no locks held while querying) ----
+  /// Acquires the current snapshot.  Hold it to answer any number of
+  /// queries against one consistent frozen state.
+  std::shared_ptr<const FlatSnapshot> snapshot() const { return snap_.load(); }
+
+  AtomId classify(const PacketHeader& h) const { return snapshot()->classify(h); }
+  Behavior query(const PacketHeader& h, BoxId ingress) const {
+    return snapshot()->query(h, ingress);
+  }
+
+  /// Stage-1 classification of a whole batch, fanned across the pool.
+  /// The entire batch is answered from a single snapshot.
+  std::vector<AtomId> classify_batch(const std::vector<PacketHeader>& hs) const;
+  /// Two-stage queries for a whole batch (middlebox-free networks).
+  std::vector<Behavior> query_batch(const std::vector<PacketHeader>& hs,
+                                    BoxId ingress) const;
+
+  // ---- Write side (serialized; rebuild-and-swap publication) ----
+  AddPredicateResult add_predicate(bdd::Bdd p,
+                                   PredicateKind kind = PredicateKind::External,
+                                   std::optional<PortId> origin = {});
+  void remove_predicate(PredId id);
+  ApClassifier::RuleUpdateResult insert_fib_rule(BoxId box, const ForwardingRule& r);
+  ApClassifier::RuleUpdateResult remove_fib_rule(BoxId box, const ForwardingRule& r);
+  ApClassifier::RuleUpdateResult set_input_acl(BoxId box, std::uint32_t port, Acl acl);
+  /// Full reconstruction (optionally distribution-aware using the visit
+  /// counts accumulated by retired snapshots), then republish.
+  void rebuild(std::optional<BuildMethod> method = {}, bool distribution_aware = false);
+
+  /// Applies an arbitrary mutation to the classifier under the writer lock
+  /// and republishes.  Use for updates without a dedicated wrapper.
+  /// Snapshot visit counts are drained into the classifier *before* `fn`
+  /// runs, so a distribution-aware rebuild sees engine traffic and the
+  /// counts are folded while atom ids still mean the same thing.
+  template <typename Fn>
+  auto update(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    drain_visits_locked();
+    if constexpr (std::is_void_v<decltype(fn(clf_))>) {
+      fn(clf_);
+      republish_locked();
+    } else {
+      auto res = fn(clf_);
+      republish_locked();
+      return res;
+    }
+  }
+
+  // ---- Introspection ----
+  const ApClassifier& classifier() const { return clf_; }
+  std::size_t worker_threads() const { return pool_.thread_count(); }
+  std::uint64_t publish_count() const {
+    return publish_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Folds the current snapshot's visit counters into the classifier
+  /// (atom ids are still aligned at this point).  Caller holds writer_mu_.
+  void drain_visits_locked();
+  /// Builds a fresh snapshot from the classifier and publishes it.
+  /// Caller holds writer_mu_.
+  void republish_locked();
+
+  /// Mutex-guarded publication slot (see the class comment for why this is
+  /// not std::atomic<std::shared_ptr>).  load() copies the pointer under
+  /// the lock; store() swaps it and drops the old snapshot outside the
+  /// lock, so a snapshot's (potentially large) teardown never blocks
+  /// readers acquiring the new one.
+  class SnapshotSlot {
+   public:
+    std::shared_ptr<const FlatSnapshot> load() const {
+      std::lock_guard<std::mutex> lock(mu_);
+      return ptr_;
+    }
+    void store(std::shared_ptr<const FlatSnapshot> next) {
+      std::shared_ptr<const FlatSnapshot> old;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        old.swap(ptr_);
+        ptr_ = std::move(next);
+      }
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::shared_ptr<const FlatSnapshot> ptr_;
+  };
+
+  ApClassifier& clf_;
+  Options opts_;
+  mutable WorkerPool pool_;
+  std::mutex writer_mu_;
+  SnapshotSlot snap_;
+  std::atomic<std::uint64_t> publish_count_{0};
+};
+
+}  // namespace apc::engine

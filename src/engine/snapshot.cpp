@@ -1,0 +1,208 @@
+#include "engine/snapshot.hpp"
+
+#include <unordered_map>
+
+namespace apc::engine {
+
+std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf) {
+  auto snap = std::shared_ptr<FlatSnapshot>(new FlatSnapshot());
+  const ApTree& tree = clf.tree();
+  const PredicateRegistry& reg = clf.registry();
+  require(!tree.empty(), "FlatSnapshot: empty tree");
+
+  // Flatten the BDD of every distinct predicate the tree evaluates into one
+  // shared node array (structural sharing across predicates is preserved:
+  // flatten() deduplicates by manager node).
+  std::vector<PredId> pred_ids;
+  std::unordered_map<PredId, std::uint32_t> pred_slot;
+  for (std::size_t i = 0; i < tree.node_count(); ++i) {
+    const ApTree::Node& n = tree.node(static_cast<std::int32_t>(i));
+    if (n.is_leaf()) continue;
+    const PredId p = static_cast<PredId>(n.pred);
+    if (pred_slot.emplace(p, static_cast<std::uint32_t>(pred_ids.size())).second)
+      pred_ids.push_back(p);
+  }
+  std::vector<bdd::Bdd> roots;
+  roots.reserve(pred_ids.size());
+  for (const PredId p : pred_ids) roots.push_back(reg.bdd_of(p));
+  const std::vector<std::uint32_t> dense_roots =
+      bdd::flatten(roots, snap->bdd_nodes_);
+
+  // Freeze the tree over the flat array (same node indices as the source
+  // tree, so classify takes the same path and evaluates the same count).
+  snap->tree_.resize(tree.node_count());
+  for (std::size_t i = 0; i < tree.node_count(); ++i) {
+    const ApTree::Node& n = tree.node(static_cast<std::int32_t>(i));
+    FlatTreeNode& f = snap->tree_[i];
+    if (n.is_leaf()) {
+      f.atom = n.atom;
+    } else {
+      f.bdd_root = dense_roots[pred_slot.at(static_cast<PredId>(n.pred))];
+      f.left = n.left;
+      f.right = n.right;
+    }
+  }
+  snap->tree_root_ = tree.root();
+
+  // Freeze stage 2: per-box port entries with copies of the R(p) bitsets.
+  // Deleted predicates keep an empty bitset — test() is then false for
+  // every atom, exactly pred_contains()'s answer.
+  const CompiledNetwork& cn = clf.compiled();
+  const Topology& topo = clf.network().topology;
+  snap->boxes_.resize(topo.box_count());
+  for (BoxId b = 0; b < topo.box_count(); ++b) {
+    FlatBox& fb = snap->boxes_[b];
+    for (const auto& entry : cn.port_preds[b]) {
+      FlatPortEntry e;
+      e.port = entry.port;
+      const Port& p = topo.box(b).ports[entry.port];
+      if (p.kind == Port::Kind::Link) {
+        e.peer_box = static_cast<std::int32_t>(p.peer->box);
+        e.peer_port = p.peer->port;
+      }
+      if (!reg.is_deleted(entry.pred)) e.fwd_atoms = reg.atoms_of(entry.pred);
+      if (entry.out_acl != kNoPred) {
+        e.has_out_acl = true;
+        if (!reg.is_deleted(entry.out_acl))
+          e.out_acl_atoms = reg.atoms_of(entry.out_acl);
+      }
+      fb.ports.push_back(std::move(e));
+    }
+    fb.in_acls.resize(cn.in_acl_by_port[b].size());
+    for (std::size_t port = 0; port < cn.in_acl_by_port[b].size(); ++port) {
+      const PredId acl = cn.in_acl_by_port[b][port];
+      if (acl == kNoPred) continue;
+      fb.in_acls[port].present = true;
+      if (!reg.is_deleted(acl)) fb.in_acls[port].atoms = reg.atoms_of(acl);
+    }
+  }
+
+  snap->atom_capacity_ = clf.atoms().capacity();
+  snap->has_middleboxes_ = clf.has_middleboxes();
+  if (clf.options().track_visits) snap->visits_.reset(snap->atom_capacity_);
+  return snap;
+}
+
+AtomId FlatSnapshot::classify(const PacketHeader& h) const {
+  std::size_t evals;
+  return classify_counted(h, evals);
+}
+
+AtomId FlatSnapshot::classify_counted(const PacketHeader& h,
+                                      std::size_t& evals) const {
+  const bdd::FlatBddNode* nodes = bdd_nodes_.data();
+  const FlatTreeNode* tree = tree_.data();
+  std::size_t count = 0;
+  std::int32_t idx = tree_root_;
+  while (true) {
+    const FlatTreeNode& n = tree[idx];
+    if (n.left < 0) {
+      evals = count;
+      const AtomId a = static_cast<AtomId>(n.atom);
+      visits_.bump(a);  // no-op (size 0) unless tracking is on
+      return a;
+    }
+    ++count;
+    std::uint32_t r = n.bdd_root;
+    while (r > bdd::kTrue) {
+      const bdd::FlatBddNode& b = nodes[r];
+      r = h.bit(b.var) ? b.hi : b.lo;
+    }
+    idx = r == bdd::kTrue ? n.left : n.right;
+  }
+}
+
+// Mirrors compute_behavior_into (classifier/behavior.cpp) step for step so
+// behaviors are byte-identical: same stack discipline, same push order, same
+// visited-loop semantics, same drop reasons.
+Behavior FlatSnapshot::behavior_of(AtomId atom, BoxId ingress) const {
+  require(ingress < boxes_.size(), "FlatSnapshot::behavior_of: bad ingress");
+  Behavior out;
+
+  struct Visit {
+    BoxId box;
+    std::uint32_t in_port;
+  };
+  static constexpr std::uint32_t kNoInPort = 0xFFFFFFFFu;
+  std::vector<Visit> stack;
+  stack.push_back({ingress, kNoInPort});
+
+  std::uint64_t visited_mask = 0;
+  std::vector<bool> visited_vec;
+  if (boxes_.size() > 64) visited_vec.assign(boxes_.size(), false);
+  const auto test_and_set_visited = [&](BoxId b) {
+    if (visited_vec.empty()) {
+      const std::uint64_t bit = std::uint64_t{1} << b;
+      const bool was = visited_mask & bit;
+      visited_mask |= bit;
+      return was;
+    }
+    const bool was = visited_vec[b];
+    visited_vec[b] = true;
+    return was;
+  };
+
+  while (!stack.empty()) {
+    const Visit v = stack.back();
+    stack.pop_back();
+
+    if (test_and_set_visited(v.box)) {
+      out.loop_detected = true;
+      continue;
+    }
+    const FlatBox& fb = boxes_[v.box];
+
+    if (v.in_port != kNoInPort && v.in_port < fb.in_acls.size()) {
+      const FlatInAcl& acl = fb.in_acls[v.in_port];
+      if (acl.present && !acl.atoms.test(atom)) {
+        out.drops.push_back({v.box, Drop::Reason::InputAcl});
+        continue;
+      }
+    }
+
+    bool forwarded = false;
+    bool acl_blocked = false;
+    for (const FlatPortEntry& e : fb.ports) {
+      if (!e.fwd_atoms.test(atom)) continue;
+      if (e.has_out_acl && !e.out_acl_atoms.test(atom)) {
+        acl_blocked = true;
+        continue;
+      }
+      forwarded = true;
+      if (e.peer_box < 0) {
+        out.edges.push_back({v.box, e.port, std::nullopt});
+        out.deliveries.push_back({v.box, e.port});
+      } else {
+        out.edges.push_back({v.box, e.port, static_cast<BoxId>(e.peer_box)});
+        stack.push_back({static_cast<BoxId>(e.peer_box), e.peer_port});
+      }
+    }
+    if (!forwarded) {
+      out.drops.push_back({v.box, acl_blocked ? Drop::Reason::OutputAcl
+                                              : Drop::Reason::NoMatchingRule});
+    }
+  }
+  return out;
+}
+
+Behavior FlatSnapshot::query(const PacketHeader& h, BoxId ingress) const {
+  require(!has_middleboxes_,
+          "FlatSnapshot::query: middlebox networks need live tree re-search; "
+          "use ApClassifier::query/query_probabilistic");
+  return behavior_of(classify(h), ingress);
+}
+
+std::size_t FlatSnapshot::memory_bytes() const {
+  std::size_t bytes = bdd_nodes_.capacity() * sizeof(bdd::FlatBddNode) +
+                      tree_.capacity() * sizeof(FlatTreeNode);
+  for (const FlatBox& fb : boxes_) {
+    bytes += fb.ports.capacity() * sizeof(FlatPortEntry) +
+             fb.in_acls.capacity() * sizeof(FlatInAcl);
+    for (const FlatPortEntry& e : fb.ports)
+      bytes += (e.fwd_atoms.size() + e.out_acl_atoms.size()) / 8;
+    for (const FlatInAcl& a : fb.in_acls) bytes += a.atoms.size() / 8;
+  }
+  return bytes + visits_.size() * sizeof(std::uint64_t);
+}
+
+}  // namespace apc::engine

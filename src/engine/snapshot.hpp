@@ -1,0 +1,115 @@
+// FlatSnapshot — an immutable, manager-free freeze of the AP Tree and every
+// node predicate's BDD, plus the stage-2 forwarding state, built for the
+// concurrent query engine.
+//
+// Why it exists: ApTree::classify walks BDD nodes through the shared
+// BddManager (handle deref -> manager -> node pool) on every predicate
+// evaluation.  That path is single-threaded by construction — the manager's
+// pool, unique table, and GC are shared mutable state.  A FlatSnapshot
+// freezes everything stage 1 and the middlebox-free stage 2 need into
+// contiguous arrays indexed by dense ids:
+//
+//   * every predicate BDD reachable from a tree node, deduplicated into one
+//     FlatBddNode array ({var, lo, hi} triples; slots 0/1 are terminals),
+//   * the tree itself as {bdd_root, left, right, atom} records,
+//   * per-box port entries carrying copies of the R(p) atom bitsets,
+//     peer wiring, and ACL bitsets.
+//
+// Classification is then a pure array walk: no BddManager, no ref-count
+// traffic, no locks — safe from any number of threads.  The only mutable
+// member is an optional per-atom stats block of relaxed atomic counters.
+//
+// Snapshots are published RCU-style by engine::QueryEngine: writers rebuild
+// off to the side and atomically swap a shared_ptr<const FlatSnapshot>.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "classifier/classifier.hpp"
+#include "util/bitset.hpp"
+#include "util/visit_counters.hpp"
+
+namespace apc::engine {
+
+class FlatSnapshot {
+ public:
+  /// Freezes the classifier's current tree, predicates, and compiled
+  /// network.  Pure read of the classifier — call from the writer side only
+  /// (it must not race with classifier mutations).  Visit tracking follows
+  /// the classifier's `track_visits` option.
+  static std::shared_ptr<const FlatSnapshot> build(const ApClassifier& clf);
+
+  // ---- Stage 1 (lock-free, const, thread-safe) ----
+  AtomId classify(const PacketHeader& h) const;
+  /// Same, also reporting the number of predicates evaluated (leaf depth).
+  AtomId classify_counted(const PacketHeader& h, std::size_t& evals) const;
+
+  // ---- Stage 2 (middlebox-free; mirrors compute_behavior exactly) ----
+  Behavior behavior_of(AtomId atom, BoxId ingress) const;
+
+  /// Two-stage query.  Requires a middlebox-free network: header-rewriting
+  /// middleboxes need tree re-searches against live flow tables, which is
+  /// the classifier's (writer-side) job.
+  Behavior query(const PacketHeader& h, BoxId ingress) const;
+
+  // ---- Introspection / stats ----
+  bool has_middleboxes() const { return has_middleboxes_; }
+  bool tracks_visits() const { return visits_.size() > 0; }
+  /// Point-in-time copy of the per-atom visit counters (empty when visit
+  /// tracking is off).  QueryEngine drains these into the classifier when
+  /// the snapshot is retired.
+  std::vector<std::uint64_t> visit_counts() const { return visits_.to_vector(); }
+
+  std::size_t bdd_node_count() const { return bdd_nodes_.size(); }
+  std::size_t tree_node_count() const { return tree_.size(); }
+  std::size_t atom_capacity() const { return atom_capacity_; }
+  std::size_t box_count() const { return boxes_.size(); }
+  /// Approximate heap footprint of the frozen arrays.
+  std::size_t memory_bytes() const;
+
+ private:
+  FlatSnapshot() = default;
+
+  /// Tree node over the flat BDD array.  Leaves have left == kNil.
+  struct FlatTreeNode {
+    std::uint32_t bdd_root = 0;  ///< dense index into bdd_nodes_ (internal)
+    std::int32_t left = -1;      ///< child when the predicate is true
+    std::int32_t right = -1;     ///< child when it is false
+    std::int32_t atom = -1;      ///< atom id at leaves
+  };
+
+  /// Copied per-port stage-2 entry.  Bitsets of deleted predicates are left
+  /// empty, which reproduces pred_contains() == false for every atom.
+  struct FlatPortEntry {
+    std::uint32_t port = 0;
+    std::int32_t peer_box = -1;  ///< -1: host port (delivery terminates)
+    std::uint32_t peer_port = 0;
+    FlatBitset fwd_atoms;        ///< copy of the forwarding R(p)
+    bool has_out_acl = false;
+    FlatBitset out_acl_atoms;
+  };
+
+  struct FlatInAcl {
+    bool present = false;
+    FlatBitset atoms;
+  };
+
+  std::vector<bdd::FlatBddNode> bdd_nodes_;
+  std::vector<FlatTreeNode> tree_;
+  std::int32_t tree_root_ = -1;
+
+  struct FlatBox {
+    std::vector<FlatPortEntry> ports;
+    std::vector<FlatInAcl> in_acls;  ///< indexed by in-port
+  };
+  std::vector<FlatBox> boxes_;
+
+  std::size_t atom_capacity_ = 0;
+  bool has_middleboxes_ = false;
+  mutable VisitCounters visits_;  ///< stats only; empty unless tracking
+};
+
+}  // namespace apc::engine

@@ -1,0 +1,93 @@
+#include "engine/worker_pool.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace apc::engine {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::run_chunks(Job& job) {
+  while (true) {
+    const std::size_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunk_count) return;
+    const std::size_t first = c * job.grain;
+    const std::size_t last = std::min(first + job.grain, job.total);
+    (*job.fn)(first, last);
+    if (job.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.chunk_count) {
+      // Last chunk: wake the caller.  Take the lock so the notify cannot
+      // slip between the caller's predicate check and its wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+      job = job_;
+    }
+    if (job) run_chunks(*job);
+  }
+}
+
+void WorkerPool::parallel_for(
+    std::size_t total, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  require(grain > 0, "WorkerPool::parallel_for: zero grain");
+  if (workers_.empty() || total <= grain) {
+    fn(0, total);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  auto job = std::make_shared<Job>();
+  job->total = total;
+  job->grain = grain;
+  job->chunk_count = (total + grain - 1) / grain;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is a claimant too — no idle waiting while chunks remain.
+  run_chunks(*job);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job->done_chunks.load(std::memory_order_acquire) == job->chunk_count;
+  });
+  {
+    // Drop the pool's reference so the Job (and the caller's fn) cannot be
+    // touched after parallel_for returns.
+    if (job_ == job) job_ = nullptr;
+  }
+}
+
+}  // namespace apc::engine

@@ -1,0 +1,63 @@
+// A small persistent worker pool for fanning batch queries across threads.
+//
+// One job runs at a time (callers of parallel_for take turns); within a job,
+// workers and the calling thread claim fixed-size chunks of the index range
+// from a shared atomic cursor, so load balances even when per-item cost
+// varies (deep vs. shallow tree paths).  Threads are started once and parked
+// on a condition variable between jobs — batch dispatch costs two lock
+// acquisitions, not a thread spawn.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apc::engine {
+
+class WorkerPool {
+ public:
+  /// Starts `threads` workers.  0 is valid: parallel_for then runs inline on
+  /// the calling thread (useful for deterministic tests).
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Invokes fn(first, last) over disjoint chunks covering [0, total).
+  /// Blocks until every chunk has completed.  The calling thread
+  /// participates, so throughput scales to thread_count() + 1 claimants.
+  /// Safe to call from several threads (calls serialize on an internal
+  /// mutex); `fn` must itself be safe to invoke concurrently.
+  void parallel_for(std::size_t total, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Job {
+    std::size_t total = 0;
+    std::size_t grain = 1;
+    std::size_t chunk_count = 0;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;                  // guards job_/job_seq_/stop_
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::mutex job_mu_;              // serializes parallel_for callers
+  std::shared_ptr<Job> job_;
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace apc::engine

@@ -1,0 +1,83 @@
+// VisitCounters: a fixed-capacity array of relaxed atomic counters.
+//
+// Backs the per-atom leaf visit statistics (paper SS V-D) on paths that may
+// be hit from several threads at once: ApClassifier::classify() is const and
+// must be callable concurrently, so the counters it bumps cannot be plain
+// integers.  Capacity changes (grow/reset) are writer-side operations and
+// must not race with concurrent bumps — the classifier only resizes inside
+// update methods, which already require external serialization; the
+// snapshot engine gives every FlatSnapshot its own immutable-capacity block.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace apc {
+
+class VisitCounters {
+ public:
+  VisitCounters() = default;
+  explicit VisitCounters(std::size_t n) { reset(n); }
+
+  VisitCounters(const VisitCounters& other) { *this = other; }
+  VisitCounters& operator=(const VisitCounters& other) {
+    if (this == &other) return *this;
+    reset(other.n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      c_[i].store(other.c_[i].load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
+  VisitCounters(VisitCounters&&) = default;
+  VisitCounters& operator=(VisitCounters&&) = default;
+
+  std::size_t size() const { return n_; }
+
+  /// Reallocates to exactly `n` zeroed counters.
+  void reset(std::size_t n) {
+    c_ = n ? std::make_unique<std::atomic<std::uint64_t>[]>(n) : nullptr;
+    n_ = n;
+    for (std::size_t i = 0; i < n_; ++i)
+      c_[i].store(0, std::memory_order_relaxed);
+  }
+
+  /// Grows to at least `n` counters, preserving existing values.
+  void grow(std::size_t n) {
+    if (n <= n_) return;
+    auto next = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      next[i].store(i < n_ ? c_[i].load(std::memory_order_relaxed) : 0,
+                    std::memory_order_relaxed);
+    c_ = std::move(next);
+    n_ = n;
+  }
+
+  /// Relaxed increment; out-of-range ids are dropped (an atom created by a
+  /// concurrent update is counted once the writer has grown the array).
+  void bump(std::size_t i) const {
+    if (i < n_) c_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void add(std::size_t i, std::uint64_t v) const {
+    if (v && i < n_) c_[i].fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t get(std::size_t i) const {
+    return i < n_ ? c_[i].load(std::memory_order_relaxed) : 0;
+  }
+
+  std::vector<std::uint64_t> to_vector() const {
+    std::vector<std::uint64_t> out(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      out[i] = c_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> c_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace apc

@@ -294,5 +294,27 @@ TEST(ApTree, MaxDepthAndMemory) {
   EXPECT_GT(t.memory_bytes(), 0u);
 }
 
+TEST(ApTree, DeepChainTraversalsDoNotRecurse) {
+  // A pathological 50k-deep chain: one leaf splits off at every level.  The
+  // leaf visitors (leaf_depths / max_leaf_depth / leaf_count) must use an
+  // explicit stack — recursion would overflow the C stack long before this.
+  constexpr std::size_t kDepth = 50000;
+  ApTree t;
+  std::int32_t prev = t.add_leaf(0);
+  for (std::size_t i = 1; i <= kDepth; ++i)
+    prev = t.add_internal(0, t.add_leaf(static_cast<AtomId>(i)), prev);
+  t.set_root(prev);
+
+  EXPECT_EQ(t.leaf_count(), kDepth + 1);
+  EXPECT_EQ(t.max_leaf_depth(), kDepth);
+  const auto depths = t.leaf_depths();
+  ASSERT_EQ(depths.size(), kDepth + 1);
+  // In-order: the last-attached leaf (left child of the root) comes first at
+  // depth 1; the original leaf sits at the bottom of the right spine.
+  EXPECT_EQ(depths.front(), 1u);
+  EXPECT_EQ(depths.back(), kDepth);
+  for (std::size_t i = 0; i < kDepth; ++i) ASSERT_EQ(depths[i], i + 1);
+}
+
 }  // namespace
 }  // namespace apc

@@ -1,6 +1,7 @@
 // Unit + property tests for the ROBDD package.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <functional>
 #include <vector>
@@ -225,6 +226,69 @@ TEST(Bdd, GcPreservesCanonicityUnderChurn) {
   // Re-deriving an equal function after GC must hit the same node.
   const Bdd redo = (kept[0] | mgr.bdd_false()) & mgr.bdd_true();
   EXPECT_EQ(redo, kept[0]);
+}
+
+TEST(Bdd, ImpliesSurvivesGcChurn) {
+  // Regression: implies() used to keep the raw Diff result un-refcounted, so
+  // a GC between the apply and the terminal check could reclaim it.  It now
+  // wraps the temporary and calls maybe_gc() itself, so interleaved GC must
+  // neither change answers nor let the pool grow without bound.
+  BddManager mgr(12);
+  const Bdd narrow = mgr.var(0) & mgr.var(1) & mgr.var(2) & mgr.var(3);
+  const Bdd wide = mgr.var(0) & mgr.var(1);
+  std::size_t peak = 0;
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_TRUE(narrow.implies(wide));
+    ASSERT_FALSE(wide.implies(narrow));
+    ASSERT_TRUE((narrow ^ wide).implies(wide));
+    if (round % 7 == 3) mgr.gc();
+    peak = std::max(peak, mgr.allocated_node_count());
+  }
+  mgr.gc();
+  // All Diff temporaries were garbage; the pool settles back to the live set.
+  EXPECT_LE(mgr.allocated_node_count(), peak);
+  EXPECT_TRUE(narrow.implies(wide));
+}
+
+TEST(Bdd, FlattenMatchesEvalAndIsManagerFree) {
+  BddManager mgr(8);
+  apc::Rng rng(17);
+  std::vector<Bdd> roots{mgr.bdd_false(), mgr.bdd_true()};
+  for (int i = 0; i < 12; ++i) {
+    Bdd f = rng.coin() ? mgr.bdd_true() : mgr.var(rng.uniform(8));
+    for (int j = 0; j < 5; ++j) {
+      const std::uint32_t v = static_cast<std::uint32_t>(rng.uniform(8));
+      switch (rng.uniform(3)) {
+        case 0: f = f & mgr.var(v); break;
+        case 1: f = f | mgr.nvar(v); break;
+        default: f = f ^ mgr.var(v); break;
+      }
+    }
+    roots.push_back(f);
+  }
+
+  std::vector<FlatBddNode> nodes;
+  const std::vector<std::uint32_t> flat_roots = flatten(roots, nodes);
+  ASSERT_EQ(flat_roots.size(), roots.size());
+  EXPECT_EQ(flat_roots[0], kFalse);
+  EXPECT_EQ(flat_roots[1], kTrue);
+
+  // Shared subgraphs stay shared: the dense pool is no bigger than the sum
+  // of the individual DAG sizes (and usually much smaller).
+  std::size_t sum = 0;
+  for (const Bdd& r : roots) sum += r.node_count();
+  EXPECT_LE(nodes.size(), sum);
+
+  // The flat walk agrees with the manager walk on every assignment, and a
+  // full GC cannot disturb it — the arrays reference no manager state.
+  mgr.gc();
+  for (std::uint32_t x = 0; x < 256; ++x) {
+    const auto bits = [&](std::uint32_t v) { return ((x >> v) & 1) != 0; };
+    for (std::size_t i = 0; i < roots.size(); ++i)
+      ASSERT_EQ(roots[i].eval(bits),
+                eval_flat(nodes.data(), flat_roots[i], bits))
+          << "root " << i << " assignment " << x;
+  }
 }
 
 TEST(Bdd, HandleCopyAndMoveRefcounting) {

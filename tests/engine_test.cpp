@@ -1,0 +1,200 @@
+// Tests for the snapshot-based query engine: FlatSnapshot must be an exact
+// functional freeze of the classifier (stage 1 and middlebox-free stage 2,
+// byte-identical behaviors), batches must equal single queries, and the RCU
+// republish must track every update.
+#include <gtest/gtest.h>
+
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/traces.hpp"
+#include "engine/engine.hpp"
+#include "engine/snapshot.hpp"
+#include "packet/ipv4.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+using datasets::Dataset;
+using datasets::Scale;
+using engine::FlatSnapshot;
+using engine::QueryEngine;
+
+struct World {
+  Dataset data;
+  std::shared_ptr<bdd::BddManager> mgr = Dataset::make_manager();
+  ApClassifier clf;
+  std::vector<PacketHeader> trace;
+
+  explicit World(std::uint64_t seed = 7,
+                 ApClassifier::Options opts = ApClassifier::Options{})
+      : data(datasets::internet2_like(Scale::Tiny, seed)),
+        clf(data.net, mgr, opts) {
+    Rng rng(seed * 31 + 1);
+    const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+    trace = datasets::uniform_trace(reps, 300, rng);
+  }
+};
+
+void expect_same_behavior(const Behavior& a, const Behavior& b,
+                          const char* what) {
+  ASSERT_EQ(a.edges.size(), b.edges.size()) << what;
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].box, b.edges[i].box) << what << " edge " << i;
+    EXPECT_EQ(a.edges[i].out_port, b.edges[i].out_port) << what << " edge " << i;
+    EXPECT_EQ(a.edges[i].to, b.edges[i].to) << what << " edge " << i;
+  }
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size()) << what;
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i)
+    EXPECT_EQ(a.deliveries[i], b.deliveries[i]) << what << " delivery " << i;
+  ASSERT_EQ(a.drops.size(), b.drops.size()) << what;
+  for (std::size_t i = 0; i < a.drops.size(); ++i) {
+    EXPECT_EQ(a.drops[i].box, b.drops[i].box) << what << " drop " << i;
+    EXPECT_EQ(a.drops[i].reason, b.drops[i].reason) << what << " drop " << i;
+  }
+  EXPECT_EQ(a.loop_detected, b.loop_detected) << what;
+}
+
+TEST(FlatSnapshot, ClassifyMatchesTreeExactly) {
+  World w;
+  const auto snap = FlatSnapshot::build(w.clf);
+  for (const PacketHeader& h : w.trace) {
+    std::size_t tree_evals = 0, flat_evals = 0;
+    const AtomId expect = w.clf.classify_counted(h, tree_evals);
+    const AtomId got = snap->classify_counted(h, flat_evals);
+    ASSERT_EQ(expect, got);
+    // Same tree shape frozen: the flat walk evaluates the same predicates.
+    EXPECT_EQ(tree_evals, flat_evals);
+  }
+}
+
+TEST(FlatSnapshot, QueryBehaviorsAreByteIdentical) {
+  World w;
+  const auto snap = FlatSnapshot::build(w.clf);
+  for (BoxId ingress = 0; ingress < w.data.net.topology.box_count(); ++ingress) {
+    for (std::size_t i = 0; i < w.trace.size(); i += 7) {
+      const Behavior expect = w.clf.query(w.trace[i], ingress);
+      const Behavior got = snap->query(w.trace[i], ingress);
+      expect_same_behavior(expect, got, "query");
+    }
+  }
+}
+
+TEST(FlatSnapshot, FrozenStateSurvivesManagerGc) {
+  World w;
+  const auto snap = FlatSnapshot::build(w.clf);
+  std::vector<AtomId> before;
+  for (const PacketHeader& h : w.trace) before.push_back(snap->classify(h));
+  // Snapshots hold no manager references: a full GC (which reclaims every
+  // unrooted node and clears caches) must not disturb them.
+  w.mgr->gc();
+  for (std::size_t i = 0; i < w.trace.size(); ++i)
+    ASSERT_EQ(before[i], snap->classify(w.trace[i]));
+}
+
+TEST(FlatSnapshot, RejectsMiddleboxQueries) {
+  World w;
+  Middlebox mb;
+  mb.box = 0;
+  w.clf.attach_middlebox(std::move(mb));
+  const auto snap = FlatSnapshot::build(w.clf);
+  EXPECT_TRUE(snap->has_middleboxes());
+  EXPECT_NO_THROW(snap->classify(w.trace[0]));  // stage 1 is always fine
+  EXPECT_THROW(snap->query(w.trace[0], 0), Error);
+}
+
+TEST(QueryEngine, BatchMatchesSingleQueries) {
+  World w;
+  QueryEngine::Options opts;
+  opts.num_threads = 3;
+  opts.batch_grain = 16;  // force multi-chunk fan-out
+  QueryEngine eng(w.clf, opts);
+
+  const auto atoms = eng.classify_batch(w.trace);
+  ASSERT_EQ(atoms.size(), w.trace.size());
+  for (std::size_t i = 0; i < w.trace.size(); ++i)
+    ASSERT_EQ(atoms[i], w.clf.classify(w.trace[i]));
+
+  const auto behaviors = eng.query_batch(w.trace, 0);
+  ASSERT_EQ(behaviors.size(), w.trace.size());
+  for (std::size_t i = 0; i < w.trace.size(); ++i)
+    expect_same_behavior(w.clf.query(w.trace[i], 0), behaviors[i], "batch");
+
+  EXPECT_TRUE(eng.classify_batch({}).empty());
+}
+
+TEST(QueryEngine, UpdatesRepublishAndStayConsistent) {
+  World w;
+  QueryEngine::Options opts;
+  opts.num_threads = 2;
+  QueryEngine eng(w.clf, opts);
+  const auto first = eng.snapshot();
+  const std::uint64_t publishes0 = eng.publish_count();
+
+  // Predicate add: snapshot must be swapped and agree with the classifier.
+  const auto res = eng.add_predicate(
+      w.mgr->equals(HeaderLayout::kDstPort, 16, 4242));
+  EXPECT_GT(eng.publish_count(), publishes0);
+  EXPECT_NE(eng.snapshot().get(), first.get());
+
+  // The retained old snapshot still answers from the pre-update world.
+  Rng rng(99);
+  const auto reps = datasets::atom_representatives(w.clf.atoms(), rng);
+  for (std::size_t i = 0; i < reps.headers.size(); ++i) {
+    ASSERT_EQ(eng.classify(reps.headers[i]), w.clf.classify(reps.headers[i]));
+    ASSERT_EQ(reps.atom_ids[i], eng.classify(reps.headers[i]));
+  }
+
+  // Rule-level update and predicate removal keep engine == classifier.
+  ForwardingRule rule;
+  rule.dst = parse_prefix("10.77.0.0/16");
+  rule.egress_port = 0;
+  eng.insert_fib_rule(0, rule);
+  eng.remove_predicate(res.pred_id);
+  eng.rebuild();
+  Rng rng2(100);
+  const auto reps2 = datasets::atom_representatives(w.clf.atoms(), rng2);
+  for (std::size_t i = 0; i < reps2.headers.size(); ++i) {
+    ASSERT_EQ(eng.classify(reps2.headers[i]), w.clf.classify(reps2.headers[i]));
+    expect_same_behavior(w.clf.query(reps2.headers[i], 0),
+                         eng.query(reps2.headers[i], 0), "post-update");
+  }
+}
+
+TEST(QueryEngine, SnapshotVisitCountsDrainIntoClassifier) {
+  ApClassifier::Options copts;
+  copts.track_visits = true;
+  World w(7, copts);
+  QueryEngine::Options opts;
+  opts.num_threads = 2;
+  QueryEngine eng(w.clf, opts);
+
+  const auto snap = eng.snapshot();
+  EXPECT_TRUE(snap->tracks_visits());
+  (void)eng.classify_batch(w.trace);
+
+  std::uint64_t in_snapshot = 0;
+  for (const std::uint64_t c : snap->visit_counts()) in_snapshot += c;
+  EXPECT_EQ(in_snapshot, w.trace.size());
+
+  // Republish (any update) folds the snapshot's counters into the
+  // classifier, where distribution-aware rebuilds read them.
+  eng.add_predicate(w.mgr->equals(HeaderLayout::kProto, 8, 17));
+  std::uint64_t in_classifier = 0;
+  for (const std::uint64_t c : w.clf.visit_counts()) in_classifier += c;
+  EXPECT_EQ(in_classifier, w.trace.size());
+}
+
+TEST(QueryEngine, InlinePoolStillAnswersBatches) {
+  World w;
+  QueryEngine::Options opts;
+  opts.num_threads = 0;  // resolves to hardware default; may be 0 workers
+  QueryEngine eng(w.clf, opts);
+  const auto atoms = eng.classify_batch(w.trace);
+  for (std::size_t i = 0; i < w.trace.size(); ++i)
+    ASSERT_EQ(atoms[i], w.clf.classify(w.trace[i]));
+}
+
+}  // namespace
+}  // namespace apc

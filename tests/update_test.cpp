@@ -154,5 +154,58 @@ TEST(Update, RebuildAfterDeletesMergesAtoms) {
   f.check_consistency();
 }
 
+TEST(Update, SplitLeafKeepsLeafOfAtomExact) {
+  // After every add/delete in a mixed sequence, leaf_of_atom() must stay an
+  // exact inverse of the leaf labels: each live atom maps to a leaf carrying
+  // that atom, split children are mapped, tombstoned parents are not, and
+  // classifying a representative header of each atom lands on it.
+  Fixture f;
+  const auto check_mapping = [&] {
+    const auto leaves = f.tree.leaf_of_atom(f.uni.capacity());
+    std::size_t mapped = 0;
+    for (const AtomId a : f.uni.alive_ids()) {
+      ASSERT_NE(leaves[a], ApTree::kNil) << "atom " << a << " unmapped";
+      const ApTree::Node& n = f.tree.node(leaves[a]);
+      ASSERT_TRUE(n.is_leaf());
+      ASSERT_EQ(n.atom, static_cast<std::int32_t>(a));
+      ++mapped;
+      const auto bits = f.mgr.any_sat(f.uni.bdd_of(a));
+      ASSERT_EQ(f.tree.classify(PacketHeader::from_bits(bits), f.reg), a);
+    }
+    ASSERT_EQ(mapped, f.uni.alive_count());
+    ASSERT_EQ(f.tree.leaf_count(), f.uni.alive_count());
+  };
+  check_mapping();
+
+  // Adds that split leaves: each split turns one leaf into an internal node
+  // (the tombstoned parent must vanish from the mapping) plus two children.
+  const Bdd preds[] = {f.mgr.var(3), f.mgr.var(4) & f.mgr.nvar(0),
+                       f.mgr.var(5) | f.mgr.var(2)};
+  std::vector<PredId> added;
+  for (const Bdd& p : preds) {
+    const auto res = add_predicate(f.tree, f.reg, f.uni, p,
+                                   PredicateKind::External);
+    added.push_back(res.pred_id);
+    for (const auto& s : res.splits) {
+      // Both halves of every split are live, distinct, and mapped.
+      ASSERT_NE(s.in_atom, s.out_atom);
+      const auto leaves = f.tree.leaf_of_atom(f.uni.capacity());
+      ASSERT_NE(leaves[s.in_atom], ApTree::kNil);
+      ASSERT_NE(leaves[s.out_atom], ApTree::kNil);
+    }
+    check_mapping();
+  }
+
+  // Lazy deletes interleaved with more adds: the mapping must hold after
+  // every step even though deletion leaves the tree structure in place.
+  delete_predicate(f.reg, added[0]);
+  check_mapping();
+  add_predicate(f.tree, f.reg, f.uni, f.mgr.var(3) ^ f.mgr.var(1),
+                PredicateKind::External);
+  check_mapping();
+  delete_predicate(f.reg, added[2]);
+  check_mapping();
+}
+
 }  // namespace
 }  // namespace apc
