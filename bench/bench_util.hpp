@@ -77,6 +77,69 @@ double measure_qps(const std::vector<PacketHeader>& trace, Fn&& fn,
   return static_cast<double>(done) / sw.seconds();
 }
 
+/// Threads axis for construction benchmarks.  Default sweep is {1, 2, 4};
+/// APC_BENCH_THREADS=N narrows it to {1, N} (or just {1} when N <= 1) so CI
+/// smoke runs stay cheap.
+inline std::vector<std::size_t> bench_threads() {
+  const char* env = std::getenv("APC_BENCH_THREADS");
+  if (!env) return {1, 2, 4};
+  const long n = std::strtol(env, nullptr, 10);
+  if (n <= 1) return {1};
+  return {1, static_cast<std::size_t>(n)};
+}
+
+/// Accumulates machine-readable benchmark rows and writes them to
+/// `BENCH_<name>.json` in the working directory when destroyed (or on an
+/// explicit write()).  Each row is `{metric, value, unit, threads}`;
+/// `threads` is the construction/worker thread count the row was measured
+/// at (1 for inherently serial metrics).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { write(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void row(std::string metric, double value, std::string unit,
+           std::size_t threads = 1) {
+    rows_.push_back(Row{std::move(metric), value, std::move(unit), threads});
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "[bench-json] cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "  {\"metric\": \"%s\", \"value\": %.8g, \"unit\": \"%s\", "
+                   "\"threads\": %zu}%s\n",
+                   r.metric.c_str(), r.value, r.unit.c_str(), r.threads,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("[bench-json] wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+    std::size_t threads = 1;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
+
 inline void print_header(const char* what) {
   std::printf("==============================================================\n");
   std::printf("%s\n", what);

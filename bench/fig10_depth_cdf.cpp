@@ -21,6 +21,7 @@ std::vector<double> depths_of(const ApTree& t) {
 
 int main() {
   print_header("Fig. 10: CDF of leaf depths (percentile table per method)");
+  BenchJson json("fig10_depth_cdf");
   for (int which : {0, 1}) {
     World w = make_world(which, bench_scale());
     const ApTree best_rand =
@@ -43,6 +44,13 @@ int main() {
     std::printf("max depth: BFR %.0f, Quick %.0f, OAPT %.0f (paper OAPT max: %s)\n",
                 maximum(d_bfr), maximum(d_quick), maximum(d_oapt),
                 which == 0 ? "24" : "46");
+
+    const std::string prefix =
+        std::string("fig10.") + (which == 0 ? "internet2" : "stanford") + ".";
+    json.row(prefix + "oapt_depth_p80", percentile(d_oapt, 80), "levels");
+    json.row(prefix + "oapt_depth_max", maximum(d_oapt), "levels");
+    json.row(prefix + "quick_depth_max", maximum(d_quick), "levels");
+    json.row(prefix + "best_from_random_depth_max", maximum(d_bfr), "levels");
   }
   return 0;
 }

@@ -1,9 +1,17 @@
 // Fig. 11 — overall construction time of AP Classifier: computing atomic
-// predicates plus building the AP Tree, for each construction method.
+// predicates plus building the AP Tree, for each construction method —
+// now swept over a construction-thread axis (1/2/4 by default; see
+// bench_util.hpp bench_threads()).
 //
 // Paper: Internet2  Quick 201.36 ms, OAPT 204.39 ms;
 //        Stanford   Quick 293.36 ms, OAPT 342.77 ms;
 //        one Random build is cheapest but yields a poor tree.
+//
+// The parallel construction pipeline (per-thread BDD managers for atom
+// computation, fork/join subtree builds for the tree) is bit-identical to
+// serial, so the threads axis changes only the wall clock.  On a fat-tree
+// data-center network at >= 4 threads the atoms+OAPT total should come in
+// at >= 2x the single-thread speed on a multi-core host.
 #include "ap/atoms.hpp"
 #include "aptree/build.hpp"
 #include "bench_util.hpp"
@@ -12,42 +20,90 @@
 using namespace apc;
 using namespace apc::bench;
 
+namespace {
+
+struct Timings {
+  double atoms_ms = 0.0;
+  double random_ms = 0.0;
+  double quick_ms = 0.0;
+  double oapt_ms = 0.0;
+};
+
+Timings run_once(const datasets::Dataset& d, std::size_t threads) {
+  auto mgr = datasets::Dataset::make_manager();
+
+  // Shared phase: rules -> predicates -> atomic predicates.
+  Stopwatch sw;
+  PredicateRegistry reg;
+  compile_network(d.net, *mgr, reg);
+  AtomsOptions ao;
+  ao.threads = threads;
+  AtomUniverse uni = compute_atoms(reg, ao);
+  Timings t;
+  t.atoms_ms = sw.millis();
+
+  const auto time_build = [&](BuildMethod m) {
+    Stopwatch bw;
+    BuildOptions o;
+    o.method = m;
+    o.threads = threads;
+    const ApTree tree = build_tree(reg, uni, o);
+    const double ms = bw.millis();
+    (void)tree;
+    return ms;
+  };
+  t.random_ms = time_build(BuildMethod::RandomOrder);
+  t.quick_ms = time_build(BuildMethod::QuickOrdering);
+  t.oapt_ms = time_build(BuildMethod::Oapt);
+  return t;
+}
+
+}  // namespace
+
 int main() {
   print_header("Fig. 11: overall construction time (atoms + tree), per method");
-  std::printf("%-12s %16s %14s %14s %10s\n", "network", "atoms+preds(ms)",
-              "Random(ms)", "Quick(ms)", "OAPT(ms)");
+  BenchJson json("fig11_construction_time");
+  const datasets::Scale scale = bench_scale();
+  const std::vector<std::size_t> axis = bench_threads();
 
-  for (int which : {0, 1}) {
-    const datasets::Scale scale = bench_scale();
-    datasets::Dataset d = which == 0 ? datasets::internet2_like(scale)
-                                     : datasets::stanford_like(scale);
-    auto mgr = datasets::Dataset::make_manager();
+  for (int which : {0, 1, 2}) {
+    const datasets::Dataset d = which == 0   ? datasets::internet2_like(scale)
+                                : which == 1 ? datasets::stanford_like(scale)
+                                             : datasets::datacenter_like(scale);
+    const char* name = which == 0   ? "Internet2*"
+                       : which == 1 ? "Stanford*"
+                                    : "FatTree*";
+    const char* slug = which == 0   ? "internet2"
+                       : which == 1 ? "stanford"
+                                    : "fat_tree";
 
-    // Shared phase: rules -> predicates -> atomic predicates.
-    Stopwatch sw;
-    PredicateRegistry reg;
-    compile_network(d.net, *mgr, reg);
-    AtomUniverse uni = compute_atoms(reg);
-    const double shared_ms = sw.millis();
+    std::printf("\n[%s]\n", name);
+    std::printf("%-8s %16s %14s %14s %10s %12s\n", "threads", "atoms+preds(ms)",
+                "Random(ms)", "Quick(ms)", "OAPT(ms)", "OAPT speedup");
 
-    const auto time_build = [&](BuildMethod m) {
-      Stopwatch t;
-      BuildOptions o;
-      o.method = m;
-      const ApTree tree = build_tree(reg, uni, o);
-      const double ms = t.millis();
-      (void)tree;
-      return ms;
-    };
-    const double rand_ms = time_build(BuildMethod::RandomOrder);
-    const double quick_ms = time_build(BuildMethod::QuickOrdering);
-    const double oapt_ms = time_build(BuildMethod::Oapt);
+    double oapt_total_1t = 0.0;
+    for (const std::size_t threads : axis) {
+      const Timings t = run_once(d, threads);
+      const double oapt_total = t.atoms_ms + t.oapt_ms;
+      if (threads == 1) oapt_total_1t = oapt_total;
 
-    std::printf("%-12s %16.1f %14.1f %14.1f %10.1f\n",
-                which == 0 ? "Internet2*" : "Stanford*", shared_ms,
-                shared_ms + rand_ms, shared_ms + quick_ms, shared_ms + oapt_ms);
+      std::printf("%-8zu %16.1f %14.1f %14.1f %10.1f %11.2fx\n", threads,
+                  t.atoms_ms, t.atoms_ms + t.random_ms, t.atoms_ms + t.quick_ms,
+                  oapt_total, oapt_total_1t / oapt_total);
+
+      const std::string prefix = std::string("fig11.") + slug + ".";
+      json.row(prefix + "atoms_ms", t.atoms_ms, "ms", threads);
+      json.row(prefix + "random_total_ms", t.atoms_ms + t.random_ms, "ms", threads);
+      json.row(prefix + "quick_total_ms", t.atoms_ms + t.quick_ms, "ms", threads);
+      json.row(prefix + "oapt_total_ms", oapt_total, "ms", threads);
+      json.row(prefix + "oapt_speedup_vs_1t", oapt_total_1t / oapt_total, "x",
+               threads);
+    }
   }
-  std::printf("\npaper (total incl. atoms): Internet2 Quick 201.4 / OAPT 204.4 ms;"
-              "\n                           Stanford Quick 293.4 / OAPT 342.8 ms\n");
+  std::printf("\npaper (total incl. atoms, serial): Internet2 Quick 201.4 /"
+              " OAPT 204.4 ms;\n"
+              "                                   Stanford Quick 293.4 /"
+              " OAPT 342.8 ms\n"
+              "(threads > 1 rows need a multi-core host to show speedup)\n");
   return 0;
 }

@@ -40,6 +40,7 @@ double measure_batch_qps(std::size_t batch_size, Fn&& fn,
 
 int main() {
   print_header("Fig. 12 (concurrent): snapshot engine stage-1 throughput");
+  BenchJson json("fig12_concurrent");
   std::printf("host reports %u hardware threads\n",
               std::thread::hardware_concurrency());
 
@@ -66,6 +67,11 @@ int main() {
                 snap->bdd_node_count(), snap->tree_node_count(),
                 static_cast<double>(snap->memory_bytes()) / 1048576.0);
 
+    const std::string prefix =
+        std::string("fig12c.") + (which == 0 ? "internet2" : "stanford") + ".";
+    json.row(prefix + "classify_manager_qps", mgr_qps, "qps");
+    json.row(prefix + "classify_flat_snapshot_qps", flat_qps, "qps");
+
     // 2./3. Batch fan-out at increasing thread counts.
     std::printf("%-34s %14s %10s\n", "batch throughput (aggregate)", "qps",
                 "vs 1thr");
@@ -80,12 +86,14 @@ int main() {
       if (threads == 1) base_classify = cq;
       std::printf("  classify_batch @%zu thread%s %11.0f %9.2fx\n", threads,
                   threads == 1 ? "  " : "s ", cq, cq / base_classify);
+      json.row(prefix + "classify_batch_qps", cq, "qps", threads);
 
       const double qq = measure_batch_qps(
           trace.size(), [&] { (void)eng.query_batch(trace, 0); });
       if (threads == 1) base_query = qq;
       std::printf("  query_batch    @%zu thread%s %11.0f %9.2fx\n", threads,
                   threads == 1 ? "  " : "s ", qq, qq / base_query);
+      json.row(prefix + "query_batch_qps", qq, "qps", threads);
     }
   }
 

@@ -19,6 +19,7 @@ using namespace apc::bench;
 
 int main() {
   print_header("Fig. 12: query throughput for static networks (full queries)");
+  BenchJson json("fig12_static_throughput");
   for (int which : {0, 1}) {
     World w = make_world(which, bench_scale());
     Rng rng(23);
@@ -69,17 +70,20 @@ int main() {
         trace, [&](const PacketHeader& h) { hsa.query(h, ingress); }, 0.3,
         /*max_queries=*/400);
 
-    const auto row = [&](const char* name, double qps) {
+    const std::string prefix =
+        std::string("fig12.") + (which == 0 ? "internet2" : "stanford") + ".";
+    const auto row = [&](const char* name, const char* slug, double qps) {
       std::printf("%-24s %14.0f %9.2fx\n", name, qps, qps / oapt_qps);
+      json.row(prefix + slug + "_qps", qps, "qps");
     };
-    row("APC (OAPT)", oapt_qps);
-    row("APC (Quick-Ordering)", quick_qps);
-    row("APC (BestFromRandom)", rand_qps);
-    row("APLinear (AP Verifier)", lin_qps);
-    row("Forwarding Simulation", fsim_qps);
-    row("PScan", ps_qps);
-    row("Trie (Veriflow-style)", trie_qps);
-    row("HSA (Hassel-style)", hsa_qps);
+    row("APC (OAPT)", "oapt", oapt_qps);
+    row("APC (Quick-Ordering)", "quick_ordering", quick_qps);
+    row("APC (BestFromRandom)", "best_from_random", rand_qps);
+    row("APLinear (AP Verifier)", "ap_linear", lin_qps);
+    row("Forwarding Simulation", "forwarding_sim", fsim_qps);
+    row("PScan", "pscan", ps_qps);
+    row("Trie (Veriflow-style)", "trie", trie_qps);
+    row("HSA (Hassel-style)", "hsa", hsa_qps);
 
     // Honest caveat on the trie row: its CPU speed is real, but this is a
     // destination-only trie — it answers point queries on pure LPM state

@@ -1,5 +1,7 @@
 // Fig. 13 — cumulative distribution of the time to add one predicate to a
-// live AP Tree, for different initial predicate counts.
+// live AP Tree, for different initial predicate counts.  The initial
+// construction (atoms + tree) is additionally swept over the construction
+// thread axis; the add path itself is inherently serial.
 //
 // Paper: Internet2 with 40/80/120 initial predicates — ~80% of additions
 // under 2 ms, worst 5–6 ms; Stanford with 100/250/400 — >90% under 1 ms.
@@ -16,6 +18,8 @@ using namespace apc::bench;
 
 int main() {
   print_header("Fig. 13: CDF of predicate-addition latency vs initial tree size");
+  BenchJson json("fig13_update_latency");
+  const std::vector<std::size_t> axis = bench_threads();
 
   for (int which : {0, 1}) {
     const datasets::Scale scale = bench_scale();
@@ -26,21 +30,48 @@ int main() {
     compile_network(d.net, *mgr, full_reg);
     const std::vector<PredId> all = full_reg.live_ids();
 
+    const char* slug = which == 0 ? "internet2" : "stanford";
     const auto initial_sizes = which == 0 ? std::vector<std::size_t>{40, 80, 120}
                                           : std::vector<std::size_t>{100, 250, 400};
     std::printf("\n[%s] pool of %zu predicates\n", which == 0 ? "Internet2*" : "Stanford*",
                 all.size());
-    std::printf("%-10s %8s %8s %8s %8s %8s %10s\n", "initial", "p50(ms)", "p80(ms)",
-                "p90(ms)", "p95(ms)", "max(ms)", "#adds");
+    std::printf("%-10s %8s %8s %8s %8s %8s %8s %10s\n", "initial", "build(ms)",
+                "p50(ms)", "p80(ms)", "p90(ms)", "p95(ms)", "max(ms)", "#adds");
 
     for (const std::size_t init : initial_sizes) {
       if (init >= all.size()) continue;
-      // Fresh registry with the first `init` predicates.
+
+      // Initial construction, swept over the thread axis.  Parallel
+      // construction is bit-identical to serial, so the tree the add-latency
+      // loop runs against does not depend on which sweep entry built it.
       PredicateRegistry reg;
-      for (std::size_t i = 0; i < init; ++i)
-        reg.add(full_reg.bdd_of(all[i]), PredicateKind::External);
-      AtomUniverse uni = compute_atoms(reg);
-      ApTree tree = build_tree(reg, uni);
+      AtomUniverse uni;
+      ApTree tree;
+      double build_1t_ms = 0.0, build_ms = 0.0;
+      for (const std::size_t threads : axis) {
+        PredicateRegistry r;
+        for (std::size_t i = 0; i < init; ++i)
+          r.add(full_reg.bdd_of(all[i]), PredicateKind::External);
+        Stopwatch sw;
+        AtomsOptions ao;
+        ao.threads = threads;
+        AtomUniverse u = compute_atoms(r, ao);
+        BuildOptions bo;
+        bo.threads = threads;
+        ApTree t = build_tree(r, u, bo);
+        build_ms = sw.millis();
+        if (threads == 1) build_1t_ms = build_ms;
+
+        const std::string prefix =
+            std::string("fig13.") + slug + ".init" + std::to_string(init) + ".";
+        json.row(prefix + "initial_build_ms", build_ms, "ms", threads);
+        json.row(prefix + "initial_build_speedup_vs_1t", build_1t_ms / build_ms,
+                 "x", threads);
+
+        reg = std::move(r);
+        uni = std::move(u);
+        tree = std::move(t);
+      }
 
       std::vector<double> lat_ms;
       const std::size_t adds = std::min<std::size_t>(all.size() - init, 120);
@@ -50,10 +81,17 @@ int main() {
         add_predicate(tree, reg, uni, p, PredicateKind::External);
         lat_ms.push_back(sw.millis());
       }
-      std::printf("%-10zu %8.3f %8.3f %8.3f %8.3f %8.3f %10zu\n", init,
-                  percentile(lat_ms, 50), percentile(lat_ms, 80),
+      std::printf("%-10zu %8.2f %8.3f %8.3f %8.3f %8.3f %8.3f %10zu\n", init,
+                  build_ms, percentile(lat_ms, 50), percentile(lat_ms, 80),
                   percentile(lat_ms, 90), percentile(lat_ms, 95), maximum(lat_ms),
                   lat_ms.size());
+
+      const std::string prefix =
+          std::string("fig13.") + slug + ".init" + std::to_string(init) + ".";
+      json.row(prefix + "add_p50_ms", percentile(lat_ms, 50), "ms");
+      json.row(prefix + "add_p90_ms", percentile(lat_ms, 90), "ms");
+      json.row(prefix + "add_p95_ms", percentile(lat_ms, 95), "ms");
+      json.row(prefix + "add_max_ms", maximum(lat_ms), "ms");
     }
   }
   std::printf("\npaper: Internet2 ~80%% < 2 ms (max 5-6 ms);"

@@ -19,6 +19,7 @@ using namespace apc::bench;
 
 int main() {
   print_header("Fig. 14: query throughput under live updates + reconstruction");
+  BenchJson json("fig14_dynamic_throughput");
   const double kDuration = 1.6;       // seconds (matches the paper's x-axis)
   const double kBucket = 0.1;         // reporting granularity
   const double kRebuildEvery = 0.4;   // reconstruction trigger period
@@ -58,7 +59,7 @@ int main() {
 
       Stopwatch clock;
       double next_rebuild = kRebuildEvery;
-      std::size_t bucket_queries = 0;
+      std::size_t bucket_queries = 0, total_queries = 0;
       double bucket_start = 0.0;
       std::size_t trace_pos = 0;
 
@@ -87,6 +88,7 @@ int main() {
           if (++trace_pos == trace.size()) trace_pos = 0;
         }
         bucket_queries += 512;
+        total_queries += 512;
 
         if (clock.seconds() - bucket_start >= kBucket) {
           const double dt = clock.seconds() - bucket_start;
@@ -97,8 +99,22 @@ int main() {
           bucket_queries = 0;
         }
       }
+      const double elapsed = clock.seconds();
       rm.wait_and_swap();
+
+      const std::string prefix = std::string("fig14.") +
+                                 (which == 0 ? "internet2" : "stanford") +
+                                 ".rate" + std::to_string(static_cast<int>(rate)) +
+                                 ".";
+      json.row(prefix + "avg_qps", static_cast<double>(total_queries) / elapsed,
+               "qps");
+      json.row(prefix + "rebuilds", static_cast<double>(rm.rebuild_count()),
+               "count");
     }
+    const std::string bprefix =
+        std::string("fig14.") + (which == 0 ? "internet2" : "stanford") + ".";
+    json.row(bprefix + "ap_linear_qps", lin_qps, "qps");
+    json.row(bprefix + "pscan_qps", ps_qps, "qps");
   }
   std::printf("\npaper: recovery to ~4 Mqps (Internet2) / ~2 Mqps (Stanford) after\n"
               "each reconstruction; APLinear/PScan an order of magnitude lower;\n"

@@ -14,6 +14,7 @@ using namespace apc::bench;
 
 int main() {
   print_header("Fig. 15: distribution-unaware vs distribution-aware trees");
+  BenchJson json("fig15_distribution");
   const std::size_t kTraces = 10;
 
   for (int which : {0, 1}) {
@@ -53,6 +54,13 @@ int main() {
                 "%.2f -> %.2f Mqps\n",
                 mean(d_unaware), mean(d_aware), mean(qps_unaware) / 1e6,
                 mean(qps_aware) / 1e6);
+
+    const std::string prefix =
+        std::string("fig15.") + (which == 0 ? "internet2" : "stanford") + ".";
+    json.row(prefix + "unaware_weighted_depth", mean(d_unaware), "levels");
+    json.row(prefix + "aware_weighted_depth", mean(d_aware), "levels");
+    json.row(prefix + "unaware_qps", mean(qps_unaware), "qps");
+    json.row(prefix + "aware_qps", mean(qps_aware), "qps");
   }
   std::printf("\npaper: depth 10.65->8.09 (I2), 16.2->11.3 (Stanford);"
               " avg qps 4.2->5.2 / 2.4->3.2 M\n");

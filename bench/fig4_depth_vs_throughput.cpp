@@ -14,6 +14,7 @@ using namespace apc::bench;
 
 int main() {
   print_header("Fig. 4: query throughput vs. average depth (random trees + OAPT star)");
+  BenchJson json("fig4_depth_vs_throughput");
   const std::size_t kTrees = 24;  // paper uses 100; trimmed for run time
 
   for (int which : {0, 1}) {
@@ -48,6 +49,13 @@ int main() {
                 oapt_depth, oapt_qps / 1e6);
     std::printf("random tree depth range: %.1f .. %.1f (paper: %s)\n", min_d, max_d,
                 which == 0 ? "15.9 .. 44.2" : "39.1 .. 92.5");
+
+    const std::string prefix =
+        std::string("fig4.") + (which == 0 ? "internet2" : "stanford") + ".";
+    json.row(prefix + "oapt_depth", oapt_depth, "levels");
+    json.row(prefix + "oapt_qps", oapt_qps, "qps");
+    json.row(prefix + "random_depth_min", min_d, "levels");
+    json.row(prefix + "random_depth_max", max_d, "levels");
   }
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace apc::bench;
 
 int main() {
   print_header("Fig. 9: average depth of leaves (BestFromRandom / Quick / OAPT)");
+  BenchJson json("fig9_avg_depth");
   std::printf("%-12s %18s %16s %10s %22s\n", "network", "BestFromRandom(100)",
               "Quick-Ordering", "OAPT", "OAPT reduction vs BFR");
 
@@ -28,6 +29,12 @@ int main() {
 
     std::printf("%-12s %18.1f %16.1f %10.1f %21.0f%%\n", w.short_name(), d_bfr,
                 d_quick, d_oapt, (1.0 - d_oapt / d_bfr) * 100.0);
+
+    const std::string prefix =
+        std::string("fig9.") + (which == 0 ? "internet2" : "stanford") + ".";
+    json.row(prefix + "best_from_random_depth", d_bfr, "levels");
+    json.row(prefix + "quick_ordering_depth", d_quick, "levels");
+    json.row(prefix + "oapt_depth", d_oapt, "levels");
   }
   std::printf("\npaper: Internet2 16.0 / 13.0 / 10.6 (-34%%);"
               " Stanford 39.0 / 24.2 / 16.9 (-57%%)\n");

@@ -1,5 +1,11 @@
 #include "ap/atoms.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "util/task_pool.hpp"
+
 namespace apc {
 
 AtomId AtomUniverse::add(bdd::Bdd bdd) {
@@ -30,65 +36,207 @@ FlatBitset AtomUniverse::alive_mask() const {
 
 std::vector<AtomId> AtomUniverse::alive_ids() const {
   std::vector<AtomId> out;
-  for (AtomId i = 0; i < alive_.size(); ++i)
-    if (alive_[i]) out.push_back(i);
+  for (std::size_t i = 0; i < alive_.size(); ++i)
+    if (alive_[i]) out.push_back(static_cast<AtomId>(i));
   return out;
 }
 
-AtomUniverse compute_atoms(PredicateRegistry& reg) {
-  const std::vector<PredId> live = reg.live_ids();
-  const std::size_t k = reg.size();
+namespace {
 
-  struct WorkAtom {
-    bdd::Bdd bdd;
-    FlatBitset sig;  // bit i set <=> this atom is inside predicate id i
-  };
+struct WorkAtom {
+  bdd::Bdd bdd;
+  FlatBitset sig;  // bit i set <=> this atom is inside predicate id i
+};
 
+/// One step of iterative refinement: split every atom against predicate
+/// `pid` (whose BDD is `p`, on the same manager as the atoms).
+///
+/// Ordering invariant (relied on by the parallel merge): the atom list
+/// stays sorted in descending lexicographic order of the signature over
+/// the predicates refined so far, lowest predicate id most significant,
+/// "inside" (1) before "outside" (0) — exactly the order the original
+/// serial fold produced.
+void refine_with(std::vector<WorkAtom>& atoms, PredId pid, const bdd::Bdd& p) {
+  std::vector<WorkAtom> next;
+  next.reserve(atoms.size() * 2);
+  for (WorkAtom& a : atoms) {
+    const bdd::Bdd inside = a.bdd & p;
+    if (inside.is_false()) {
+      // Entirely outside p: signature unchanged.
+      next.push_back(std::move(a));
+    } else if (inside == a.bdd) {
+      // Entirely inside p.
+      a.sig.set(pid);
+      next.push_back(std::move(a));
+    } else {
+      // Split into inside/outside parts.
+      WorkAtom in{inside, a.sig};
+      in.sig.set(pid);
+      WorkAtom out{a.bdd.minus(p), std::move(a.sig)};
+      next.push_back(std::move(in));
+      next.push_back(std::move(out));
+    }
+  }
+  atoms = std::move(next);
+}
+
+/// Builds the universe from finished work atoms and transposes signatures
+/// into the per-predicate R(p) bitsets.
+AtomUniverse finalize(PredicateRegistry& reg, std::vector<WorkAtom>& atoms,
+                      std::size_t k) {
+  AtomUniverse uni;
+  for (auto& a : atoms) uni.add(std::move(a.bdd));
+
+  const std::size_t n = atoms.size();
+  for (std::size_t pid = 0; pid < k; ++pid) {
+    FlatBitset r(n);
+    if (!reg.is_deleted(static_cast<PredId>(pid))) {
+      for (std::size_t ai = 0; ai < n; ++ai)
+        if (atoms[ai].sig.test(pid)) r.set(ai);
+    }
+    reg.info_mut(static_cast<PredId>(pid)).atoms = std::move(r);
+  }
+  return uni;
+}
+
+/// A partial atom universe: the atoms of one contiguous group of live
+/// predicates, living in a private per-thread manager.  The manager member
+/// is declared first so the handles are destroyed before it.
+struct Partial {
+  std::shared_ptr<bdd::BddManager> mgr;
+  std::vector<WorkAtom> atoms;
+};
+
+/// Refines live[first, last) on a fresh private manager.  Reads the source
+/// manager only through bdd::transfer (const node walks, no handle copies),
+/// so any number of groups can run concurrently against it.
+Partial refine_group(const PredicateRegistry& reg, const std::vector<PredId>& live,
+                     std::size_t first, std::size_t last, std::size_t k,
+                     std::uint32_t num_vars) {
+  Partial part;
+  part.mgr = std::make_shared<bdd::BddManager>(num_vars);
+  part.atoms.push_back({part.mgr->bdd_true(), FlatBitset(k)});
+  for (std::size_t i = first; i < last; ++i) {
+    const PredId pid = live[i];
+    const bdd::Bdd p = bdd::transfer(reg.bdd_of(pid), *part.mgr);
+    refine_with(part.atoms, pid, p);
+  }
+  return part;
+}
+
+/// Merges two partial universes over disjoint predicate groups: the result
+/// atoms are all non-false a ∧ b with OR-ed signatures.  `a` must cover the
+/// lower (more significant) predicate ids; emitting products a-major /
+/// b-minor then preserves the serial descending-lex order.  Runs on a's
+/// manager; b's atoms are transferred over with one shared memo.
+Partial merge_partials(Partial a, Partial b) {
+  std::vector<bdd::Bdd> b_roots;
+  b_roots.reserve(b.atoms.size());
+  for (const WorkAtom& wb : b.atoms) b_roots.push_back(wb.bdd);
+  const std::vector<bdd::Bdd> b_bdds = bdd::transfer(b_roots, *a.mgr);
+
+  Partial out;
+  out.mgr = a.mgr;
+  out.atoms.reserve(a.atoms.size() + b.atoms.size());
+  for (WorkAtom& wa : a.atoms) {
+    // b's atoms partition the header space, so `remaining` (the part of
+    // this atom not yet claimed by some b) shrinks to false; stop early
+    // instead of scanning the whole list.  Disjointness of b's atoms makes
+    // remaining ∧ b == a ∧ b, so products are exact.
+    bdd::Bdd remaining = wa.bdd;
+    for (std::size_t j = 0; j < b_bdds.size() && !remaining.is_false(); ++j) {
+      const bdd::Bdd x = remaining & b_bdds[j];
+      if (x.is_false()) continue;
+      const bool exhausted = x == remaining;
+      out.atoms.push_back({x, wa.sig | b.atoms[j].sig});
+      if (exhausted) break;
+      remaining = remaining.minus(b_bdds[j]);
+    }
+  }
+  return out;
+}
+
+AtomUniverse compute_atoms_serial(PredicateRegistry& reg,
+                                  const std::vector<PredId>& live, std::size_t k) {
   std::vector<WorkAtom> atoms;
   if (!live.empty()) {
     bdd::BddManager& mgr = *reg.bdd_of(live.front()).manager();
     atoms.push_back({mgr.bdd_true(), FlatBitset(k)});
   }
+  for (const PredId pid : live) refine_with(atoms, pid, reg.bdd_of(pid));
+  return finalize(reg, atoms, k);
+}
 
-  for (const PredId pid : live) {
-    const bdd::Bdd& p = reg.bdd_of(pid);
-    std::vector<WorkAtom> next;
-    next.reserve(atoms.size() * 2);
-    for (WorkAtom& a : atoms) {
-      const bdd::Bdd inside = a.bdd & p;
-      if (inside.is_false()) {
-        // Entirely outside p: signature unchanged.
-        next.push_back(std::move(a));
-      } else if (inside == a.bdd) {
-        // Entirely inside p.
-        a.sig.set(pid);
-        next.push_back(std::move(a));
-      } else {
-        // Split into inside/outside parts.
-        WorkAtom in{inside, a.sig};
-        in.sig.set(pid);
-        WorkAtom out{a.bdd.minus(p), std::move(a.sig)};
-        next.push_back(std::move(in));
-        next.push_back(std::move(out));
-      }
+}  // namespace
+
+AtomUniverse compute_atoms(PredicateRegistry& reg) {
+  return compute_atoms(reg, AtomsOptions{});
+}
+
+AtomUniverse compute_atoms(PredicateRegistry& reg, const AtomsOptions& opts) {
+  const std::vector<PredId> live = reg.live_ids();
+  const std::size_t k = reg.size();
+
+  // Minimum predicates worth a private manager + transfer-merge round trip.
+  constexpr std::size_t kMinGroupPreds = 4;
+  const std::size_t threads = util::TaskPool::resolve_threads(opts.threads);
+  const std::size_t groups =
+      std::min(threads, live.size() / kMinGroupPreds);
+  if (groups <= 1) return compute_atoms_serial(reg, live, k);
+
+  std::optional<util::TaskPool> owned_pool;
+  util::TaskPool* pool = opts.pool;
+  if (!pool) pool = &owned_pool.emplace(threads - 1);
+
+  bdd::BddManager& mgr = *reg.bdd_of(live.front()).manager();
+  const std::uint32_t num_vars = mgr.num_vars();
+
+  // Phase 1: per-group refinement, each on a private manager.  The shared
+  // source manager is only read (transfer takes no references on it).
+  std::vector<Partial> parts(groups);
+  {
+    util::TaskPool::Group g(*pool);
+    const std::size_t base = live.size() / groups;
+    const std::size_t extra = live.size() % groups;
+    std::size_t first = 0;
+    for (std::size_t i = 0; i < groups; ++i) {
+      const std::size_t last = first + base + (i < extra ? 1 : 0);
+      g.run([&reg, &live, &parts, i, first, last, k, num_vars] {
+        parts[i] = refine_group(reg, live, first, last, k, num_vars);
+      });
+      first = last;
     }
-    atoms = std::move(next);
+    g.wait();
   }
 
-  AtomUniverse uni;
-  for (auto& a : atoms) uni.add(std::move(a.bdd));
-
-  // Transpose signatures into per-predicate R(p) bitsets.
-  const std::size_t n = atoms.size();
-  for (PredId pid = 0; pid < k; ++pid) {
-    FlatBitset r(n);
-    if (!reg.is_deleted(pid)) {
-      for (AtomId ai = 0; ai < n; ++ai)
-        if (atoms[ai].sig.test(pid)) r.set(ai);
+  // Phase 2: pairwise merge rounds over adjacent groups (order matters:
+  // lower-id predicate groups are the more significant signature digits).
+  while (parts.size() > 1) {
+    std::vector<Partial> next((parts.size() + 1) / 2);
+    util::TaskPool::Group g(*pool);
+    for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
+      g.run([&parts, &next, i] {
+        next[i / 2] = merge_partials(std::move(parts[i]), std::move(parts[i + 1]));
+      });
     }
-    reg.info_mut(pid).atoms = std::move(r);
+    if (parts.size() % 2 == 1) next.back() = std::move(parts.back());
+    g.wait();
+    parts = std::move(next);
   }
-  return uni;
+
+  // Phase 3: land the merged universe in the registry's manager.  All
+  // reads of it have finished, so mutating it is safe again.
+  std::vector<WorkAtom>& merged = parts.front().atoms;
+  std::vector<bdd::Bdd> roots;
+  roots.reserve(merged.size());
+  for (const WorkAtom& a : merged) roots.push_back(a.bdd);
+  std::vector<bdd::Bdd> landed = bdd::transfer(roots, mgr);
+
+  std::vector<WorkAtom> atoms;
+  atoms.reserve(merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i)
+    atoms.push_back({std::move(landed[i]), std::move(merged[i].sig)});
+  return finalize(reg, atoms, k);
 }
 
 }  // namespace apc

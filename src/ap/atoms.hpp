@@ -18,6 +18,10 @@
 #include "bdd/bdd.hpp"
 #include "util/bitset.hpp"
 
+namespace apc::util {
+class TaskPool;
+}
+
 namespace apc {
 
 using AtomId = std::uint32_t;
@@ -44,9 +48,24 @@ class AtomUniverse {
   std::vector<bool> alive_;
 };
 
+struct AtomsOptions {
+  /// Construction threads.  1 = the serial reference path; 0 =
+  /// hardware_concurrency.  The parallel path splits the live predicates
+  /// into per-thread groups, refines each group's atoms on a private
+  /// BddManager (BDD managers are not thread-safe), and pairwise-merges the
+  /// partial universes back into the registry's manager.  The result —
+  /// atom ordering, R(p) bitsets, atom BDD functions — is bit-identical to
+  /// the serial fold for every thread count.
+  std::size_t threads = 1;
+  /// Optional shared pool; when null and threads > 1, a transient pool with
+  /// threads - 1 workers is created for the call.
+  util::TaskPool* pool = nullptr;
+};
+
 /// Computes the atomic predicates of all *live* predicates in `reg` and
 /// fills each live predicate's R(p) bitset.  Deleted predicates get empty
 /// atom sets.  Returns the atom universe.
 AtomUniverse compute_atoms(PredicateRegistry& reg);
+AtomUniverse compute_atoms(PredicateRegistry& reg, const AtomsOptions& opts);
 
 }  // namespace apc

@@ -1,7 +1,11 @@
 #include "aptree/build.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
+#include <optional>
+
+#include "util/task_pool.hpp"
 
 namespace apc {
 
@@ -19,45 +23,42 @@ double weight_of(const FlatBitset& s, const std::vector<double>* w) {
 struct BuildContext {
   const PredicateRegistry& reg;
   const std::vector<double>* weights;
-  ApTree tree;
 };
 
-/// Builds a subtree with a *fixed* global predicate order, skipping
-/// predicates that do not split S (implicit pruning).
-std::int32_t build_ordered(BuildContext& ctx, const FlatBitset& S, std::size_t s_count,
-                           const std::vector<PredId>& order, std::size_t start) {
-  if (s_count == 1) return ctx.tree.add_leaf(static_cast<AtomId>(S.first()));
-  for (std::size_t i = start; i < order.size(); ++i) {
-    const PredId p = order[i];
-    const FlatBitset& r = ctx.reg.atoms_of(p);
-    const std::size_t c = S.intersect_count(r);
-    if (c == 0 || c == s_count) continue;
-    const FlatBitset sl = S & r;
-    const FlatBitset sr = S.minus(r);
-    const std::int32_t l = build_ordered(ctx, sl, c, order, i + 1);
-    const std::int32_t rr = build_ordered(ctx, sr, s_count - c, order, i + 1);
-    return ctx.tree.add_internal(p, l, rr);
+/// A LIFO pool of reusable FlatBitset buffers: the recursive builders need
+/// two temporaries (S ∩ R, S \ R) per level, and allocating them fresh at
+/// every recursion dominated small-subtree build time.  Buffers live in a
+/// deque so references handed out to parent frames stay valid while child
+/// frames push more.
+class BitsetScratch {
+ public:
+  FlatBitset& push() {
+    if (top_ == pool_.size()) pool_.emplace_back();
+    return pool_[top_++];
   }
-  throw Error("build_ordered: no predicate splits a multi-atom set (atoms stale?)");
-}
+  void pop(std::size_t n) { top_ -= n; }
 
-/// OAPT subtree construction: per-level champion scan with the pairwise
-/// superiority relation (SS V-C).
-std::int32_t build_oapt(BuildContext& ctx, const FlatBitset& S, std::size_t s_count,
-                        const std::vector<PredId>& candidates) {
-  if (s_count == 1) return ctx.tree.add_leaf(static_cast<AtomId>(S.first()));
+ private:
+  std::deque<FlatBitset> pool_;
+  std::size_t top_ = 0;
+};
 
-  // Keep only predicates that split S; they are the only ones that can ever
-  // split any subset of S, so the filtered list is passed down.
+/// Candidates that actually split S (and therefore can split subsets of S).
+std::vector<PredId> filter_splitters(const BuildContext& ctx, const FlatBitset& S,
+                                     std::size_t s_count,
+                                     const std::vector<PredId>& candidates) {
   std::vector<PredId> splitters;
   splitters.reserve(candidates.size());
   for (const PredId p : candidates) {
     const std::size_t c = S.intersect_count(ctx.reg.atoms_of(p));
     if (c > 0 && c < s_count) splitters.push_back(p);
   }
-  require(!splitters.empty(), "build_oapt: no splitter for multi-atom set");
+  return splitters;
+}
 
-  // Linear champion scan (paper: maintain ps, replace when pi is superior).
+/// Linear champion scan (paper: maintain ps, replace when pi is superior).
+PredId select_champion(const BuildContext& ctx, const FlatBitset& S,
+                       const std::vector<PredId>& splitters) {
   PredId champ = splitters.front();
   for (std::size_t i = 1; i < splitters.size(); ++i) {
     const PredId pi = splitters[i];
@@ -66,21 +67,201 @@ std::int32_t build_oapt(BuildContext& ctx, const FlatBitset& S, std::size_t s_co
       champ = pi;
     }
   }
-
-  const FlatBitset& r = ctx.reg.atoms_of(champ);
-  const FlatBitset sl = S & r;
-  const FlatBitset sr = S.minus(r);
-  const std::size_t cl = sl.count();
-
-  std::vector<PredId> rest;
-  rest.reserve(splitters.size() - 1);
-  for (const PredId p : splitters)
-    if (p != champ) rest.push_back(p);
-
-  const std::int32_t l = build_oapt(ctx, sl, cl, rest);
-  const std::int32_t rr = build_oapt(ctx, sr, s_count - cl, rest);
-  return ctx.tree.add_internal(champ, l, rr);
+  return champ;
 }
+
+/// Serial subtree builder.  Appends nodes in the original recursive order —
+/// all of the left subtree, all of the right subtree, then the parent — so
+/// a fragment built here splices verbatim into the serial layout.
+class TreeBuilder {
+ public:
+  explicit TreeBuilder(const BuildContext& ctx) : ctx_(ctx) {}
+
+  std::vector<ApTree::Node> take_nodes() { return std::move(nodes_); }
+
+  /// Builds a subtree with a *fixed* global predicate order, skipping
+  /// predicates that do not split S (implicit pruning).
+  std::int32_t build_ordered(const FlatBitset& S, std::size_t s_count,
+                            const std::vector<PredId>& order, std::size_t start) {
+    if (s_count == 1) return add_leaf(static_cast<AtomId>(S.first()));
+    for (std::size_t i = start; i < order.size(); ++i) {
+      const PredId p = order[i];
+      const FlatBitset& r = ctx_.reg.atoms_of(p);
+      const std::size_t c = S.intersect_count(r);
+      if (c == 0 || c == s_count) continue;
+      FlatBitset& sl = scratch_.push();
+      FlatBitset& sr = scratch_.push();
+      sl.assign_and(S, r);
+      sr.assign_minus(S, r);
+      const std::int32_t l = build_ordered(sl, c, order, i + 1);
+      const std::int32_t rr = build_ordered(sr, s_count - c, order, i + 1);
+      scratch_.pop(2);
+      return add_internal(p, l, rr);
+    }
+    throw Error("build_ordered: no predicate splits a multi-atom set (atoms stale?)");
+  }
+
+  /// OAPT subtree construction: per-level champion scan with the pairwise
+  /// superiority relation (SS V-C).
+  std::int32_t build_oapt(const FlatBitset& S, std::size_t s_count,
+                          const std::vector<PredId>& candidates) {
+    if (s_count == 1) return add_leaf(static_cast<AtomId>(S.first()));
+
+    // Keep only predicates that split S; they are the only ones that can
+    // ever split any subset of S, so the filtered list is passed down.
+    const std::vector<PredId> splitters =
+        filter_splitters(ctx_, S, s_count, candidates);
+    require(!splitters.empty(), "build_oapt: no splitter for multi-atom set");
+
+    const PredId champ = select_champion(ctx_, S, splitters);
+    const FlatBitset& r = ctx_.reg.atoms_of(champ);
+    FlatBitset& sl = scratch_.push();
+    FlatBitset& sr = scratch_.push();
+    sl.assign_and(S, r);
+    sr.assign_minus(S, r);
+    const std::size_t cl = sl.count();
+
+    std::vector<PredId> rest;
+    rest.reserve(splitters.size() - 1);
+    for (const PredId p : splitters)
+      if (p != champ) rest.push_back(p);
+
+    const std::int32_t l = build_oapt(sl, cl, rest);
+    const std::int32_t rr = build_oapt(sr, s_count - cl, rest);
+    scratch_.pop(2);
+    return add_internal(champ, l, rr);
+  }
+
+ private:
+  std::int32_t add_leaf(AtomId atom) {
+    ApTree::Node n;
+    n.atom = static_cast<std::int32_t>(atom);
+    nodes_.push_back(n);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  std::int32_t add_internal(PredId pred, std::int32_t left, std::int32_t right) {
+    ApTree::Node n;
+    n.pred = static_cast<std::int32_t>(pred);
+    n.left = left;
+    n.right = right;
+    nodes_.push_back(n);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  const BuildContext& ctx_;
+  std::vector<ApTree::Node> nodes_;
+  BitsetScratch scratch_;
+};
+
+/// A built subtree: a self-contained node array plus its root index.
+struct Fragment {
+  std::vector<ApTree::Node> nodes;
+  std::int32_t root = ApTree::kNil;
+};
+
+/// Parallel divide-and-conquer builder: above the cutoff, the champion (or
+/// next splitting ordered predicate) is selected on the calling task and
+/// the two child subtrees are forked as independent pool tasks; below it,
+/// the serial TreeBuilder runs.  Fragments are spliced [left][right][parent]
+/// with a deterministic index shift, which reproduces the serial builder's
+/// node layout exactly.
+class ParallelBuilder {
+ public:
+  ParallelBuilder(const BuildContext& ctx, util::TaskPool& pool, std::size_t cutoff)
+      : ctx_(ctx), pool_(pool), cutoff_(std::max<std::size_t>(cutoff, 2)) {}
+
+  void build_ordered(FlatBitset S, std::size_t s_count,
+                     const std::vector<PredId>& order, std::size_t start,
+                     Fragment& out) {
+    if (s_count <= cutoff_) {
+      TreeBuilder b(ctx_);
+      out.root = b.build_ordered(S, s_count, order, start);
+      out.nodes = b.take_nodes();
+      return;
+    }
+    for (std::size_t i = start; i < order.size(); ++i) {
+      const PredId p = order[i];
+      const FlatBitset& r = ctx_.reg.atoms_of(p);
+      const std::size_t c = S.intersect_count(r);
+      if (c == 0 || c == s_count) continue;
+      FlatBitset sl = S & r;
+      FlatBitset sr = S.minus(r);
+      Fragment left, right;
+      {
+        util::TaskPool::Group g(pool_);
+        g.run([this, sl = std::move(sl), c, &order, i, &left]() mutable {
+          build_ordered(std::move(sl), c, order, i + 1, left);
+        });
+        build_ordered(std::move(sr), s_count - c, order, i + 1, right);
+        g.wait();
+      }
+      splice(out, std::move(left), std::move(right), p);
+      return;
+    }
+    throw Error("build_ordered: no predicate splits a multi-atom set (atoms stale?)");
+  }
+
+  void build_oapt(FlatBitset S, std::size_t s_count, std::vector<PredId> candidates,
+                  Fragment& out) {
+    if (s_count <= cutoff_) {
+      TreeBuilder b(ctx_);
+      out.root = b.build_oapt(S, s_count, candidates);
+      out.nodes = b.take_nodes();
+      return;
+    }
+    const std::vector<PredId> splitters =
+        filter_splitters(ctx_, S, s_count, candidates);
+    require(!splitters.empty(), "build_oapt: no splitter for multi-atom set");
+
+    const PredId champ = select_champion(ctx_, S, splitters);
+    const FlatBitset& r = ctx_.reg.atoms_of(champ);
+    FlatBitset sl = S & r;
+    FlatBitset sr = S.minus(r);
+    const std::size_t cl = sl.count();
+
+    std::vector<PredId> rest;
+    rest.reserve(splitters.size() - 1);
+    for (const PredId p : splitters)
+      if (p != champ) rest.push_back(p);
+
+    Fragment left, right;
+    {
+      util::TaskPool::Group g(pool_);
+      g.run([this, sl = std::move(sl), cl, rest, &left]() mutable {
+        build_oapt(std::move(sl), cl, std::move(rest), left);
+      });
+      build_oapt(std::move(sr), s_count - cl, std::move(rest), right);
+      g.wait();
+    }
+    splice(out, std::move(left), std::move(right), champ);
+  }
+
+ private:
+  /// out = [left nodes][right nodes, children shifted][parent internal].
+  static void splice(Fragment& out, Fragment&& left, Fragment&& right, PredId pred) {
+    out.nodes = std::move(left.nodes);
+    const std::int32_t off = static_cast<std::int32_t>(out.nodes.size());
+    out.nodes.reserve(out.nodes.size() + right.nodes.size() + 1);
+    for (ApTree::Node& n : right.nodes) {
+      if (!n.is_leaf()) {
+        n.left += off;
+        n.right += off;
+      }
+      out.nodes.push_back(n);
+    }
+    ApTree::Node top;
+    top.pred = static_cast<std::int32_t>(pred);
+    top.left = left.root;
+    top.right = right.root + off;
+    out.nodes.push_back(top);
+    out.root = static_cast<std::int32_t>(out.nodes.size() - 1);
+  }
+
+  const BuildContext& ctx_;
+  util::TaskPool& pool_;
+  std::size_t cutoff_;
+};
 
 }  // namespace
 
@@ -124,19 +305,17 @@ int compare_predicates(const FlatBitset& S, const FlatBitset& Ri, const FlatBits
 
 ApTree build_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
                   const BuildOptions& opts) {
-  BuildContext ctx{reg, opts.weights, ApTree{}};
+  BuildContext ctx{reg, opts.weights};
+  ApTree tree;
   const FlatBitset s0 = uni.alive_mask();
   const std::size_t n = s0.count();
-  if (n == 0) return std::move(ctx.tree);
+  if (n == 0) return tree;
 
   std::vector<PredId> preds = reg.live_ids();
-
-  std::int32_t root = ApTree::kNil;
   switch (opts.method) {
     case BuildMethod::RandomOrder: {
       Rng rng(opts.seed);
       rng.shuffle(preds);
-      root = build_ordered(ctx, s0, n, preds, 0);
       break;
     }
     case BuildMethod::QuickOrdering: {
@@ -145,15 +324,34 @@ ApTree build_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
         return weight_of(reg.atoms_of(x), opts.weights) >
                weight_of(reg.atoms_of(y), opts.weights);
       });
-      root = build_ordered(ctx, s0, n, preds, 0);
       break;
     }
     case BuildMethod::Oapt:
-      root = build_oapt(ctx, s0, n, preds);
       break;
   }
-  ctx.tree.set_root(root);
-  return std::move(ctx.tree);
+
+  const std::size_t threads = util::TaskPool::resolve_threads(opts.threads);
+  if (threads > 1 && n > opts.parallel_cutoff) {
+    std::optional<util::TaskPool> owned_pool;
+    util::TaskPool* pool = opts.pool;
+    if (!pool) pool = &owned_pool.emplace(threads - 1);
+    ParallelBuilder pb(ctx, *pool, opts.parallel_cutoff);
+    Fragment frag;
+    if (opts.method == BuildMethod::Oapt) {
+      pb.build_oapt(s0, n, preds, frag);
+    } else {
+      pb.build_ordered(s0, n, preds, 0, frag);
+    }
+    tree.adopt(std::move(frag.nodes), frag.root);
+    return tree;
+  }
+
+  TreeBuilder b(ctx);
+  const std::int32_t root = opts.method == BuildMethod::Oapt
+                                ? b.build_oapt(s0, n, preds)
+                                : b.build_ordered(s0, n, preds, 0);
+  tree.adopt(b.take_nodes(), root);
+  return tree;
 }
 
 ApTree best_from_random(const PredicateRegistry& reg, const AtomUniverse& uni,

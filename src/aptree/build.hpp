@@ -23,6 +23,10 @@
 #include "aptree/tree.hpp"
 #include "util/rng.hpp"
 
+namespace apc::util {
+class TaskPool;
+}
+
 namespace apc {
 
 enum class BuildMethod : std::uint8_t {
@@ -37,6 +41,19 @@ struct BuildOptions {
   /// Optional per-atom visit weights (indexed by atom id).  Unspecified or
   /// out-of-range atoms weigh 1.
   const std::vector<double>* weights = nullptr;
+  /// Construction threads.  1 = serial; 0 = hardware_concurrency.  The
+  /// parallel path forks independent left/right subtree builds as tasks
+  /// (subtrees touch only R(p) bitsets, never the BDD manager) and splices
+  /// the fragments back in the serial allocation order, so the resulting
+  /// tree is node-for-node identical to the serial build — same champion
+  /// selection, same tie-breaks, same indices.
+  std::size_t threads = 1;
+  /// Optional shared pool; when null and threads > 1, a transient pool is
+  /// created for the call.
+  util::TaskPool* pool = nullptr;
+  /// Subtrees with at most this many atoms build serially (fork overhead
+  /// beats the win below this size).
+  std::size_t parallel_cutoff = 64;
 };
 
 /// Builds an AP Tree over the live atoms in `uni` from the live predicates

@@ -41,6 +41,13 @@ class ApTree {
   std::int32_t add_internal(PredId pred, std::int32_t left, std::int32_t right);
   void set_root(std::int32_t r) { root_ = r; }
 
+  /// Installs an externally assembled node array (the parallel builders
+  /// splice per-subtree fragments and hand the finished array over).
+  void adopt(std::vector<Node> nodes, std::int32_t root) {
+    nodes_ = std::move(nodes);
+    root_ = root;
+  }
+
   /// Turns leaf `idx` into an internal node labeled `pred` with two fresh
   /// leaf children (used by predicate addition, SS VI-A).
   void split_leaf(std::int32_t idx, PredId pred, AtomId left_atom, AtomId right_atom);

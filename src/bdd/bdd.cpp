@@ -609,6 +609,22 @@ Bdd transfer(const Bdd& src, BddManager& dst) {
   return transfer_rec(*src.manager(), src.ref(), dst, memo);
 }
 
+std::vector<Bdd> transfer(const std::vector<Bdd>& srcs, BddManager& dst) {
+  std::vector<Bdd> out;
+  out.reserve(srcs.size());
+  if (srcs.empty()) return out;
+  const BddManager* src_mgr = srcs.front().manager();
+  require(src_mgr != nullptr, "transfer: null Bdd");
+  require(src_mgr->num_vars() <= dst.num_vars(),
+          "transfer: destination manager has fewer variables");
+  std::unordered_map<NodeRef, Bdd> memo;
+  for (const Bdd& src : srcs) {
+    require(src.manager() == src_mgr, "transfer: roots span several managers");
+    out.push_back(transfer_rec(*src_mgr, src.ref(), dst, memo));
+  }
+  return out;
+}
+
 // ---------- flatten (manager-free export) ----------
 
 std::vector<std::uint32_t> flatten(const std::vector<Bdd>& roots,

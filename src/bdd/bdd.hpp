@@ -223,6 +223,12 @@ class BddManager {
 /// paper runs reconstruction as a separate process, SS VI-B).
 Bdd transfer(const Bdd& src, BddManager& dst);
 
+/// Batched transfer: rebuilds every root (all owned by one source manager)
+/// inside `dst` with a single shared memo, so subgraphs shared between
+/// roots are walked once.  Used by the parallel atom pipeline to move whole
+/// partial atom universes between per-thread managers.
+std::vector<Bdd> transfer(const std::vector<Bdd>& srcs, BddManager& dst);
+
 /// A manager-free BDD node for flattened (frozen) evaluation.  Children are
 /// indices into the same array; slots 0 and 1 are the FALSE/TRUE terminals.
 /// No ref counts, no unique table, no GC — an array of these is immutable

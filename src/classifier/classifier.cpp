@@ -1,10 +1,32 @@
 #include "classifier/classifier.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "rules/compiler.hpp"
+#include "util/task_pool.hpp"
 
 namespace apc {
+
+namespace {
+/// One transient pool shared by the atom computation and the tree build of
+/// a single construction (threads - 1 workers; the calling thread helps).
+/// Serial (threads == 1) costs nothing: no pool, no threads.
+struct BuildPool {
+  std::size_t threads;
+  std::optional<util::TaskPool> owned;
+  util::TaskPool* pool = nullptr;
+
+  explicit BuildPool(std::size_t requested)
+      : threads(util::TaskPool::resolve_threads(requested)) {
+    if (threads > 1) pool = &owned.emplace(threads - 1);
+  }
+};
+}  // namespace
+
+std::size_t ApClassifier::build_threads() const {
+  return util::TaskPool::resolve_threads(opts_.threads);
+}
 
 ApClassifier::ApClassifier(const NetworkModel& net, std::shared_ptr<bdd::BddManager> mgr,
                            Options opts)
@@ -12,10 +34,13 @@ ApClassifier::ApClassifier(const NetworkModel& net, std::shared_ptr<bdd::BddMana
   require(mgr_ != nullptr, "ApClassifier: null manager");
   net_.validate();
   compiled_ = compile_network(net_, *mgr_, reg_);
-  uni_ = compute_atoms(reg_);
+  BuildPool bp(opts_.threads);
+  uni_ = compute_atoms(reg_, AtomsOptions{bp.threads, bp.pool});
   BuildOptions bo;
   bo.method = opts_.method;
   bo.seed = opts_.seed;
+  bo.threads = bp.threads;
+  bo.pool = bp.pool;
   tree_ = build_tree(reg_, uni_, bo);
   visit_counts_.reset(uni_.capacity());
 }
@@ -475,11 +500,14 @@ void ApClassifier::rebuild(std::optional<BuildMethod> method, bool distribution_
   // out and previously split atoms merge back (paper SS VI-B).
   AtomUniverse old_uni = std::move(uni_);
   std::vector<double> old_weights = std::move(weights);
-  uni_ = compute_atoms(reg_);
+  BuildPool bp(opts_.threads);
+  uni_ = compute_atoms(reg_, AtomsOptions{bp.threads, bp.pool});
 
   BuildOptions bo;
   bo.method = method.value_or(opts_.method);
   bo.seed = opts_.seed;
+  bo.threads = bp.threads;
+  bo.pool = bp.pool;
 
   std::vector<double> new_weights;
   if (distribution_aware) {
@@ -508,6 +536,7 @@ void ApClassifier::rebuild_with_weights(const std::vector<double>& atom_weights,
   bo.method = method.value_or(opts_.method);
   bo.seed = opts_.seed;
   bo.weights = &atom_weights;
+  bo.threads = build_threads();
   tree_ = build_tree(reg_, uni_, bo);
 }
 

@@ -35,6 +35,11 @@ class ApClassifier {
     /// Count leaf visits during classify() to drive distribution-aware
     /// rebuilds (SS V-D).  Off by default (saves a write per query).
     bool track_visits = false;
+    /// Construction threads for atom computation and tree builds (initial
+    /// build and every rebuild).  0 = hardware_concurrency; 1 = serial.
+    /// Parallel construction is bit-identical to serial (see
+    /// docs/architecture.md, "Parallel construction pipeline").
+    std::size_t threads = 0;
   };
 
   /// Compiles `net` to predicates, computes atomic predicates, and builds
@@ -137,6 +142,13 @@ class ApClassifier {
   void merge_visit_counts(const std::vector<std::uint64_t>& counts);
   /// Visit counts normalized into weights (atoms never seen weigh 1).
   std::vector<double> visit_weights() const;
+
+  // ---- Construction parallelism ----
+  /// Overrides the construction-thread knob for subsequent rebuilds
+  /// (0 = hardware_concurrency; 1 = serial).
+  void set_build_threads(std::size_t threads) { opts_.threads = threads; }
+  /// The resolved thread count the next build/rebuild will use.
+  std::size_t build_threads() const;
 
   // ---- Introspection ----
   const Options& options() const { return opts_; }

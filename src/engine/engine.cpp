@@ -15,6 +15,7 @@ std::size_t default_threads(std::size_t requested) {
 QueryEngine::QueryEngine(ApClassifier& clf, Options opts)
     : clf_(clf), opts_(opts), pool_(default_threads(opts.num_threads)) {
   require(opts_.batch_grain > 0, "QueryEngine: zero batch grain");
+  if (opts_.build_threads > 0) clf_.set_build_threads(opts_.build_threads);
   snap_.store(FlatSnapshot::build(clf_));
   publish_count_.fetch_add(1, std::memory_order_relaxed);
 }

@@ -35,7 +35,7 @@
 
 #include "classifier/classifier.hpp"
 #include "engine/snapshot.hpp"
-#include "engine/worker_pool.hpp"
+#include "util/task_pool.hpp"
 
 namespace apc::engine {
 
@@ -47,6 +47,12 @@ class QueryEngine {
     std::size_t num_threads = 0;
     /// Headers per work chunk when fanning out a batch.
     std::size_t batch_grain = 256;
+    /// Construction threads used by every mutation that goes through
+    /// update() — atom recomputation and tree rebuilds fan out on this many
+    /// threads (see docs/architecture.md, "Parallel construction
+    /// pipeline").  0 = keep the classifier's own setting (whose default is
+    /// hardware_concurrency).
+    std::size_t build_threads = 0;
   };
 
   /// Builds the initial snapshot from `clf`.  The engine keeps a reference:
@@ -148,7 +154,7 @@ class QueryEngine {
 
   ApClassifier& clf_;
   Options opts_;
-  mutable WorkerPool pool_;
+  mutable util::TaskPool pool_;
   std::mutex writer_mu_;
   SnapshotSlot snap_;
   std::atomic<std::uint64_t> publish_count_{0};

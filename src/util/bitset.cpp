@@ -134,6 +134,23 @@ FlatBitset& FlatBitset::operator|=(const FlatBitset& other) {
   return *this;
 }
 
+void FlatBitset::assign_and(const FlatBitset& a, const FlatBitset& b) {
+  nbits_ = a.nbits_;
+  words_.resize(a.words_.size());
+  const std::size_t n = std::min(a.words_.size(), b.words_.size());
+  for (std::size_t i = 0; i < n; ++i) words_[i] = a.words_[i] & b.words_[i];
+  for (std::size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+}
+
+void FlatBitset::assign_minus(const FlatBitset& a, const FlatBitset& b) {
+  nbits_ = a.nbits_;
+  words_.resize(a.words_.size());
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t bw = i < b.words_.size() ? b.words_[i] : 0;
+    words_[i] = a.words_[i] & ~bw;
+  }
+}
+
 bool FlatBitset::operator==(const FlatBitset& other) const {
   const std::size_t n = std::max(words_.size(), other.words_.size());
   for (std::size_t i = 0; i < n; ++i) {

@@ -53,6 +53,13 @@ class FlatBitset {
   FlatBitset& operator&=(const FlatBitset& other);
   FlatBitset& operator|=(const FlatBitset& other);
 
+  /// *this = a & b, adopting a's domain.  Reuses this bitset's storage —
+  /// the tree builders call these on scratch-stack buffers to avoid one
+  /// allocation per recursion level.  Aliasing with a or b is allowed.
+  void assign_and(const FlatBitset& a, const FlatBitset& b);
+  /// *this = a \ b, adopting a's domain.  Aliasing with a or b is allowed.
+  void assign_minus(const FlatBitset& a, const FlatBitset& b);
+
   bool operator==(const FlatBitset& other) const;
 
   /// Index of the first set bit, or size() if none.
