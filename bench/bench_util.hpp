@@ -15,6 +15,7 @@
 #include "classifier/classifier.hpp"
 #include "datasets/datasets.hpp"
 #include "datasets/traces.hpp"
+#include "obs/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace apc::bench {
@@ -139,6 +140,21 @@ class BenchJson {
   std::vector<Row> rows_;
   bool written_ = false;
 };
+
+/// Copies every row of a metrics snapshot into the bench JSON (optionally
+/// under a metric-name prefix), so BENCH_*.json carries the same inventory
+/// stats()/to_json() reports — one registry feeds both outputs.
+inline void rows_from_snapshot(BenchJson& out, const obs::MetricsSnapshot& snap,
+                               const std::string& prefix = "",
+                               std::size_t threads = 1) {
+  for (const auto& r : snap.rows) out.row(prefix + r.name, r.value, r.unit, threads);
+}
+
+inline void rows_from_registry(BenchJson& out, const obs::MetricsRegistry& reg,
+                               const std::string& prefix = "",
+                               std::size_t threads = 1) {
+  rows_from_snapshot(out, reg.snapshot(), prefix, threads);
+}
 
 inline void print_header(const char* what) {
   std::printf("==============================================================\n");

@@ -27,6 +27,8 @@ struct Timings {
   double random_ms = 0.0;
   double quick_ms = 0.0;
   double oapt_ms = 0.0;
+  AtomsStats atoms;          // phase breakdown of the shared atoms step
+  std::uint64_t oapt_forks = 0;  // subtree tasks forked by the OAPT build
 };
 
 Timings run_once(const datasets::Dataset& d, std::size_t threads) {
@@ -36,25 +38,29 @@ Timings run_once(const datasets::Dataset& d, std::size_t threads) {
   Stopwatch sw;
   PredicateRegistry reg;
   compile_network(d.net, *mgr, reg);
+  Timings t;
   AtomsOptions ao;
   ao.threads = threads;
+  ao.stats = &t.atoms;
   AtomUniverse uni = compute_atoms(reg, ao);
-  Timings t;
   t.atoms_ms = sw.millis();
 
-  const auto time_build = [&](BuildMethod m) {
+  const auto time_build = [&](BuildMethod m, TreeBuildStats* stats) {
     Stopwatch bw;
     BuildOptions o;
     o.method = m;
     o.threads = threads;
+    o.stats = stats;
     const ApTree tree = build_tree(reg, uni, o);
     const double ms = bw.millis();
     (void)tree;
     return ms;
   };
-  t.random_ms = time_build(BuildMethod::RandomOrder);
-  t.quick_ms = time_build(BuildMethod::QuickOrdering);
-  t.oapt_ms = time_build(BuildMethod::Oapt);
+  t.random_ms = time_build(BuildMethod::RandomOrder, nullptr);
+  t.quick_ms = time_build(BuildMethod::QuickOrdering, nullptr);
+  TreeBuildStats oapt_stats;
+  t.oapt_ms = time_build(BuildMethod::Oapt, &oapt_stats);
+  t.oapt_forks = oapt_stats.forks.value();
   return t;
 }
 
@@ -97,6 +103,21 @@ int main() {
       json.row(prefix + "quick_total_ms", t.atoms_ms + t.quick_ms, "ms", threads);
       json.row(prefix + "oapt_total_ms", oapt_total, "ms", threads);
       json.row(prefix + "oapt_speedup_vs_1t", oapt_total_1t / oapt_total, "x",
+               threads);
+      // Phase telemetry from the construction pipeline itself (src/obs/):
+      // per-group refinement, merge rounds, landing transfer, and the number
+      // of subtree tasks the parallel OAPT build forked.
+      json.row(prefix + "atoms_refine_ms", t.atoms.refine_seconds * 1e3, "ms",
+               threads);
+      json.row(prefix + "atoms_merge_ms", t.atoms.merge_seconds * 1e3, "ms",
+               threads);
+      json.row(prefix + "atoms_land_ms", t.atoms.land_seconds * 1e3, "ms",
+               threads);
+      json.row(prefix + "atoms_groups", static_cast<double>(t.atoms.groups),
+               "count", threads);
+      json.row(prefix + "atoms_produced",
+               static_cast<double>(t.atoms.atoms_produced), "count", threads);
+      json.row(prefix + "oapt_forks", static_cast<double>(t.oapt_forks), "count",
                threads);
     }
   }

@@ -87,5 +87,9 @@ int main() {
   std::printf("\nsustained: %.2f Mqps across %zu queries (%d reconstructions)\n",
               static_cast<double>(queries) / secs / 1e6, queries,
               static_cast<int>(rm.rebuild_count()));
+
+  // The manager's metric inventory (src/obs/) as JSON — journal/replay
+  // counts, rebuild duration percentiles, live structure sizes.
+  std::printf("\nreconstruction stats:\n%s", rm.stats().to_json().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 
+#include "util/stopwatch.hpp"
 #include "util/task_pool.hpp"
 
 namespace apc {
@@ -182,7 +183,16 @@ AtomUniverse compute_atoms(PredicateRegistry& reg, const AtomsOptions& opts) {
   const std::size_t threads = util::TaskPool::resolve_threads(opts.threads);
   const std::size_t groups =
       std::min(threads, live.size() / kMinGroupPreds);
-  if (groups <= 1) return compute_atoms_serial(reg, live, k);
+  if (groups <= 1) {
+    Stopwatch sw;
+    AtomUniverse uni = compute_atoms_serial(reg, live, k);
+    if (opts.stats) {
+      opts.stats->refine_seconds = sw.seconds();
+      opts.stats->groups = 1;
+      opts.stats->atoms_produced = uni.alive_count();
+    }
+    return uni;
+  }
 
   std::optional<util::TaskPool> owned_pool;
   util::TaskPool* pool = opts.pool;
@@ -193,6 +203,7 @@ AtomUniverse compute_atoms(PredicateRegistry& reg, const AtomsOptions& opts) {
 
   // Phase 1: per-group refinement, each on a private manager.  The shared
   // source manager is only read (transfer takes no references on it).
+  Stopwatch phase_sw;
   std::vector<Partial> parts(groups);
   {
     util::TaskPool::Group g(*pool);
@@ -209,6 +220,12 @@ AtomUniverse compute_atoms(PredicateRegistry& reg, const AtomsOptions& opts) {
     g.wait();
   }
 
+  if (opts.stats) {
+    opts.stats->refine_seconds = phase_sw.seconds();
+    opts.stats->groups = groups;
+  }
+  phase_sw.reset();
+
   // Phase 2: pairwise merge rounds over adjacent groups (order matters:
   // lower-id predicate groups are the more significant signature digits).
   while (parts.size() > 1) {
@@ -224,6 +241,9 @@ AtomUniverse compute_atoms(PredicateRegistry& reg, const AtomsOptions& opts) {
     parts = std::move(next);
   }
 
+  if (opts.stats) opts.stats->merge_seconds = phase_sw.seconds();
+  phase_sw.reset();
+
   // Phase 3: land the merged universe in the registry's manager.  All
   // reads of it have finished, so mutating it is safe again.
   std::vector<WorkAtom>& merged = parts.front().atoms;
@@ -236,7 +256,12 @@ AtomUniverse compute_atoms(PredicateRegistry& reg, const AtomsOptions& opts) {
   atoms.reserve(merged.size());
   for (std::size_t i = 0; i < merged.size(); ++i)
     atoms.push_back({std::move(landed[i]), std::move(merged[i].sig)});
-  return finalize(reg, atoms, k);
+  AtomUniverse uni = finalize(reg, atoms, k);
+  if (opts.stats) {
+    opts.stats->land_seconds = phase_sw.seconds();
+    opts.stats->atoms_produced = uni.alive_count();
+  }
+  return uni;
 }
 
 }  // namespace apc

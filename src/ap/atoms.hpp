@@ -16,6 +16,7 @@
 
 #include "ap/registry.hpp"
 #include "bdd/bdd.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitset.hpp"
 
 namespace apc::util {
@@ -48,6 +49,17 @@ class AtomUniverse {
   std::vector<bool> alive_;
 };
 
+/// Telemetry from one compute_atoms call (see src/obs/).  All fields are
+/// written by the calling thread — the parallel phases are fork/join
+/// barriers, so phase durations are plain wall-clock spans.
+struct AtomsStats {
+  double refine_seconds = 0.0;  ///< per-group refinement (serial: whole fold)
+  double merge_seconds = 0.0;   ///< pairwise merge rounds (parallel only)
+  double land_seconds = 0.0;    ///< transfer back into the registry's manager
+  std::uint64_t groups = 1;     ///< refinement groups used (1 = serial path)
+  std::uint64_t atoms_produced = 0;
+};
+
 struct AtomsOptions {
   /// Construction threads.  1 = the serial reference path; 0 =
   /// hardware_concurrency.  The parallel path splits the live predicates
@@ -60,6 +72,8 @@ struct AtomsOptions {
   /// Optional shared pool; when null and threads > 1, a transient pool with
   /// threads - 1 workers is created for the call.
   util::TaskPool* pool = nullptr;
+  /// Optional telemetry sink, filled before returning.
+  AtomsStats* stats = nullptr;
 };
 
 /// Computes the atomic predicates of all *live* predicates in `reg` and

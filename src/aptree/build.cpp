@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 
+#include "util/stopwatch.hpp"
 #include "util/task_pool.hpp"
 
 namespace apc {
@@ -168,8 +169,10 @@ struct Fragment {
 /// node layout exactly.
 class ParallelBuilder {
  public:
-  ParallelBuilder(const BuildContext& ctx, util::TaskPool& pool, std::size_t cutoff)
-      : ctx_(ctx), pool_(pool), cutoff_(std::max<std::size_t>(cutoff, 2)) {}
+  ParallelBuilder(const BuildContext& ctx, util::TaskPool& pool, std::size_t cutoff,
+                  obs::Counter* forks)
+      : ctx_(ctx), pool_(pool), cutoff_(std::max<std::size_t>(cutoff, 2)),
+        forks_(forks) {}
 
   void build_ordered(FlatBitset S, std::size_t s_count,
                      const std::vector<PredId>& order, std::size_t start,
@@ -190,6 +193,7 @@ class ParallelBuilder {
       Fragment left, right;
       {
         util::TaskPool::Group g(pool_);
+        if (forks_) forks_->add();
         g.run([this, sl = std::move(sl), c, &order, i, &left]() mutable {
           build_ordered(std::move(sl), c, order, i + 1, left);
         });
@@ -228,6 +232,7 @@ class ParallelBuilder {
     Fragment left, right;
     {
       util::TaskPool::Group g(pool_);
+      if (forks_) forks_->add();
       g.run([this, sl = std::move(sl), cl, rest, &left]() mutable {
         build_oapt(std::move(sl), cl, std::move(rest), left);
       });
@@ -261,6 +266,7 @@ class ParallelBuilder {
   const BuildContext& ctx_;
   util::TaskPool& pool_;
   std::size_t cutoff_;
+  obs::Counter* forks_;
 };
 
 }  // namespace
@@ -303,8 +309,9 @@ int compare_predicates(const FlatBitset& S, const FlatBitset& Ri, const FlatBits
   return 0;
 }
 
-ApTree build_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
-                  const BuildOptions& opts) {
+namespace {
+ApTree build_tree_impl(const PredicateRegistry& reg, const AtomUniverse& uni,
+                       const BuildOptions& opts) {
   BuildContext ctx{reg, opts.weights};
   ApTree tree;
   const FlatBitset s0 = uni.alive_mask();
@@ -335,7 +342,8 @@ ApTree build_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
     std::optional<util::TaskPool> owned_pool;
     util::TaskPool* pool = opts.pool;
     if (!pool) pool = &owned_pool.emplace(threads - 1);
-    ParallelBuilder pb(ctx, *pool, opts.parallel_cutoff);
+    ParallelBuilder pb(ctx, *pool, opts.parallel_cutoff,
+                       opts.stats ? &opts.stats->forks : nullptr);
     Fragment frag;
     if (opts.method == BuildMethod::Oapt) {
       pb.build_oapt(s0, n, preds, frag);
@@ -351,6 +359,18 @@ ApTree build_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
                                 ? b.build_oapt(s0, n, preds)
                                 : b.build_ordered(s0, n, preds, 0);
   tree.adopt(b.take_nodes(), root);
+  return tree;
+}
+}  // namespace
+
+ApTree build_tree(const PredicateRegistry& reg, const AtomUniverse& uni,
+                  const BuildOptions& opts) {
+  Stopwatch sw;
+  ApTree tree = build_tree_impl(reg, uni, opts);
+  if (opts.stats) {
+    opts.stats->build_seconds = sw.seconds();
+    opts.stats->nodes = tree.node_count();
+  }
   return tree;
 }
 

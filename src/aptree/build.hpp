@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "aptree/tree.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace apc::util {
@@ -33,6 +34,15 @@ enum class BuildMethod : std::uint8_t {
   RandomOrder,
   QuickOrdering,
   Oapt,
+};
+
+/// Telemetry from one build_tree call (see src/obs/).  `forks` is an atomic
+/// counter because subtree tasks bump it from pool threads; the scalar
+/// fields are written by the calling thread after the join.
+struct TreeBuildStats {
+  double build_seconds = 0.0;
+  std::uint64_t nodes = 0;       ///< tree nodes produced
+  obs::Counter forks;            ///< subtree tasks forked (parallel path)
 };
 
 struct BuildOptions {
@@ -54,6 +64,8 @@ struct BuildOptions {
   /// Subtrees with at most this many atoms build serially (fork overhead
   /// beats the win below this size).
   std::size_t parallel_cutoff = 64;
+  /// Optional telemetry sink, filled before returning.
+  TreeBuildStats* stats = nullptr;
 };
 
 /// Builds an AP Tree over the live atoms in `uni` from the live predicates

@@ -323,8 +323,12 @@ NodeRef BddManager::make_node(std::uint32_t var, NodeRef low, NodeRef high) {
   const std::size_t b = bucket_of(var, low, high);
   for (NodeRef r = buckets_[b]; r != kNil; r = nodes_[r].next) {
     const Node& n = nodes_[r];
-    if (n.var == var && n.low == low && n.high == high) return r;
+    if (n.var == var && n.low == low && n.high == high) {
+      ++op_stats_.unique_hits;
+      return r;
+    }
   }
+  ++op_stats_.nodes_created;
   NodeRef r;
   if (free_head_ != kNil) {
     r = free_head_;
@@ -420,7 +424,11 @@ NodeRef BddManager::apply(Op op, NodeRef f, NodeRef g) {
 
   const std::uint64_t key = static_cast<std::uint64_t>(op);
   CacheEntry& slot = cache_slot(key, f, g, 0);
-  if (slot.key == key && slot.a == f && slot.b == g) return slot.result;
+  if (slot.key == key && slot.a == f && slot.b == g) {
+    ++op_stats_.cache_hits;
+    return slot.result;
+  }
+  ++op_stats_.cache_misses;
 
   const Node& nf = nodes_[f];
   const Node& ng = nodes_[g];
@@ -446,8 +454,11 @@ NodeRef BddManager::ite_rec(NodeRef f, NodeRef g, NodeRef h) {
 
   const std::uint64_t key = static_cast<std::uint64_t>(Op::Ite);
   CacheEntry& slot = cache_slot(key, f, g, h);
-  if (slot.key == key && slot.a == f && slot.b == g && slot.c == h)
+  if (slot.key == key && slot.a == f && slot.b == g && slot.c == h) {
+    ++op_stats_.cache_hits;
     return slot.result;
+  }
+  ++op_stats_.cache_misses;
 
   std::uint32_t top = nodes_[f].var;
   if (g > kTrue) top = std::min(top, nodes_[g].var);
@@ -480,7 +491,11 @@ NodeRef BddManager::restrict_rec(NodeRef f, std::uint32_t v, bool value) {
       static_cast<std::uint64_t>(Op::Restrict) | (std::uint64_t{v} << 8) |
       (std::uint64_t{value} << 40);
   CacheEntry& slot = cache_slot(key, f, 0, 0);
-  if (slot.key == key && slot.a == f) return slot.result;
+  if (slot.key == key && slot.a == f) {
+    ++op_stats_.cache_hits;
+    return slot.result;
+  }
+  ++op_stats_.cache_misses;
 
   const NodeRef low = restrict_rec(f_low, v, value);
   const NodeRef high = restrict_rec(f_high, v, value);
@@ -525,6 +540,7 @@ void BddManager::mark(NodeRef r, std::vector<bool>& marked) const {
 }
 
 void BddManager::gc() {
+  ++op_stats_.gc_runs;
   std::vector<bool> marked(nodes_.size(), false);
   for (NodeRef r = 2; r < nodes_.size(); ++r)
     if (refs_[r] > 0) mark(r, marked);

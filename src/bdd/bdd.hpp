@@ -145,6 +145,20 @@ class BddManager {
   std::size_t live_node_count() const;          ///< nodes reachable from roots
   std::size_t allocated_node_count() const;     ///< pool slots in use (incl. garbage)
   std::size_t memory_bytes() const;             ///< approximate heap footprint
+  std::size_t unique_table_buckets() const { return buckets_.size(); }
+
+  /// Lifetime operation counters (see src/obs/).  Plain (non-atomic)
+  /// members: a manager is single-threaded by contract, so the owning
+  /// thread's increments are race-free and cost one add each.
+  struct OpStats {
+    std::uint64_t cache_hits = 0;     ///< op-cache lookups that hit
+    std::uint64_t cache_misses = 0;   ///< op-cache lookups that recursed
+    std::uint64_t unique_hits = 0;    ///< make_node found an existing node
+    std::uint64_t nodes_created = 0;  ///< make_node allocated a fresh node
+    std::uint64_t gc_runs = 0;
+  };
+  const OpStats& op_stats() const { return op_stats_; }
+  void reset_op_stats() { op_stats_ = OpStats{}; }
 
   /// Graphviz dump of `f` for documentation/debugging.
   std::string to_dot(const Bdd& f, const std::string& name = "bdd") const;
@@ -215,6 +229,7 @@ class BddManager {
   std::vector<CacheEntry> cache_;     // direct-mapped op cache
   std::size_t next_gc_size_ = 1 << 16;
   bool auto_gc_ = true;
+  OpStats op_stats_;
 };
 
 /// Rebuilds `src` (owned by some other manager) inside `dst` and returns the

@@ -35,12 +35,13 @@ ApClassifier::ApClassifier(const NetworkModel& net, std::shared_ptr<bdd::BddMana
   net_.validate();
   compiled_ = compile_network(net_, *mgr_, reg_);
   BuildPool bp(opts_.threads);
-  uni_ = compute_atoms(reg_, AtomsOptions{bp.threads, bp.pool});
+  uni_ = compute_atoms(reg_, AtomsOptions{bp.threads, bp.pool, &telemetry_.atoms});
   BuildOptions bo;
   bo.method = opts_.method;
   bo.seed = opts_.seed;
   bo.threads = bp.threads;
   bo.pool = bp.pool;
+  bo.stats = &telemetry_.tree;
   tree_ = build_tree(reg_, uni_, bo);
   visit_counts_.reset(uni_.capacity());
 }
@@ -501,13 +502,14 @@ void ApClassifier::rebuild(std::optional<BuildMethod> method, bool distribution_
   AtomUniverse old_uni = std::move(uni_);
   std::vector<double> old_weights = std::move(weights);
   BuildPool bp(opts_.threads);
-  uni_ = compute_atoms(reg_, AtomsOptions{bp.threads, bp.pool});
+  uni_ = compute_atoms(reg_, AtomsOptions{bp.threads, bp.pool, &telemetry_.atoms});
 
   BuildOptions bo;
   bo.method = method.value_or(opts_.method);
   bo.seed = opts_.seed;
   bo.threads = bp.threads;
   bo.pool = bp.pool;
+  bo.stats = &telemetry_.tree;
 
   std::vector<double> new_weights;
   if (distribution_aware) {
@@ -528,6 +530,7 @@ void ApClassifier::rebuild(std::optional<BuildMethod> method, bool distribution_
   }
   tree_ = build_tree(reg_, uni_, bo);
   visit_counts_.reset(uni_.capacity());
+  ++telemetry_.rebuilds;
 }
 
 void ApClassifier::rebuild_with_weights(const std::vector<double>& atom_weights,
@@ -537,7 +540,9 @@ void ApClassifier::rebuild_with_weights(const std::vector<double>& atom_weights,
   bo.seed = opts_.seed;
   bo.weights = &atom_weights;
   bo.threads = build_threads();
+  bo.stats = &telemetry_.tree;
   tree_ = build_tree(reg_, uni_, bo);
+  ++telemetry_.rebuilds;
 }
 
 void ApClassifier::reset_visit_counts() {
@@ -565,6 +570,66 @@ ApClassifier::MemoryBreakdown ApClassifier::memory() const {
   for (PredId i = 0; i < reg_.size(); ++i)
     m.registry_bytes += reg_.atoms_of(i).size() / 8 + sizeof(PredicateInfo);
   return m;
+}
+
+void ApClassifier::register_metrics(obs::MetricsRegistry& reg,
+                                    const std::string& prefix) const {
+  // Structure.
+  reg.register_fn(prefix + ".predicates",
+                  [this] { return static_cast<double>(reg_.live_count()); }, "count");
+  reg.register_fn(prefix + ".atoms",
+                  [this] { return static_cast<double>(uni_.alive_count()); }, "count");
+  reg.register_fn(prefix + ".tree_nodes",
+                  [this] { return static_cast<double>(tree_.node_count()); }, "count");
+  reg.register_fn(prefix + ".memory_bytes",
+                  [this] { return static_cast<double>(memory().total()); }, "bytes");
+
+  // Construction (last build; see BuildTelemetry).
+  const BuildTelemetry& t = telemetry_;
+  reg.register_fn(prefix + ".build.refine_seconds",
+                  [&t] { return t.atoms.refine_seconds; }, "seconds");
+  reg.register_fn(prefix + ".build.merge_seconds",
+                  [&t] { return t.atoms.merge_seconds; }, "seconds");
+  reg.register_fn(prefix + ".build.land_seconds",
+                  [&t] { return t.atoms.land_seconds; }, "seconds");
+  reg.register_fn(prefix + ".build.groups",
+                  [&t] { return static_cast<double>(t.atoms.groups); }, "count");
+  reg.register_fn(prefix + ".build.atoms_produced",
+                  [&t] { return static_cast<double>(t.atoms.atoms_produced); }, "count");
+  reg.register_fn(prefix + ".build.tree_seconds",
+                  [&t] { return t.tree.build_seconds; }, "seconds");
+  reg.register_counter(prefix + ".build.forks", &t.tree.forks, "count");
+  reg.register_fn(prefix + ".rebuilds",
+                  [&t] { return static_cast<double>(t.rebuilds); }, "count");
+
+  // BDD manager.
+  reg.register_fn(prefix + ".bdd.nodes_allocated",
+                  [this] { return static_cast<double>(mgr_->allocated_node_count()); },
+                  "count");
+  reg.register_fn(prefix + ".bdd.unique_table_buckets",
+                  [this] { return static_cast<double>(mgr_->unique_table_buckets()); },
+                  "count");
+  reg.register_fn(prefix + ".bdd.cache_hits",
+                  [this] { return static_cast<double>(mgr_->op_stats().cache_hits); },
+                  "count");
+  reg.register_fn(prefix + ".bdd.cache_misses",
+                  [this] { return static_cast<double>(mgr_->op_stats().cache_misses); },
+                  "count");
+  reg.register_fn(prefix + ".bdd.unique_hits",
+                  [this] { return static_cast<double>(mgr_->op_stats().unique_hits); },
+                  "count");
+  reg.register_fn(prefix + ".bdd.nodes_created",
+                  [this] { return static_cast<double>(mgr_->op_stats().nodes_created); },
+                  "count");
+  reg.register_fn(prefix + ".bdd.gc_runs",
+                  [this] { return static_cast<double>(mgr_->op_stats().gc_runs); },
+                  "count");
+}
+
+obs::MetricsSnapshot ApClassifier::stats() const {
+  obs::MetricsRegistry reg;
+  register_metrics(reg);
+  return reg.snapshot();
 }
 
 }  // namespace apc

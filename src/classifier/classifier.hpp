@@ -16,6 +16,7 @@
 #include "classifier/behavior.hpp"
 #include "classifier/middlebox.hpp"
 #include "network/model.hpp"
+#include "obs/metrics.hpp"
 #include "util/visit_counters.hpp"
 
 namespace apc {
@@ -25,6 +26,23 @@ namespace apc {
 struct ProbBehavior {
   double probability = 1.0;
   Behavior behavior;
+};
+
+/// Construction telemetry from the most recent build (initial or rebuild)
+/// plus lifetime rebuild counts.  Copyable so ApClassifier::fork() keeps
+/// working: the atomic fork counter is copied by value.
+struct BuildTelemetry {
+  AtomsStats atoms;
+  TreeBuildStats tree;
+  std::uint64_t rebuilds = 0;  ///< rebuild()/rebuild_with_weights() calls
+
+  BuildTelemetry() = default;
+  BuildTelemetry(const BuildTelemetry& o) : atoms(o.atoms), rebuilds(o.rebuilds) {
+    tree.build_seconds = o.tree.build_seconds;
+    tree.nodes = o.tree.nodes;
+    tree.forks.add(o.tree.forks.value());
+  }
+  BuildTelemetry& operator=(const BuildTelemetry&) = delete;
 };
 
 class ApClassifier {
@@ -171,6 +189,17 @@ class ApClassifier {
   };
   MemoryBreakdown memory() const;
 
+  // ---- Observability (see src/obs/) ----
+  /// Registers construction, structure, and BDD metrics under `prefix`.
+  /// The callback metrics read classifier state on snapshot, so snapshots
+  /// must not race updates/rebuilds (the snapshot engine serializes them
+  /// under its writer mutex; single-threaded callers are always safe).
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix = "classifier") const;
+  /// One-shot snapshot of the full metric inventory of register_metrics().
+  obs::MetricsSnapshot stats() const;
+  const BuildTelemetry& build_telemetry() const { return telemetry_; }
+
  private:
   ApClassifier(const ApClassifier&) = default;  // via fork()
 
@@ -198,6 +227,7 @@ class ApClassifier {
   AtomUniverse uni_;
   ApTree tree_;
   Options opts_;
+  BuildTelemetry telemetry_;
   std::vector<Middlebox> middleboxes_;
   // Atomic so that const classify() calls from several threads never race
   // (the resize-on-update, grow-only discipline lives in the non-const

@@ -66,9 +66,14 @@ std::uint64_t ReconstructionManager::add_predicate(const bdd::Bdd& p) {
 }
 
 void ReconstructionManager::remove_predicate(std::uint64_t key) {
-  if (const auto id = cur_->reg.find_by_key(key)) {
-    delete_predicate(cur_->reg, *id);
-  }
+  // Unknown key: nothing to remove, and nothing to journal — a key absent
+  // from the live registry is also absent from any in-flight rebuild
+  // snapshot (the snapshot is a copy of the live set at trigger time, and
+  // later removals journaled their own entries), so replaying a removal for
+  // it would only bloat the journal.
+  const auto id = cur_->reg.find_by_key(key);
+  if (!id) return;
+  delete_predicate(cur_->reg, *id);
   if (rebuilding()) journal_.push_back({false, {}, key});
 }
 
@@ -95,7 +100,10 @@ void ReconstructionManager::trigger_rebuild(
   worker_ = std::thread([this, new_mgr = std::move(new_mgr),
                          preds = std::move(preds),
                          samples = std::move(weight_samples)]() mutable {
-    pending_ = build_snapshot(std::move(new_mgr), std::move(preds), opts_, samples);
+    {
+      obs::ScopedTimer timer(rebuild_hist_);
+      pending_ = build_snapshot(std::move(new_mgr), std::move(preds), opts_, samples);
+    }
     rebuild_done_.store(true, std::memory_order_release);
   });
 }
@@ -118,11 +126,36 @@ bool ReconstructionManager::maybe_swap() {
       delete_predicate(snap->reg, *id);
     }
   }
+  replayed_entries_.add(journal_.size());
   journal_.clear();
   cur_ = std::move(snap);
   rebuilding_.store(false, std::memory_order_release);
   ++rebuild_count_;
   return true;
+}
+
+void ReconstructionManager::register_metrics(obs::MetricsRegistry& reg,
+                                             const std::string& prefix) const {
+  reg.register_fn(prefix + ".journal_length",
+                  [this] { return static_cast<double>(journal_.size()); }, "count");
+  reg.register_counter(prefix + ".replayed_entries", &replayed_entries_);
+  reg.register_histogram(prefix + ".rebuild_seconds", &rebuild_hist_);
+  reg.register_fn(prefix + ".swaps",
+                  [this] { return static_cast<double>(rebuild_count_); }, "count");
+  reg.register_fn(prefix + ".predicates",
+                  [this] { return static_cast<double>(cur_->reg.live_count()); },
+                  "count");
+  reg.register_fn(prefix + ".atoms",
+                  [this] { return static_cast<double>(cur_->uni.alive_count()); },
+                  "count");
+  reg.register_fn(prefix + ".avg_leaf_depth",
+                  [this] { return average_leaf_depth(); }, "count");
+}
+
+obs::MetricsSnapshot ReconstructionManager::stats() const {
+  obs::MetricsRegistry reg;
+  register_metrics(reg);
+  return reg.snapshot();
 }
 
 void ReconstructionManager::wait_and_swap() {

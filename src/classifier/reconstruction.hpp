@@ -39,8 +39,14 @@ class ReconstructionPolicy {
     /// (0 disables the update criterion).
     std::size_t max_updates = 50;
     /// Trigger when measured throughput drops below this fraction of the
-    /// best throughput seen since the last reconstruction (0 disables).
+    /// best throughput seen so far (0 disables).
     double min_throughput_fraction = 0.7;
+    /// On reset(), the best-throughput baseline is multiplied by this
+    /// factor instead of being zeroed: a reconstruction does not erase what
+    /// the system has proven capable of, it only softens the baseline so a
+    /// permanently changed workload can re-anchor it.  1 carries the
+    /// baseline unchanged; 0 restores the old zeroing behavior.
+    double best_qps_decay = 0.9;
   };
 
   ReconstructionPolicy() = default;
@@ -62,14 +68,20 @@ class ReconstructionPolicy {
     return false;
   }
 
-  /// Call when a reconstruction has been triggered/swapped in.
+  /// Call when a reconstruction has been triggered/swapped in.  The update
+  /// count and last-seen throughput restart from zero; the best-throughput
+  /// baseline decays (see Thresholds::best_qps_decay) rather than being
+  /// forgotten — zeroing it made the throughput criterion blind until a new
+  /// maximum formed, so a rebuild that *hurt* throughput could never
+  /// re-trigger.
   void reset() {
     updates_ = 0;
-    best_qps_ = 0.0;
+    best_qps_ *= thresholds_.best_qps_decay;
     last_qps_ = 0.0;
   }
 
   std::size_t updates_since_rebuild() const { return updates_; }
+  double best_qps() const { return best_qps_; }
 
  private:
   Thresholds thresholds_;
@@ -124,12 +136,33 @@ class ReconstructionManager {
   void wait_and_swap();
 
   bool rebuilding() const { return rebuilding_.load(std::memory_order_acquire); }
+  /// True when a triggered rebuild has finished but not yet been swapped in
+  /// — the next maybe_swap() is guaranteed to succeed.
+  bool rebuild_ready() const {
+    return rebuilding() && rebuild_done_.load(std::memory_order_acquire);
+  }
 
   // ---- Introspection ----
   double average_leaf_depth() const { return cur_->tree.average_leaf_depth(); }
   std::size_t live_predicate_count() const { return cur_->reg.live_count(); }
   std::size_t atom_count() const { return cur_->uni.alive_count(); }
   std::size_t rebuild_count() const { return rebuild_count_; }
+
+  // ---- Observability (see src/obs/) ----
+  /// Journal entries waiting to be replayed onto the pending tree.
+  std::size_t journal_length() const { return journal_.size(); }
+  /// Journal entries replayed across all swaps so far.
+  const obs::Counter& replayed_entries() const { return replayed_entries_; }
+  /// Background rebuild wall-clock durations (recorded by the worker).
+  const obs::LatencyHistogram& rebuild_duration() const { return rebuild_hist_; }
+  /// Registers journal length, replay/swap counts, rebuild durations, and
+  /// live structure sizes under `prefix`.  Like the rest of the query-thread
+  /// API, snapshot the registry from the query thread only (the rebuild
+  /// histogram and replay counter alone are safe from anywhere).
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix = "reconstruction") const;
+  /// One-shot snapshot of the same inventory (query thread).
+  obs::MetricsSnapshot stats() const;
 
  private:
   struct Snapshot {
@@ -161,6 +194,9 @@ class ReconstructionManager {
   std::vector<JournalEntry> journal_;  // query thread only
   std::uint64_t next_key_ = 1;
   std::size_t rebuild_count_ = 0;
+
+  obs::Counter replayed_entries_;
+  obs::LatencyHistogram rebuild_hist_;  // worker writes, any thread reads
 };
 
 }  // namespace apc

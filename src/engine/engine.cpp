@@ -1,14 +1,24 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace apc::engine {
 
 namespace {
+/// Worker-thread resolution for batch fan-out.  The calling thread always
+/// participates, so `hardware_concurrency - 1` workers means total batch
+/// parallelism equals hardware_concurrency — the repo-wide meaning of
+/// "threads = 0".  Explicit requests are honored as given, uncapped.
 std::size_t default_threads(std::size_t requested) {
   if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 1 ? std::min<std::size_t>(hw - 1, 8) : 0;
+  return util::TaskPool::resolve_threads(0) - 1;
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 }  // namespace
 
@@ -18,10 +28,13 @@ QueryEngine::QueryEngine(ApClassifier& clf, Options opts)
   if (opts_.build_threads > 0) clf_.set_build_threads(opts_.build_threads);
   snap_.store(FlatSnapshot::build(clf_));
   publish_count_.fetch_add(1, std::memory_order_relaxed);
+  last_publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
 
 std::vector<AtomId> QueryEngine::classify_batch(
     const std::vector<PacketHeader>& hs) const {
+  obs::ScopedTimer timer(classify_batch_hist_);
+  batch_size_hist_.record(hs.size());
   std::vector<AtomId> out(hs.size());
   const std::shared_ptr<const FlatSnapshot> s = snapshot();
   pool_.parallel_for(hs.size(), opts_.batch_grain,
@@ -29,11 +42,14 @@ std::vector<AtomId> QueryEngine::classify_batch(
                        for (std::size_t i = first; i < last; ++i)
                          out[i] = s->classify(hs[i]);
                      });
+  queries_answered_.add(hs.size());
   return out;
 }
 
 std::vector<Behavior> QueryEngine::query_batch(const std::vector<PacketHeader>& hs,
                                                BoxId ingress) const {
+  obs::ScopedTimer timer(query_batch_hist_);
+  batch_size_hist_.record(hs.size());
   std::vector<Behavior> out(hs.size());
   const std::shared_ptr<const FlatSnapshot> s = snapshot();
   pool_.parallel_for(hs.size(), opts_.batch_grain,
@@ -41,6 +57,7 @@ std::vector<Behavior> QueryEngine::query_batch(const std::vector<PacketHeader>& 
                        for (std::size_t i = first; i < last; ++i)
                          out[i] = s->query(hs[i], ingress);
                      });
+  queries_answered_.add(hs.size());
   return out;
 }
 
@@ -55,6 +72,38 @@ void QueryEngine::drain_visits_locked() {
 void QueryEngine::republish_locked() {
   snap_.store(FlatSnapshot::build(clf_));
   publish_count_.fetch_add(1, std::memory_order_relaxed);
+  last_publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
+double QueryEngine::snapshot_age_seconds() const {
+  const std::int64_t last = last_publish_ns_.load(std::memory_order_relaxed);
+  return static_cast<double>(steady_now_ns() - last) * 1e-9;
+}
+
+void QueryEngine::register_metrics(obs::MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+  reg.register_histogram(prefix + ".classify_batch_seconds", &classify_batch_hist_);
+  reg.register_histogram(prefix + ".query_batch_seconds", &query_batch_hist_);
+  reg.register_histogram(prefix + ".batch_size", &batch_size_hist_, "count", 1.0);
+  reg.register_counter(prefix + ".queries_answered", &queries_answered_);
+  reg.register_fn(prefix + ".publish_count",
+                  [this] { return static_cast<double>(publish_count()); }, "count");
+  reg.register_fn(prefix + ".snapshot_age_seconds",
+                  [this] { return snapshot_age_seconds(); }, "seconds");
+  reg.register_fn(prefix + ".worker_threads",
+                  [this] { return static_cast<double>(pool_.thread_count()); },
+                  "count");
+  pool_.register_metrics(reg, prefix + ".pool.");
+  clf_.register_metrics(reg, prefix + ".classifier");
+}
+
+obs::MetricsSnapshot QueryEngine::stats() const {
+  // Taken under the writer lock: the classifier rows are callbacks into
+  // non-atomic state that updates/rebuilds mutate.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  obs::MetricsRegistry reg;
+  register_metrics(reg);
+  return reg.snapshot();
 }
 
 AddPredicateResult QueryEngine::add_predicate(bdd::Bdd p, PredicateKind kind,

@@ -43,7 +43,9 @@ class QueryEngine {
  public:
   struct Options {
     /// Worker threads for batch fan-out (the calling thread always
-    /// participates too).  0 = hardware_concurrency - 1, capped at 8.
+    /// participates too).  0 = hardware_concurrency - 1 workers, so total
+    /// batch parallelism matches hardware_concurrency — the same "0 means
+    /// all cores" convention as every other threads knob in the repo.
     std::size_t num_threads = 0;
     /// Headers per work chunk when fanning out a batch.
     std::size_t batch_grain = 256;
@@ -119,6 +121,24 @@ class QueryEngine {
     return publish_count_.load(std::memory_order_relaxed);
   }
 
+  // ---- Observability (see src/obs/) ----
+  /// Headers answered by classify_batch()/query_batch() since construction.
+  /// Monotonic — feed it to obs::QpsMeter for engine-measured throughput.
+  const obs::Counter& queries_answered() const { return queries_answered_; }
+  /// Seconds since the current snapshot was published.
+  double snapshot_age_seconds() const;
+
+  /// Registers the engine's metric inventory under `prefix`: batch latency
+  /// histograms, batch sizes, publish count/age, pool counters, and the
+  /// underlying classifier's metrics (under `<prefix>.classifier`).
+  /// Classifier rows are callbacks into non-atomic state — snapshot the
+  /// registry only while no update runs.  stats() does that for you.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix = "engine") const;
+  /// Full metric snapshot, materialized under the writer lock so callback
+  /// metrics never race a concurrent update/rebuild.
+  obs::MetricsSnapshot stats() const;
+
  private:
   /// Folds the current snapshot's visit counters into the classifier
   /// (atom ids are still aligned at this point).  Caller holds writer_mu_.
@@ -155,9 +175,17 @@ class QueryEngine {
   ApClassifier& clf_;
   Options opts_;
   mutable util::TaskPool pool_;
-  std::mutex writer_mu_;
+  mutable std::mutex writer_mu_;
   SnapshotSlot snap_;
   std::atomic<std::uint64_t> publish_count_{0};
+
+  // Batch-granular probes only: one timer + two histogram records per
+  // *batch*, never per packet, so the per-query hot path stays untouched.
+  mutable obs::LatencyHistogram classify_batch_hist_;  // ns per batch
+  mutable obs::LatencyHistogram query_batch_hist_;     // ns per batch
+  mutable obs::LatencyHistogram batch_size_hist_;      // headers per batch
+  mutable obs::Counter queries_answered_;
+  std::atomic<std::int64_t> last_publish_ns_{0};  // steady_clock epoch ns
 };
 
 }  // namespace apc::engine

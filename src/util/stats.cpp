@@ -40,16 +40,23 @@ std::vector<std::pair<double, double>> cdf(std::vector<double> xs, std::size_t p
   if (xs.empty() || points == 0) return out;
   std::sort(xs.begin(), xs.end());
   out.reserve(points);
+  const double n = static_cast<double>(xs.size());
   for (std::size_t i = 1; i <= points; ++i) {
     const double frac = static_cast<double>(i) / static_cast<double>(points);
-    std::size_t idx = static_cast<std::size_t>(frac * static_cast<double>(xs.size()));
+    // The frac-quantile of the empirical distribution is the smallest x with
+    // F(x) >= frac, i.e. element ceil(frac * n) - 1 of the sorted sample.
+    // (The epsilon absorbs representation error in frac * n when the product
+    // is an exact integer, e.g. 0.5 * 10.)
+    std::size_t idx = static_cast<std::size_t>(std::ceil(frac * n - 1e-9));
     if (idx > 0) --idx;
+    if (idx >= xs.size()) idx = xs.size() - 1;
     out.emplace_back(xs[idx], frac);
   }
   return out;
 }
 
 std::vector<std::size_t> int_histogram(const std::vector<std::size_t>& xs) {
+  if (xs.empty()) return {};
   std::size_t mx = 0;
   for (std::size_t x : xs) mx = std::max(mx, x);
   std::vector<std::size_t> h(mx + 1, 0);

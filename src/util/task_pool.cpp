@@ -29,6 +29,13 @@ std::size_t TaskPool::resolve_threads(std::size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
+void TaskPool::register_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  reg.register_counter(prefix + "tasks_executed", &tasks_executed_);
+  reg.register_counter(prefix + "help_joins", &help_joins_);
+  reg.register_gauge(prefix + "queue_depth_high_water", &queue_depth_hw_);
+}
+
 void TaskPool::execute(std::unique_lock<std::mutex>& lock, Task task) {
   lock.unlock();
   try {
@@ -39,6 +46,7 @@ void TaskPool::execute(std::unique_lock<std::mutex>& lock, Task task) {
       if (!task.group->error_) task.group->error_ = std::current_exception();
     }
   }
+  tasks_executed_.add();
   if (task.group) finish(*task.group);
   lock.lock();
 }
@@ -72,6 +80,8 @@ void TaskPool::Group::run(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(pool_.mu_);
     pool_.queue_.push_back({std::move(fn), this});
+    pool_.queue_depth_hw_.update_max(
+        static_cast<std::int64_t>(pool_.queue_.size()));
   }
   pool_.cv_.notify_all();
 }
@@ -85,6 +95,7 @@ void TaskPool::Group::wait() {
         // of blocking — this is what makes recursive fork/join safe.
         Task task = std::move(pool_.queue_.front());
         pool_.queue_.pop_front();
+        pool_.help_joins_.add();
         pool_.execute(lock, std::move(task));
       } else {
         pool_.cv_.wait(lock, [&] {

@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace apc::util {
 
 class TaskPool {
@@ -81,6 +83,16 @@ class TaskPool {
   void parallel_for(std::size_t total, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  // ---- Observability (see src/obs/) ----
+  /// Tasks run to completion (by workers and helping joiners alike).
+  const obs::Counter& tasks_executed() const { return tasks_executed_; }
+  /// Tasks a joiner executed while help-waiting in Group::wait().
+  const obs::Counter& help_joins() const { return help_joins_; }
+  /// High-water mark of the shared queue depth since construction.
+  const obs::Gauge& queue_depth_high_water() const { return queue_depth_hw_; }
+  /// Registers the pool's metrics under `prefix` (e.g. "pool.").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
  private:
   struct Task {
     std::function<void()> fn;
@@ -98,6 +110,10 @@ class TaskPool {
   std::condition_variable cv_;  // signaled on enqueue, group drain, stop
   std::deque<Task> queue_;
   bool stop_ = false;
+
+  obs::Counter tasks_executed_;
+  obs::Counter help_joins_;
+  obs::Gauge queue_depth_hw_;
 };
 
 }  // namespace apc::util

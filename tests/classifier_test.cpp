@@ -131,6 +131,39 @@ TEST(Classifier, StatsAndMemory) {
   EXPECT_EQ(mem.total(), mem.bdd_bytes + mem.tree_bytes + mem.registry_bytes);
 }
 
+TEST(Classifier, ObservabilityStats) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 5);
+  auto mgr = Dataset::make_manager();
+  ApClassifier::Options opt;
+  opt.threads = 2;
+  ApClassifier clf(d.net, mgr, opt);
+
+  const obs::MetricsSnapshot snap = clf.stats();
+  ASSERT_NE(snap.find("classifier.predicates"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("classifier.predicates")->value,
+                   static_cast<double>(clf.predicate_count()));
+  EXPECT_DOUBLE_EQ(snap.find("classifier.atoms")->value,
+                   static_cast<double>(clf.atom_count()));
+  EXPECT_GT(snap.find("classifier.build.refine_seconds")->value, 0.0);
+  EXPECT_GT(snap.find("classifier.build.tree_seconds")->value, 0.0);
+  EXPECT_GT(snap.find("classifier.build.atoms_produced")->value, 0.0);
+  EXPECT_GT(snap.find("classifier.bdd.nodes_created")->value, 0.0);
+  EXPECT_GT(snap.find("classifier.bdd.cache_misses")->value, 0.0);
+  EXPECT_DOUBLE_EQ(snap.find("classifier.rebuilds")->value, 0.0);
+
+  clf.rebuild();
+  const obs::MetricsSnapshot after = clf.stats();
+  EXPECT_DOUBLE_EQ(after.find("classifier.rebuilds")->value, 1.0);
+
+  // fork() copies the telemetry (the atomic fork counter by value) and the
+  // fork reports independently from its parent.
+  const auto forked = clf.fork();
+  EXPECT_DOUBLE_EQ(forked->stats().find("classifier.rebuilds")->value, 1.0);
+  forked->rebuild();
+  EXPECT_DOUBLE_EQ(forked->stats().find("classifier.rebuilds")->value, 2.0);
+  EXPECT_DOUBLE_EQ(clf.stats().find("classifier.rebuilds")->value, 1.0);
+}
+
 TEST(Classifier, VisitTrackingAndDistributionAwareRebuild) {
   Dataset d = datasets::internet2_like(Scale::Tiny, 5);
   auto mgr = Dataset::make_manager();

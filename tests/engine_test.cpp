@@ -4,6 +4,10 @@
 // republish must track every update.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+
 #include "classifier/classifier.hpp"
 #include "datasets/datasets.hpp"
 #include "datasets/traces.hpp"
@@ -194,6 +198,85 @@ TEST(QueryEngine, InlinePoolStillAnswersBatches) {
   const auto atoms = eng.classify_batch(w.trace);
   for (std::size_t i = 0; i < w.trace.size(); ++i)
     ASSERT_EQ(atoms[i], w.clf.classify(w.trace[i]));
+}
+
+TEST(QueryEngine, DefaultThreadsFollowHardwareConvention) {
+  // Regression: num_threads = 0 silently capped the pool at 8 workers.  The
+  // repo-wide convention is "0 = hardware_concurrency": the pool gets
+  // hw - 1 workers so the calling thread completes the set, uncapped.
+  World w;
+  QueryEngine eng(w.clf);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t expect = hw > 0 ? hw - 1 : 0;
+  EXPECT_EQ(eng.worker_threads(), expect);
+
+  // Explicit requests are honored as given, even above the old cap.
+  World w2;
+  QueryEngine::Options opts;
+  opts.num_threads = 11;
+  QueryEngine eng2(w2.clf, opts);
+  EXPECT_EQ(eng2.worker_threads(), 11u);
+}
+
+TEST(QueryEngine, StatsRoundTripUnderConcurrentUpdates) {
+  // Acceptance criterion: stats().to_json() round-trips the full metric
+  // inventory while batch queries and rebuilds run concurrently.
+  World w;
+  QueryEngine::Options opts;
+  opts.num_threads = 2;
+  QueryEngine eng(w.clf, opts);
+
+  std::atomic<bool> stop{false};
+  std::thread querier([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)eng.classify_batch(w.trace);
+      (void)eng.query_batch(w.trace, 0);
+    }
+  });
+  std::thread updater([&] {
+    for (int i = 0; i < 3; ++i) {
+      eng.rebuild();
+      const obs::MetricsSnapshot mid = eng.stats();  // concurrent with batches
+      EXPECT_FALSE(mid.rows.empty());
+    }
+  });
+  updater.join();
+  stop.store(true, std::memory_order_release);
+  querier.join();
+
+  // The snapshot's rows must cover the registry's declared inventory
+  // exactly, and the JSON must mention every row by name.
+  obs::MetricsRegistry reg;
+  eng.register_metrics(reg);
+  const std::vector<std::string> inventory = reg.names();
+  const obs::MetricsSnapshot snap = eng.stats();
+  ASSERT_EQ(snap.rows.size(), inventory.size());
+  const std::string json = snap.to_json();
+  for (const std::string& name : inventory) {
+    ASSERT_NE(snap.find(name), nullptr) << name;
+    EXPECT_NE(json.find("\"" + name + "\""), std::string::npos) << name;
+  }
+
+  // Exercised metrics carry the expected values.
+  EXPECT_GE(snap.find("engine.queries_answered")->value,
+            static_cast<double>(2 * w.trace.size()));
+  EXPECT_DOUBLE_EQ(snap.find("engine.publish_count")->value, 4.0);  // ctor + 3
+  EXPECT_GT(snap.find("engine.classify_batch_seconds.count")->value, 0.0);
+  EXPECT_GT(snap.find("engine.query_batch_seconds.count")->value, 0.0);
+  EXPECT_GT(snap.find("engine.batch_size.max")->value, 0.0);
+  EXPECT_GT(snap.find("engine.classifier.atoms")->value, 0.0);
+  EXPECT_GT(snap.find("engine.classifier.bdd.nodes_created")->value, 0.0);
+  EXPECT_GE(snap.find("engine.snapshot_age_seconds")->value, 0.0);
+  EXPECT_DOUBLE_EQ(snap.find("engine.classifier.rebuilds")->value, 3.0);
+}
+
+TEST(QueryEngine, QpsMeterMeasuresBatchThroughput) {
+  World w;
+  QueryEngine eng(w.clf, QueryEngine::Options{});
+  obs::QpsMeter meter(eng.queries_answered());
+  (void)eng.classify_batch(w.trace);
+  const double qps = meter.sample();
+  EXPECT_GT(qps, 0.0);
 }
 
 }  // namespace

@@ -265,8 +265,39 @@ TEST(ReconstructionPolicy, ThroughputDegradation) {
   p.record_throughput(700.0);
   EXPECT_TRUE(p.should_trigger());  // 70% of best
   p.reset();
-  p.record_throughput(650.0);  // new baseline after rebuild
-  EXPECT_FALSE(p.should_trigger());
+  // The baseline decays (1000 -> 900 at the default 0.9) rather than
+  // vanishing.  Healthy post-rebuild throughput does not re-trigger...
+  p.record_throughput(850.0);
+  EXPECT_FALSE(p.should_trigger());  // 94% of decayed best
+  // ...but a clearly degraded one does.
+  p.record_throughput(650.0);
+  EXPECT_TRUE(p.should_trigger());  // 72% of decayed best
+}
+
+TEST(ReconstructionPolicy, ResetDecaysBaselineInsteadOfZeroing) {
+  ReconstructionPolicy::Thresholds t;
+  t.max_updates = 0;
+  t.min_throughput_fraction = 0.8;
+  t.best_qps_decay = 0.9;
+  ReconstructionPolicy p(t);
+  p.record_throughput(1000.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.best_qps(), 900.0);
+  // Regression: with the baseline zeroed on reset, the throughput criterion
+  // went blind after every rebuild — a rebuild that *hurt* throughput could
+  // never re-trigger because the first degraded measurement became the new
+  // "best".  With the decayed baseline it still trips.
+  p.record_throughput(500.0);
+  EXPECT_TRUE(p.should_trigger());
+
+  // decay = 0 restores the old forget-everything behavior.
+  t.best_qps_decay = 0.0;
+  ReconstructionPolicy z(t);
+  z.record_throughput(1000.0);
+  z.reset();
+  EXPECT_DOUBLE_EQ(z.best_qps(), 0.0);
+  z.record_throughput(500.0);
+  EXPECT_FALSE(z.should_trigger());
 }
 
 TEST(ReconstructionPolicy, DrivesManagerEndToEnd) {
@@ -300,6 +331,71 @@ TEST(Reconstruction, TriggerWhileRebuildingIsNoOp) {
   rm.trigger_rebuild();  // ignored
   rm.wait_and_swap();
   EXPECT_EQ(rm.rebuild_count(), 1u);
+}
+
+TEST(Reconstruction, TriggerWhileFinishedSwapPendingIsNoOp) {
+  BddManager src(10);
+  ReconstructionManager rm(make_predicates(src, 10, 43), small_opts());
+  rm.trigger_rebuild();
+  // Wait for the worker to finish without swapping: the rebuild is "ready"
+  // but still counts as in-flight.
+  while (!rm.rebuild_ready()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  rm.trigger_rebuild();  // must not clear the journal or start a second worker
+  EXPECT_TRUE(rm.rebuild_ready());
+  EXPECT_TRUE(rm.maybe_swap());
+  EXPECT_EQ(rm.rebuild_count(), 1u);
+  EXPECT_FALSE(rm.maybe_swap());  // nothing pending anymore
+}
+
+TEST(Reconstruction, UnknownKeyRemovalIsNotJournaled) {
+  BddManager src(10);
+  ReconstructionManager rm(make_predicates(src, 8, 44), small_opts());
+  rm.trigger_rebuild();
+  rm.remove_predicate(999999);  // never existed: no journal entry
+  EXPECT_EQ(rm.journal_length(), 0u);
+  const std::uint64_t key = rm.add_predicate(src.var(1) & src.nvar(4));
+  rm.remove_predicate(key);  // live: journaled
+  rm.remove_predicate(key);  // already removed: not journaled again
+  EXPECT_EQ(rm.journal_length(), 2u);  // the add + one removal
+  rm.wait_and_swap();
+  EXPECT_EQ(rm.replayed_entries().value(), 2u);
+  EXPECT_EQ(rm.journal_length(), 0u);
+  EXPECT_EQ(rm.live_predicate_count(), 8u);
+}
+
+TEST(Reconstruction, AddThenRemoveDuringRebuildReplaysInOrder) {
+  BddManager src(10);
+  ReconstructionManager rm(make_predicates(src, 10, 45), small_opts());
+  rm.trigger_rebuild();
+  const std::uint64_t key = rm.add_predicate(src.var(2) & src.var(6));
+  rm.remove_predicate(key);
+  rm.wait_and_swap();
+  // The journal replays in arrival order: the add lands on the new tree,
+  // then the removal deletes it again.
+  EXPECT_EQ(rm.live_predicate_count(), 10u);
+  EXPECT_EQ(rm.replayed_entries().value(), 2u);
+}
+
+TEST(Reconstruction, StatsInventory) {
+  BddManager src(10);
+  ReconstructionManager rm(make_predicates(src, 8, 46), small_opts());
+  rm.trigger_rebuild();
+  rm.add_predicate(src.var(0) & src.var(5));
+  rm.wait_and_swap();
+
+  const obs::MetricsSnapshot snap = rm.stats();
+  ASSERT_NE(snap.find("reconstruction.swaps"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("reconstruction.swaps")->value, 1.0);
+  ASSERT_NE(snap.find("reconstruction.replayed_entries"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("reconstruction.replayed_entries")->value, 1.0);
+  ASSERT_NE(snap.find("reconstruction.journal_length"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("reconstruction.journal_length")->value, 0.0);
+  ASSERT_NE(snap.find("reconstruction.rebuild_seconds.count"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("reconstruction.rebuild_seconds.count")->value, 1.0);
+  ASSERT_NE(snap.find("reconstruction.rebuild_seconds.max"), nullptr);
+  EXPECT_GT(snap.find("reconstruction.rebuild_seconds.max")->value, 0.0);
+  ASSERT_NE(snap.find("reconstruction.predicates"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("reconstruction.predicates")->value, 9.0);
 }
 
 }  // namespace

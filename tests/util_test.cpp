@@ -1,6 +1,7 @@
 // Tests for util: FlatBitset, Rng, stats.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "util/bitset.hpp"
@@ -248,6 +249,47 @@ TEST(Stats, CdfMonotone) {
 TEST(Stats, IntHistogram) {
   const auto h = int_histogram({0, 1, 1, 3, 3, 3});
   EXPECT_EQ(h, (std::vector<std::size_t>{1, 2, 0, 3}));
+}
+
+TEST(Stats, IntHistogramEmptyInput) {
+  // Regression: an empty input used to yield {0} — a phantom bucket
+  // claiming value 0 was observed zero times.
+  EXPECT_TRUE(int_histogram({}).empty());
+}
+
+TEST(Stats, CdfQuantilesExact) {
+  // Regression for the low-quantile off-by-one: with n = 10 values 1..10,
+  // the frac-quantile is element ceil(frac * 10) - 1, so 0.15 -> xs[1] = 2
+  // (the old unconditional decrement gave xs[0] = 1).
+  std::vector<double> xs;
+  for (int i = 1; i <= 10; ++i) xs.push_back(i);
+  const auto curve = cdf(xs, 20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (const auto& [value, frac] : curve) {
+    const double expected = std::ceil(frac * 10.0 - 1e-9);
+    EXPECT_DOUBLE_EQ(value, expected) << "frac=" << frac;
+  }
+  EXPECT_DOUBLE_EQ(curve.front().first, 1.0);   // 5% quantile
+  EXPECT_DOUBLE_EQ(curve.back().first, 10.0);   // 100% quantile
+}
+
+TEST(Stats, CdfEdgeCases) {
+  EXPECT_TRUE(cdf({}, 10).empty());
+  EXPECT_TRUE(cdf({1.0, 2.0}, 0).empty());
+
+  // Single element: every quantile is that element.
+  const auto one = cdf({7.5}, 4);
+  ASSERT_EQ(one.size(), 4u);
+  for (const auto& [value, frac] : one) EXPECT_DOUBLE_EQ(value, 7.5);
+
+  // More points than samples: indices stay in range and values cover the
+  // whole sample.
+  const auto dense = cdf({1.0, 2.0, 3.0}, 30);
+  ASSERT_EQ(dense.size(), 30u);
+  EXPECT_DOUBLE_EQ(dense.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(dense.back().first, 3.0);
+  for (std::size_t i = 1; i < dense.size(); ++i)
+    EXPECT_GE(dense[i].first, dense[i - 1].first);
 }
 
 }  // namespace
