@@ -3,39 +3,80 @@
 //
 // Paper: >15 M behaviors/sec (Internet2) and >10 M (Stanford) — far above
 // stage 1, which is why the AP Tree is the optimization target.
+//
+// Three stage-2 implementations, slowest to fastest:
+//   * live classifier walk (ApClassifier::behavior_of — the writer-side path),
+//   * frozen snapshot topology walk (FlatSnapshot::behavior_walk),
+//   * precomputed behavior table read (FlatSnapshot::behavior_of) — the
+//     query engine's read path (docs/architecture.md, "Query path").
 #include "bench_util.hpp"
+#include "engine/snapshot.hpp"
 
 using namespace apc;
 using namespace apc::bench;
 
+namespace {
+
+template <typename Fn>
+double measure_behaviors_per_sec(const std::vector<AtomId>& atoms, Fn&& fn,
+                                 double min_seconds = 0.5) {
+  Stopwatch sw;
+  std::size_t done = 0;
+  do {
+    for (const AtomId a : atoms) {
+      fn(a);
+      ++done;
+    }
+  } while (sw.seconds() < min_seconds);
+  return static_cast<double>(done) / sw.seconds();
+}
+
+}  // namespace
+
 int main() {
   print_header("SS IV-B: stage-2-only throughput (atom -> behavior)");
-  std::printf("%-12s %16s %18s\n", "network", "behaviors/s", "vs stage1 (x)");
+  BenchJson json("stage2_behavior_throughput");
+  std::printf("%-12s %-16s %16s %12s %14s\n", "network", "impl", "behaviors/s",
+              "vs walk", "vs stage1 (x)");
   for (int which : {0, 1}) {
     World w = make_world(which, bench_scale());
     Rng rng(3);
     const auto trace = datasets::uniform_trace(w.reps, 4000, rng);
 
-    // Pre-classify so the loop measures stage 2 only.
+    // Pre-classify so the loops measure stage 2 only.
     std::vector<AtomId> atoms;
     atoms.reserve(trace.size());
     for (const auto& h : trace) atoms.push_back(w.clf->classify(h));
 
-    Stopwatch sw;
-    std::size_t done = 0;
-    do {
-      for (const AtomId a : atoms) {
-        w.clf->behavior_of(a, 0);
-        ++done;
-      }
-    } while (sw.seconds() < 0.5);
-    const double stage2_qps = static_cast<double>(done) / sw.seconds();
+    const auto snap = engine::FlatSnapshot::build(*w.clf);
+    const bool precomputed =
+        snap->behavior_table_mode() ==
+        engine::FlatSnapshot::BehaviorTableMode::kPrecomputed;
+
+    const double live_qps = measure_behaviors_per_sec(
+        atoms, [&](AtomId a) { w.clf->behavior_of(a, 0); });
+    const double walk_qps = measure_behaviors_per_sec(
+        atoms, [&](AtomId a) { snap->behavior_walk(a, 0); });
+    const double table_qps = measure_behaviors_per_sec(
+        atoms, [&](AtomId a) { snap->behavior_of(a, 0); });
 
     const double stage1_qps = measure_qps(
         trace, [&](const PacketHeader& h) { w.clf->classify(h); }, 0.3);
 
-    std::printf("%-12s %16.0f %18.1f\n", w.short_name(), stage2_qps,
-                stage2_qps / stage1_qps);
+    const std::string prefix =
+        std::string("stage2.") + (which == 0 ? "internet2" : "stanford") + ".";
+    const auto row = [&](const char* impl, const char* slug, double qps) {
+      std::printf("%-12s %-16s %16.0f %11.2fx %14.1f\n", w.short_name(), impl,
+                  qps, qps / walk_qps, qps / stage1_qps);
+      json.row(prefix + slug + "_behaviors_per_sec", qps, "qps");
+    };
+    row("live clf", "live_classifier", live_qps);
+    row("flat walk", "flat_walk", walk_qps);
+    row(precomputed ? "table read" : "table (lazy)", "table_read", table_qps);
+    json.row(prefix + "table_read_speedup_vs_walk", table_qps / walk_qps,
+             "ratio");
+    json.row(prefix + "behavior_table_build_seconds",
+             snap->behavior_table_build_seconds(), "seconds");
   }
   std::printf("\npaper: >15 M/s (Internet2), >10 M/s (Stanford)\n");
   return 0;

@@ -1,5 +1,8 @@
 #include "datasets/traces.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace apc::datasets {
 
 AtomReps atom_representatives(const AtomUniverse& uni, Rng& rng) {
@@ -52,6 +55,46 @@ WeightedTrace pareto_trace(const AtomReps& reps, std::size_t atom_capacity,
     const std::size_t idx =
         it == cum.end() ? pop.size() - 1 : static_cast<std::size_t>(it - cum.begin());
     out.packets.push_back(reps.headers[idx]);
+  }
+  return out;
+}
+
+WeightedTrace zipf_trace(const AtomReps& reps, std::size_t atom_capacity,
+                         std::size_t n, Rng& rng, double s) {
+  require(!reps.headers.empty(), "zipf_trace: no representatives");
+  require(s > 0.0, "zipf_trace: skew must be positive");
+  WeightedTrace out;
+  out.atom_weights.assign(atom_capacity, 0.0);
+
+  // Seeded Fisher-Yates shuffle assigns ranks to representatives, so which
+  // atoms are hot varies with the seed but the skew profile does not.
+  const std::size_t k = reps.headers.size();
+  std::vector<std::size_t> rank_to_rep(k);
+  for (std::size_t i = 0; i < k; ++i) rank_to_rep[i] = i;
+  for (std::size_t i = k - 1; i > 0; --i)
+    std::swap(rank_to_rep[i], rank_to_rep[rng.uniform(i + 1)]);
+
+  // Popularity of rank r (1-based) is r^-s; cumulative weights feed the
+  // inverse-CDF sampler below.
+  std::vector<double> pop(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    pop[r] = std::pow(static_cast<double>(r + 1), -s);
+    out.atom_weights[reps.atom_ids[rank_to_rep[r]]] = pop[r];
+  }
+  std::vector<double> cum(k);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < k; ++r) {
+    acc += pop[r];
+    cum[r] = acc;
+  }
+
+  out.packets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.uniform01() * acc;
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    const std::size_t r =
+        it == cum.end() ? k - 1 : static_cast<std::size_t>(it - cum.begin());
+    out.packets.push_back(reps.headers[rank_to_rep[r]]);
   }
   return out;
 }

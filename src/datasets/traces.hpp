@@ -38,6 +38,14 @@ WeightedTrace pareto_trace(const AtomReps& reps, std::size_t atom_capacity,
                            std::size_t n, Rng& rng, double xm = 1.0,
                            double alpha = 1.0);
 
+/// A trace with Zipf-distributed per-atom popularity: the atom of rank r
+/// (1-based, ranks assigned by a seeded shuffle of the representatives)
+/// gets weight r^-s.  s = 1 reproduces the classic "few flows dominate"
+/// locality of real traces; larger s is more skewed.  Sampling is inverse
+/// CDF (binary search), so cost is O(n log k), not O(n k).
+WeightedTrace zipf_trace(const AtomReps& reps, std::size_t atom_capacity,
+                         std::size_t n, Rng& rng, double s = 1.0);
+
 /// Event times of a Poisson process with `rate` events/sec over `duration`
 /// seconds.
 std::vector<double> poisson_arrivals(double rate, double duration, Rng& rng);

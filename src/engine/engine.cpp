@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 
 namespace apc::engine {
@@ -20,13 +21,21 @@ std::int64_t steady_now_ns() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+FlatSnapshot::Options snapshot_options(const QueryEngine::Options& o) {
+  FlatSnapshot::Options so;
+  so.behavior_table_budget = o.behavior_table_budget;
+  so.header_cache_capacity = o.header_cache_capacity;
+  so.header_cache_shards = o.header_cache_shards;
+  return so;
+}
 }  // namespace
 
 QueryEngine::QueryEngine(ApClassifier& clf, Options opts)
     : clf_(clf), opts_(opts), pool_(default_threads(opts.num_threads)) {
   require(opts_.batch_grain > 0, "QueryEngine: zero batch grain");
   if (opts_.build_threads > 0) clf_.set_build_threads(opts_.build_threads);
-  snap_.store(FlatSnapshot::build(clf_));
+  snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_));
   publish_count_.fetch_add(1, std::memory_order_relaxed);
   last_publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
@@ -39,8 +48,8 @@ std::vector<AtomId> QueryEngine::classify_batch(
   const std::shared_ptr<const FlatSnapshot> s = snapshot();
   pool_.parallel_for(hs.size(), opts_.batch_grain,
                      [&](std::size_t first, std::size_t last) {
-                       for (std::size_t i = first; i < last; ++i)
-                         out[i] = s->classify(hs[i]);
+                       s->classify_into(hs.data() + first, last - first,
+                                        out.data() + first);
                      });
   queries_answered_.add(hs.size());
   return out;
@@ -52,10 +61,22 @@ std::vector<Behavior> QueryEngine::query_batch(const std::vector<PacketHeader>& 
   batch_size_hist_.record(hs.size());
   std::vector<Behavior> out(hs.size());
   const std::shared_ptr<const FlatSnapshot> s = snapshot();
+  require(!s->has_middleboxes(),
+          "QueryEngine::query_batch: middlebox networks need live tree "
+          "re-search; use ApClassifier::query/query_probabilistic");
   pool_.parallel_for(hs.size(), opts_.batch_grain,
                      [&](std::size_t first, std::size_t last) {
-                       for (std::size_t i = first; i < last; ++i)
-                         out[i] = s->query(hs[i], ingress);
+                       // Batched stage 1 (cache probe + lockstep walk), then
+                       // the table-read stage 2 per header.
+                       std::array<AtomId, 64> atoms;
+                       std::size_t i = first;
+                       while (i < last) {
+                         const std::size_t m = std::min<std::size_t>(last - i, atoms.size());
+                         s->classify_into(hs.data() + i, m, atoms.data());
+                         for (std::size_t k = 0; k < m; ++k)
+                           out[i + k] = s->behavior_of(atoms[k], ingress);
+                         i += m;
+                       }
                      });
   queries_answered_.add(hs.size());
   return out;
@@ -70,7 +91,7 @@ void QueryEngine::drain_visits_locked() {
 }
 
 void QueryEngine::republish_locked() {
-  snap_.store(FlatSnapshot::build(clf_));
+  snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_));
   publish_count_.fetch_add(1, std::memory_order_relaxed);
   last_publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
@@ -93,6 +114,34 @@ void QueryEngine::register_metrics(obs::MetricsRegistry& reg,
   reg.register_fn(prefix + ".worker_threads",
                   [this] { return static_cast<double>(pool_.thread_count()); },
                   "count");
+  // Current-snapshot query-path rows.  Callbacks acquire the snapshot slot
+  // (not the writer lock), so stats() taking them under writer_mu_ is safe.
+  reg.register_fn(prefix + ".snapshot.header_cache_hits",
+                  [this] { return static_cast<double>(snapshot()->header_cache_hits()); },
+                  "count");
+  reg.register_fn(prefix + ".snapshot.header_cache_misses",
+                  [this] { return static_cast<double>(snapshot()->header_cache_misses()); },
+                  "count");
+  reg.register_fn(prefix + ".snapshot.header_cache_hit_rate", [this] {
+    const auto s = snapshot();
+    const double total =
+        static_cast<double>(s->header_cache_hits() + s->header_cache_misses());
+    return total > 0.0 ? static_cast<double>(s->header_cache_hits()) / total : 0.0;
+  });
+  reg.register_fn(prefix + ".snapshot.behavior_table_fills",
+                  [this] { return static_cast<double>(snapshot()->behavior_table_fills()); },
+                  "count");
+  reg.register_fn(prefix + ".snapshot.behavior_table_mode", [this] {
+    // 0 = disabled, 1 = lazy, 2 = precomputed.
+    return static_cast<double>(
+        static_cast<int>(snapshot()->behavior_table_mode()));
+  });
+  reg.register_fn(prefix + ".snapshot.behavior_table_build_seconds",
+                  [this] { return snapshot()->behavior_table_build_seconds(); },
+                  "seconds");
+  reg.register_fn(prefix + ".snapshot.memory_bytes",
+                  [this] { return static_cast<double>(snapshot()->memory_bytes()); },
+                  "bytes");
   pool_.register_metrics(reg, prefix + ".pool.");
   clf_.register_metrics(reg, prefix + ".classifier");
 }

@@ -55,6 +55,18 @@ class QueryEngine {
     /// pipeline").  0 = keep the classifier's own setting (whose default is
     /// hardware_concurrency).
     std::size_t build_threads = 0;
+    /// Memory budget for each snapshot's (atom x ingress) behavior table:
+    /// below it the table is precomputed at publish time, above it cells
+    /// fill lazily, 0 turns the table off (behavior_of() walks the
+    /// topology).  See FlatSnapshot::Options and docs/architecture.md,
+    /// "Query path".
+    std::size_t behavior_table_budget = 64u << 20;
+    /// Per-snapshot header -> atom cache capacity in slots (~64 bytes per
+    /// slot; rounded up to a power of two).  0 disables the cache.
+    std::size_t header_cache_capacity = 1u << 15;
+    /// Header-cache shard count (power of two); 0 = auto-size from
+    /// capacity.
+    std::size_t header_cache_shards = 0;
   };
 
   /// Builds the initial snapshot from `clf`.  The engine keeps a reference:

@@ -2,9 +2,29 @@
 
 #include <unordered_map>
 
+#include "util/stopwatch.hpp"
+
 namespace apc::engine {
 
-std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf) {
+namespace {
+
+/// Heap footprint of one published Behavior (for memory accounting).
+std::size_t behavior_heap_bytes(const Behavior& b) {
+  return sizeof(Behavior) + b.edges.capacity() * sizeof(BehaviorEdge) +
+         b.deliveries.capacity() * sizeof(PortId) +
+         b.drops.capacity() * sizeof(Drop);
+}
+
+/// Rough per-cell estimate used to decide eager vs lazy table fill before
+/// any behavior has been computed (a handful of hops and drops per class).
+constexpr std::size_t kBehaviorBytesEstimate =
+    sizeof(Behavior) + 8 * sizeof(BehaviorEdge) + 4 * sizeof(Drop);
+
+}  // namespace
+
+std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf,
+                                                        const Options& opts,
+                                                        util::TaskPool* pool) {
   auto snap = std::shared_ptr<FlatSnapshot>(new FlatSnapshot());
   const ApTree& tree = clf.tree();
   const PredicateRegistry& reg = clf.registry();
@@ -25,24 +45,79 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf)
   std::vector<bdd::Bdd> roots;
   roots.reserve(pred_ids.size());
   for (const PredId p : pred_ids) roots.push_back(reg.bdd_of(p));
-  const std::vector<std::uint32_t> dense_roots =
-      bdd::flatten(roots, snap->bdd_nodes_);
+  std::vector<bdd::FlatBddNode> flat_nodes;
+  const std::vector<std::uint32_t> dense_roots = bdd::flatten(roots, flat_nodes);
 
-  // Freeze the tree over the flat array (same node indices as the source
-  // tree, so classify takes the same path and evaluates the same count).
-  snap->tree_.resize(tree.node_count());
-  for (std::size_t i = 0; i < tree.node_count(); ++i) {
-    const ApTree::Node& n = tree.node(static_cast<std::int32_t>(i));
-    FlatTreeNode& f = snap->tree_[i];
-    if (n.is_leaf()) {
-      f.atom = n.atom;
-    } else {
-      f.bdd_root = dense_roots[pred_slot.at(static_cast<PredId>(n.pred))];
-      f.left = n.left;
-      f.right = n.right;
+  // Freeze the tree in DFS preorder: a node's true-branch child is the next
+  // array element (only the false-branch index is materialized), so a walk
+  // streams forward through a hot prefix instead of chasing source-tree
+  // indices.  The predicate sequence along any root-to-leaf path — and hence
+  // the evaluation count — is unchanged.
+  {
+    struct WorkItem {
+      std::int32_t src;  ///< source-tree node to emit next
+      std::int32_t fix;  ///< emitted node whose `right` points here, or -1
+    };
+    std::vector<WorkItem> work;
+    work.push_back({tree.root(), -1});
+    snap->tree_.reserve(tree.node_count());
+    while (!work.empty()) {
+      const WorkItem w = work.back();
+      work.pop_back();
+      const std::int32_t dst = static_cast<std::int32_t>(snap->tree_.size());
+      if (w.fix >= 0) snap->tree_[w.fix].right = dst;
+      const ApTree::Node& n = tree.node(w.src);
+      FlatTreeNode f;
+      if (n.is_leaf()) {
+        f.bdd_root = n.atom;
+        f.right = kLeaf;
+        snap->tree_.push_back(f);
+      } else {
+        f.bdd_root = dense_roots[pred_slot.at(static_cast<PredId>(n.pred))];
+        f.right = 0;  // patched when the false branch is emitted
+        snap->tree_.push_back(f);
+        // Pop order: left (true branch) is emitted immediately after dst so
+        // the implicit left-child-is-next invariant holds; the right child
+        // is emitted after the whole left subtree and patches tree_[dst].
+        work.push_back({n.right, dst});
+        work.push_back({n.left, -1});
+      }
     }
+    snap->tree_root_ = 0;
   }
-  snap->tree_root_ = tree.root();
+
+  // Reorder the BDD nodes DFS-contiguous in tree order (hi edge first): the
+  // nodes a walk dereferences early land early in the array, so the hot
+  // paths of all predicates share a compact prefix of cache lines.
+  {
+    constexpr std::uint32_t kUnmapped = 0xFFFFFFFFu;
+    std::vector<std::uint32_t> remap(flat_nodes.size(), kUnmapped);
+    remap[bdd::kFalse] = bdd::kFalse;
+    remap[bdd::kTrue] = bdd::kTrue;
+    snap->bdd_nodes_.reserve(flat_nodes.size());
+    snap->bdd_nodes_.push_back(flat_nodes[bdd::kFalse]);
+    snap->bdd_nodes_.push_back(flat_nodes[bdd::kTrue]);
+    std::vector<std::uint32_t> stack;
+    for (const FlatTreeNode& t : snap->tree_) {
+      if (t.right == kLeaf) continue;
+      stack.push_back(t.bdd_root);
+      while (!stack.empty()) {
+        const std::uint32_t r = stack.back();
+        stack.pop_back();
+        if (r <= bdd::kTrue || remap[r] != kUnmapped) continue;
+        remap[r] = static_cast<std::uint32_t>(snap->bdd_nodes_.size());
+        snap->bdd_nodes_.push_back(flat_nodes[r]);
+        stack.push_back(flat_nodes[r].lo);  // popped second
+        stack.push_back(flat_nodes[r].hi);  // popped first: hi path is hot
+      }
+    }
+    for (std::size_t i = 2; i < snap->bdd_nodes_.size(); ++i) {
+      snap->bdd_nodes_[i].lo = remap[snap->bdd_nodes_[i].lo];
+      snap->bdd_nodes_[i].hi = remap[snap->bdd_nodes_[i].hi];
+    }
+    for (FlatTreeNode& t : snap->tree_)
+      if (t.right != kLeaf) t.bdd_root = remap[t.bdd_root];
+  }
 
   // Freeze stage 2: per-box port entries with copies of the R(p) bitsets.
   // Deleted predicates keep an empty bitset — test() is then false for
@@ -80,10 +155,83 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf)
   snap->atom_capacity_ = clf.atoms().capacity();
   snap->has_middleboxes_ = clf.has_middleboxes();
   if (clf.options().track_visits) snap->visits_.reset(snap->atom_capacity_);
+
+  // ---- Header -> atom cache (layer 2) ----
+  if (opts.header_cache_capacity > 0) {
+    HeaderAtomCache::Mask mask{};
+    for (std::size_t i = 2; i < snap->bdd_nodes_.size(); ++i) {
+      const std::uint32_t v = snap->bdd_nodes_[i].var;
+      mask[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
+    snap->cache_ = std::make_unique<HeaderAtomCache>(
+        opts.header_cache_capacity, opts.header_cache_shards, mask);
+  }
+
+  // ---- Behavior table (layer 1) ----
+  // The cell-pointer array must fit the budget or the table is off; the
+  // full estimate (cells + one behavior per live cell) decides eager vs
+  // lazy.  Middlebox networks always go lazy: query() refuses them, so an
+  // eager fill would precompute cells nobody is expected to read.
+  const std::size_t cells = snap->atom_capacity_ * snap->boxes_.size();
+  const std::size_t cell_bytes = cells * sizeof(std::atomic<const Behavior*>);
+  if (opts.behavior_table_budget > 0 && cells > 0 &&
+      cell_bytes <= opts.behavior_table_budget) {
+    snap->table_cells_ = cells;
+    snap->table_ = std::make_unique<std::atomic<const Behavior*>[]>(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+      snap->table_[i].store(nullptr, std::memory_order_relaxed);
+    snap->table_heap_bytes_.store(cell_bytes, std::memory_order_relaxed);
+
+    const std::vector<AtomId> alive = clf.atoms().alive_ids();
+    const std::size_t boxes = snap->boxes_.size();
+    const std::size_t estimate =
+        cell_bytes + alive.size() * boxes * kBehaviorBytesEstimate;
+    if (!snap->has_middleboxes_ && estimate <= opts.behavior_table_budget) {
+      Stopwatch sw;
+      const std::size_t total = alive.size() * boxes;
+      const auto fill = [&](std::size_t first, std::size_t last) {
+        for (std::size_t k = first; k < last; ++k) {
+          const AtomId atom = alive[k / boxes];
+          const BoxId box = static_cast<BoxId>(k % boxes);
+          snap->fill_cell(snap->table_[atom * boxes + box], atom, box);
+        }
+      };
+      if (pool != nullptr)
+        pool->parallel_for(total, 64, fill);
+      else
+        fill(0, total);
+      snap->table_build_seconds_ = sw.seconds();
+      snap->table_mode_ = BehaviorTableMode::kPrecomputed;
+    } else {
+      snap->table_mode_ = BehaviorTableMode::kLazy;
+    }
+  }
+
   return snap;
 }
 
+FlatSnapshot::~FlatSnapshot() {
+  for (std::size_t i = 0; i < table_cells_; ++i)
+    delete table_[i].load(std::memory_order_relaxed);
+}
+
 AtomId FlatSnapshot::classify(const PacketHeader& h) const {
+  if (cache_) {
+    AtomId atom;
+    if (cache_->lookup(h, atom)) {
+      cache_hits_.add(1);
+      visits_.bump(atom);  // no-op (size 0) unless tracking is on
+      return atom;
+    }
+    atom = classify_walk(h);  // bumps visits at the leaf
+    cache_->insert(h, atom);
+    cache_misses_.add(1);
+    return atom;
+  }
+  return classify_walk(h);
+}
+
+AtomId FlatSnapshot::classify_walk(const PacketHeader& h) const {
   std::size_t evals;
   return classify_counted(h, evals);
 }
@@ -94,29 +242,153 @@ AtomId FlatSnapshot::classify_counted(const PacketHeader& h,
   const FlatTreeNode* tree = tree_.data();
   std::size_t count = 0;
   std::int32_t idx = tree_root_;
-  while (true) {
-    const FlatTreeNode& n = tree[idx];
-    if (n.left < 0) {
-      evals = count;
-      const AtomId a = static_cast<AtomId>(n.atom);
-      visits_.bump(a);  // no-op (size 0) unless tracking is on
-      return a;
-    }
+  while (tree[idx].right != kLeaf) {
     ++count;
-    std::uint32_t r = n.bdd_root;
+    std::uint32_t r = tree[idx].bdd_root;
     while (r > bdd::kTrue) {
       const bdd::FlatBddNode& b = nodes[r];
       r = h.bit(b.var) ? b.hi : b.lo;
     }
-    idx = r == bdd::kTrue ? n.left : n.right;
+    idx = r == bdd::kTrue ? idx + 1 : tree[idx].right;
   }
+  evals = count;
+  const AtomId a = static_cast<AtomId>(tree[idx].bdd_root);
+  visits_.bump(a);  // no-op (size 0) unless tracking is on
+  return a;
+}
+
+void FlatSnapshot::classify_lockstep(const PacketHeader* hs,
+                                     const std::size_t* which, std::size_t n,
+                                     AtomId* out) const {
+  const bdd::FlatBddNode* nodes = bdd_nodes_.data();
+  const FlatTreeNode* tree = tree_.data();
+
+  // One in-flight walk per lane.  Each lane advances one dependent load per
+  // round (a BDD node or a tree node) and prefetches the next, so the DRAM
+  // latencies of up to kLanes cold walks overlap instead of serializing.
+  constexpr std::size_t kLanes = 8;
+  struct Lane {
+    const PacketHeader* h;
+    std::size_t slot;  ///< output index
+    std::int32_t idx;  ///< current tree node
+    std::uint32_t r;   ///< BDD cursor resolving tree[idx]'s predicate
+  };
+  Lane lanes[kLanes];
+  std::size_t active = 0;
+  std::size_t next = 0;
+
+  const auto admit = [&](Lane& L) -> bool {
+    while (next < n) {
+      const std::size_t slot = which ? which[next] : next;
+      ++next;
+      const std::int32_t idx = tree_root_;
+      if (tree[idx].right == kLeaf) {  // single-leaf tree: no walk needed
+        const AtomId a = static_cast<AtomId>(tree[idx].bdd_root);
+        visits_.bump(a);
+        out[slot] = a;
+        continue;
+      }
+      L.h = &hs[slot];
+      L.slot = slot;
+      L.idx = idx;
+      L.r = tree[idx].bdd_root;
+      __builtin_prefetch(&nodes[L.r]);
+      return true;
+    }
+    return false;
+  };
+
+  while (active < kLanes && admit(lanes[active])) ++active;
+
+  while (active > 0) {
+    for (std::size_t i = 0; i < active;) {
+      Lane& L = lanes[i];
+      if (L.r > bdd::kTrue) {  // one BDD step
+        const bdd::FlatBddNode& b = nodes[L.r];
+        L.r = L.h->bit(b.var) ? b.hi : b.lo;
+        __builtin_prefetch(&nodes[L.r]);
+        ++i;
+        continue;
+      }
+      // Predicate resolved: take the tree branch.
+      L.idx = L.r == bdd::kTrue ? L.idx + 1 : tree[L.idx].right;
+      const FlatTreeNode& t = tree[L.idx];
+      if (t.right == kLeaf) {
+        const AtomId a = static_cast<AtomId>(t.bdd_root);
+        visits_.bump(a);
+        out[L.slot] = a;
+        if (!admit(L)) L = lanes[--active];  // refill lane or compact
+        continue;  // re-examine slot i with its new contents
+      }
+      L.r = t.bdd_root;
+      __builtin_prefetch(&nodes[L.r]);
+      ++i;
+    }
+  }
+}
+
+void FlatSnapshot::classify_into(const PacketHeader* hs, std::size_t n,
+                                 AtomId* out) const {
+  if (n == 0) return;
+  if (!cache_) {
+    classify_lockstep(hs, nullptr, n, out);
+    return;
+  }
+  // Probe pass, then one lockstep walk over the misses.  Hit/miss counts
+  // are folded into the shared counters once per batch, not per packet.
+  std::vector<std::size_t> misses;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    AtomId atom;
+    if (cache_->lookup(hs[i], atom)) {
+      out[i] = atom;
+      visits_.bump(atom);
+      ++hits;
+    } else {
+      misses.push_back(i);
+    }
+  }
+  if (!misses.empty()) {
+    classify_lockstep(hs, misses.data(), misses.size(), out);
+    for (const std::size_t i : misses) cache_->insert(hs[i], out[i]);
+    cache_misses_.add(misses.size());
+  }
+  if (hits > 0) cache_hits_.add(hits);
+}
+
+const Behavior* FlatSnapshot::fill_cell(std::atomic<const Behavior*>& cell,
+                                        AtomId atom, BoxId ingress) const {
+  const Behavior* fresh = new Behavior(behavior_walk(atom, ingress));
+  const Behavior* expected = nullptr;
+  // First writer wins; the loser's copy is discarded.  acq_rel on success
+  // publishes the Behavior's contents to every later acquire load.
+  if (cell.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    table_fills_.add(1);
+    table_heap_bytes_.fetch_add(behavior_heap_bytes(*fresh),
+                                std::memory_order_relaxed);
+    return fresh;
+  }
+  delete fresh;
+  return expected;
+}
+
+Behavior FlatSnapshot::behavior_of(AtomId atom, BoxId ingress) const {
+  require(ingress < boxes_.size(), "FlatSnapshot::behavior_of: bad ingress");
+  if (table_mode_ != BehaviorTableMode::kDisabled && atom < atom_capacity_) {
+    std::atomic<const Behavior*>& cell = table_[atom * boxes_.size() + ingress];
+    const Behavior* b = cell.load(std::memory_order_acquire);
+    if (b == nullptr) b = fill_cell(cell, atom, ingress);
+    return *b;
+  }
+  return behavior_walk(atom, ingress);
 }
 
 // Mirrors compute_behavior_into (classifier/behavior.cpp) step for step so
 // behaviors are byte-identical: same stack discipline, same push order, same
 // visited-loop semantics, same drop reasons.
-Behavior FlatSnapshot::behavior_of(AtomId atom, BoxId ingress) const {
-  require(ingress < boxes_.size(), "FlatSnapshot::behavior_of: bad ingress");
+Behavior FlatSnapshot::behavior_walk(AtomId atom, BoxId ingress) const {
+  require(ingress < boxes_.size(), "FlatSnapshot::behavior_walk: bad ingress");
   Behavior out;
 
   struct Visit {
@@ -199,10 +471,15 @@ std::size_t FlatSnapshot::memory_bytes() const {
     bytes += fb.ports.capacity() * sizeof(FlatPortEntry) +
              fb.in_acls.capacity() * sizeof(FlatInAcl);
     for (const FlatPortEntry& e : fb.ports)
-      bytes += (e.fwd_atoms.size() + e.out_acl_atoms.size()) / 8;
-    for (const FlatInAcl& a : fb.in_acls) bytes += a.atoms.size() / 8;
+      bytes += e.fwd_atoms.memory_bytes() + e.out_acl_atoms.memory_bytes();
+    for (const FlatInAcl& a : fb.in_acls) bytes += a.atoms.memory_bytes();
   }
-  return bytes + visits_.size() * sizeof(std::uint64_t);
+  bytes += visits_.size() * sizeof(std::atomic<std::uint64_t>);
+  // Table cell array + every published Behavior's heap (tracked by
+  // fill_cell), plus the header cache's slot arrays.
+  bytes += table_heap_bytes_.load(std::memory_order_relaxed);
+  if (cache_) bytes += cache_->memory_bytes();
+  return bytes;
 }
 
 }  // namespace apc::engine

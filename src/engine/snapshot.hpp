@@ -7,48 +7,112 @@
 // evaluation.  That path is single-threaded by construction — the manager's
 // pool, unique table, and GC are shared mutable state.  A FlatSnapshot
 // freezes everything stage 1 and the middlebox-free stage 2 need into
-// contiguous arrays indexed by dense ids:
+// contiguous arrays indexed by dense ids — and then accelerates the query
+// path in three layers (see docs/architecture.md, "Query path"):
 //
-//   * every predicate BDD reachable from a tree node, deduplicated into one
-//     FlatBddNode array ({var, lo, hi} triples; slots 0/1 are terminals),
-//   * the tree itself as {bdd_root, left, right, atom} records,
-//   * per-box port entries carrying copies of the R(p) atom bitsets,
-//     peer wiring, and ACL bitsets.
+//   1. Behavior tables.  The paper's central observation (SS IV) is that the
+//      atom fixes the truth value of every predicate, so the network-wide
+//      behavior is a pure function of (atom, ingress).  At freeze time the
+//      dense atom x ingress table is precomputed (parallelized over a
+//      util::TaskPool) when it fits `Options::behavior_table_budget`, or
+//      lazily filled per cell (CAS pointer publish) above it; behavior_of()
+//      is then a table read.  The topology walk survives as behavior_walk()
+//      — the table filler and the differential-test oracle.
+//   2. Header -> atom cache.  A sharded, lock-free HeaderAtomCache keyed on
+//      the canonicalized header bits the predicates actually test sits in
+//      front of the tree walk; hot flows (real traffic is Zipfian, SS VII)
+//      skip the tree entirely.  The cache lives inside the snapshot, so a
+//      republish invalidates it wholesale and stale hits cannot exist.
+//   3. Layout + batching.  Tree nodes are 8 bytes in DFS preorder (the
+//      true-branch child is the next element; only the false-branch index
+//      is stored) and BDD nodes are reordered DFS-contiguous in tree order,
+//      so a walk touches a hot prefix of both arrays.  classify_into()
+//      advances several headers through the tree in lockstep with software
+//      prefetch, hiding the dependent-load DRAM latency of cold walks.
 //
-// Classification is then a pure array walk: no BddManager, no ref-count
-// traffic, no locks — safe from any number of threads.  The only mutable
-// member is an optional per-atom stats block of relaxed atomic counters.
+// Classification stays a pure array walk: no BddManager, no ref-count
+// traffic, no locks — safe from any number of threads.  Mutable members are
+// the per-atom stats block, the cache slots, and the lazily published table
+// cells, all engineered to be data-race-free under concurrent const use.
 //
 // Snapshots are published RCU-style by engine::QueryEngine: writers rebuild
 // off to the side and atomically swap a shared_ptr<const FlatSnapshot>.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "bdd/bdd.hpp"
 #include "classifier/classifier.hpp"
+#include "engine/header_cache.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitset.hpp"
+#include "util/task_pool.hpp"
 #include "util/visit_counters.hpp"
 
 namespace apc::engine {
 
 class FlatSnapshot {
  public:
+  /// Query-path acceleration knobs (see the class comment; README "Query
+  /// engine" lists them too).
+  struct Options {
+    /// Memory budget in bytes for the (atom x ingress) behavior table.
+    /// Below the budget the table is fully precomputed at build time; when
+    /// only the cell-pointer array fits, cells fill lazily on first use;
+    /// 0 disables the table entirely (every behavior_of() walks).
+    std::size_t behavior_table_budget = 64u << 20;
+    /// Header -> atom cache capacity in slots (rounded up to a power of
+    /// two; ~64 bytes per slot).  0 disables the cache.
+    std::size_t header_cache_capacity = 1u << 15;
+    /// Cache shard count (power of two).  0 = auto (one shard per 256
+    /// slots, at most 64).
+    std::size_t header_cache_shards = 0;
+  };
+
+  enum class BehaviorTableMode : std::uint8_t { kDisabled, kLazy, kPrecomputed };
+
   /// Freezes the classifier's current tree, predicates, and compiled
   /// network.  Pure read of the classifier — call from the writer side only
   /// (it must not race with classifier mutations).  Visit tracking follows
-  /// the classifier's `track_visits` option.
-  static std::shared_ptr<const FlatSnapshot> build(const ApClassifier& clf);
+  /// the classifier's `track_visits` option.  `pool`, when given, fans the
+  /// eager behavior-table fill across its workers (the query engine passes
+  /// its own pool); nullptr fills serially.
+  static std::shared_ptr<const FlatSnapshot> build(const ApClassifier& clf,
+                                                   const Options& opts,
+                                                   util::TaskPool* pool = nullptr);
+  /// Default-options build (overload: a default `Options{}` argument cannot
+  /// appear inside the enclosing class).
+  static std::shared_ptr<const FlatSnapshot> build(const ApClassifier& clf) {
+    return build(clf, Options{});
+  }
+
+  ~FlatSnapshot();
 
   // ---- Stage 1 (lock-free, const, thread-safe) ----
+  /// Cache-assisted classification: header-cache probe, tree walk on miss.
   AtomId classify(const PacketHeader& h) const;
-  /// Same, also reporting the number of predicates evaluated (leaf depth).
+  /// Pure tree walk, never consulting the cache — the stage-1 oracle.
+  AtomId classify_walk(const PacketHeader& h) const;
+  /// Pure walk, also reporting the number of predicates evaluated (leaf
+  /// depth).  Bypasses the cache so the count is always the tree's.
   AtomId classify_counted(const PacketHeader& h, std::size_t& evals) const;
+  /// Batch classification into `out[0..n)`: probes the cache for every
+  /// header, then advances all misses through the tree in lockstep with
+  /// software prefetch.  Equivalent to classify() per element.
+  void classify_into(const PacketHeader* hs, std::size_t n, AtomId* out) const;
 
   // ---- Stage 2 (middlebox-free; mirrors compute_behavior exactly) ----
+  /// Table-assisted behavior: one acquire load on the precomputed/lazy
+  /// table (filling the cell on first touch in lazy mode); falls back to
+  /// the walk when the table is disabled.
   Behavior behavior_of(AtomId atom, BoxId ingress) const;
+  /// The retained topology walk — table filler and differential oracle.
+  /// Mirrors compute_behavior_into (classifier/behavior.cpp) step for step.
+  Behavior behavior_walk(AtomId atom, BoxId ingress) const;
 
   /// Two-stage query.  Requires a middlebox-free network: header-rewriting
   /// middleboxes need tree re-searches against live flow tables, which is
@@ -67,19 +131,35 @@ class FlatSnapshot {
   std::size_t tree_node_count() const { return tree_.size(); }
   std::size_t atom_capacity() const { return atom_capacity_; }
   std::size_t box_count() const { return boxes_.size(); }
-  /// Approximate heap footprint of the frozen arrays.
+  /// Approximate heap footprint of the frozen arrays, the visit-counter
+  /// block, the behavior table (cells + published behaviors), and the
+  /// header cache.
   std::size_t memory_bytes() const;
+
+  BehaviorTableMode behavior_table_mode() const { return table_mode_; }
+  /// Cells published so far (== all live cells after an eager build;
+  /// grows monotonically in lazy mode).
+  std::uint64_t behavior_table_fills() const { return table_fills_.value(); }
+  /// Wall-clock seconds the eager table precompute took (0 when lazy/off).
+  double behavior_table_build_seconds() const { return table_build_seconds_; }
+  /// nullptr when the cache is disabled.
+  const HeaderAtomCache* header_cache() const { return cache_.get(); }
+  /// Cache traffic counters, folded in by classify()/classify_into().
+  std::uint64_t header_cache_hits() const { return cache_hits_.value(); }
+  std::uint64_t header_cache_misses() const { return cache_misses_.value(); }
 
  private:
   FlatSnapshot() = default;
 
-  /// Tree node over the flat BDD array.  Leaves have left == kNil.
+  /// 8-byte tree node in DFS preorder.  An internal node's true-branch
+  /// child is the next array element; `right` holds the false-branch index.
+  /// Leaves set right = kLeaf and carry their atom id in `bdd_root`.
   struct FlatTreeNode {
-    std::uint32_t bdd_root = 0;  ///< dense index into bdd_nodes_ (internal)
-    std::int32_t left = -1;      ///< child when the predicate is true
-    std::int32_t right = -1;     ///< child when it is false
-    std::int32_t atom = -1;      ///< atom id at leaves
+    std::uint32_t bdd_root = 0;  ///< internal: dense BDD index; leaf: atom id
+    std::int32_t right = -1;     ///< false-branch child, or kLeaf
   };
+  static constexpr std::int32_t kLeaf = -1;
+  static_assert(sizeof(FlatTreeNode) == 8, "tree nodes must stay 8 bytes");
 
   /// Copied per-port stage-2 entry.  Bitsets of deleted predicates are left
   /// empty, which reproduces pred_contains() == false for every atom.
@@ -97,6 +177,15 @@ class FlatSnapshot {
     FlatBitset atoms;
   };
 
+  /// Lockstep tree walk over `n` headers; `which`, when non-null, selects
+  /// the header/output indices to process (the cache-miss list).
+  void classify_lockstep(const PacketHeader* hs, const std::size_t* which,
+                         std::size_t n, AtomId* out) const;
+  /// Publishes the walk result into `cell` (first writer wins); returns the
+  /// published pointer either way.
+  const Behavior* fill_cell(std::atomic<const Behavior*>& cell, AtomId atom,
+                            BoxId ingress) const;
+
   std::vector<bdd::FlatBddNode> bdd_nodes_;
   std::vector<FlatTreeNode> tree_;
   std::int32_t tree_root_ = -1;
@@ -110,6 +199,19 @@ class FlatSnapshot {
   std::size_t atom_capacity_ = 0;
   bool has_middleboxes_ = false;
   mutable VisitCounters visits_;  ///< stats only; empty unless tracking
+
+  // ---- Behavior table (layer 1) ----
+  BehaviorTableMode table_mode_ = BehaviorTableMode::kDisabled;
+  std::size_t table_cells_ = 0;  ///< atom_capacity_ * boxes_.size() when on
+  std::unique_ptr<std::atomic<const Behavior*>[]> table_;
+  mutable obs::Counter table_fills_;
+  mutable std::atomic<std::size_t> table_heap_bytes_{0};
+  double table_build_seconds_ = 0.0;
+
+  // ---- Header cache (layer 2) ----
+  std::unique_ptr<HeaderAtomCache> cache_;
+  mutable obs::Counter cache_hits_;
+  mutable obs::Counter cache_misses_;
 };
 
 }  // namespace apc::engine

@@ -108,6 +108,10 @@ class PacketHeader {
 
   bool operator==(const PacketHeader& other) const { return words_ == other.words_; }
 
+  /// Raw 64-bit backing words (bit i of the header is bit i%64 of word
+  /// i/64).  The engine's header cache canonicalizes and hashes these.
+  const std::array<std::uint64_t, kWords>& words() const { return words_; }
+
   std::string to_string() const;  ///< "src -> dst proto/sport/dport"
 
  private:

@@ -86,6 +86,10 @@ class FlatBitset {
   /// Stable hash of the contents (for memoization keys).
   std::size_t hash() const;
 
+  /// Heap bytes behind this bitset (the allocated word array, not nbits/8 —
+  /// words round up to 64-bit granularity).  Memory accounting only.
+  std::size_t memory_bytes() const { return words_.capacity() * sizeof(std::uint64_t); }
+
  private:
   std::size_t nbits_ = 0;
   std::vector<std::uint64_t> words_;

@@ -148,5 +148,87 @@ TEST(Concurrency, SnapshotOutlivesRepublish) {
   EXPECT_NE(held.get(), eng.snapshot().get());
 }
 
+TEST(Concurrency, HeaderCacheAndLazyTableFillUnderChurn) {
+  // Hammers the two lock-free query-path structures from many threads at
+  // once while the writer republishes: a deliberately tiny header cache
+  // (heavy slot contention -> constant seqlock claim/overwrite races) and a
+  // lazy behavior table (concurrent first-touch CAS fills).  Every answer
+  // must still equal the same snapshot's pure-walk oracle.  This is a TSan
+  // CI target: the seqlock and CAS protocols must be provably race-free.
+  Dataset data = datasets::internet2_like(Scale::Tiny, 23);
+  auto mgr = Dataset::make_manager();
+  ApClassifier clf(data.net, mgr);
+
+  Rng rng(24);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  const auto wt =
+      datasets::zipf_trace(reps, clf.atoms().capacity(), 256, rng, 1.0);
+  const auto& trace = wt.packets;
+  const std::size_t boxes = data.net.topology.box_count();
+
+  QueryEngine::Options opts;
+  opts.num_threads = 2;
+  opts.batch_grain = 32;
+  opts.header_cache_capacity = 256;  // tiny: force slot collisions
+  // Cell pointers fit comfortably, full behaviors do not -> lazy mode, so
+  // readers race to publish cells.
+  opts.behavior_table_budget =
+      clf.atoms().capacity() * boxes * sizeof(void*) * 2;
+  QueryEngine eng(clf, opts);
+  ASSERT_EQ(eng.snapshot()->behavior_table_mode(),
+            engine::FlatSnapshot::BehaviorTableMode::kLazy);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rounds{0};
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::size_t box = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = eng.snapshot();
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+          const AtomId a = snap->classify(trace[i]);
+          ASSERT_EQ(a, snap->classify_walk(trace[i]));
+          if (i % 16 == 0) {
+            const BoxId ingress = static_cast<BoxId>(box++ % boxes);
+            const Behavior table = snap->behavior_of(a, ingress);
+            const Behavior walk = snap->behavior_walk(a, ingress);
+            ASSERT_EQ(table.edges.size(), walk.edges.size());
+            ASSERT_EQ(table.drops.size(), walk.drops.size());
+            ASSERT_EQ(table.deliveries.size(), walk.deliveries.size());
+          }
+        }
+        (void)eng.query_batch(trace, 0);
+        rounds.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  constexpr int kChurns = 10;
+  for (int i = 0; i < kChurns; ++i) {
+    const auto res = eng.add_predicate(clf.manager().equals(
+        HeaderLayout::kDstPort, 16, std::uint64_t(30000 + i)));
+    ForwardingRule rule;
+    rule.dst = parse_prefix(i % 2 ? "10.210.0.0/16" : "10.211.0.0/16");
+    rule.egress_port = 0;
+    eng.insert_fib_rule(BoxId(i % boxes), rule);
+    eng.remove_predicate(res.pred_id);
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(rounds.load(), 0u);
+
+  // Drive one deterministic pass through the (freshly republished) final
+  // snapshot: cold then warm, so both cache counters must move.
+  const auto snap = eng.snapshot();
+  for (const PacketHeader& h : trace) (void)snap->classify(h);
+  for (const PacketHeader& h : trace) (void)snap->classify(h);
+  EXPECT_GT(snap->header_cache_misses(), 0u);
+  EXPECT_GT(snap->header_cache_hits(), 0u);
+}
+
 }  // namespace
 }  // namespace apc

@@ -116,6 +116,47 @@ TEST(Traces, ParetoTraceIsSkewed) {
   for (const AtomId a : clf.atoms().alive_ids()) EXPECT_GT(wt.atom_weights[a], 0.0);
 }
 
+TEST(Traces, ZipfTraceSkewMatchesTheoryAndIsDeterministic) {
+  Dataset d = datasets::internet2_like(Scale::Small, 7);
+  auto mgr = Dataset::make_manager();
+  const ApClassifier clf(d.net, mgr);
+  Rng rng(21);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  const std::size_t k = reps.headers.size();
+  ASSERT_GT(k, 1u);
+
+  constexpr std::size_t kPackets = 6000;
+  const auto wt = datasets::zipf_trace(reps, clf.atoms().capacity(), kPackets, rng);
+  EXPECT_EQ(wt.packets.size(), kPackets);
+
+  // Empirical check of the skew: under Zipf(s=1) the top-ranked atom's
+  // share is 1/H_k, far above the uniform 1/k.  Allow a generous band
+  // around the expectation (the count is a binomial with tiny variance at
+  // this n).
+  std::vector<std::size_t> hits(clf.atoms().capacity(), 0);
+  for (const auto& h : wt.packets) ++hits[clf.classify(h)];
+  double harmonic = 0.0;
+  for (std::size_t r = 1; r <= k; ++r) harmonic += 1.0 / static_cast<double>(r);
+  const double expected_top = static_cast<double>(kPackets) / harmonic;
+  const double top = static_cast<double>(*std::max_element(hits.begin(), hits.end()));
+  EXPECT_GT(top, 0.7 * expected_top);
+  EXPECT_LT(top, 1.3 * expected_top);
+  EXPECT_GT(top, 3.0 * static_cast<double>(kPackets) / static_cast<double>(k));
+
+  // Realized weights are positive exactly on live atoms.
+  for (const AtomId a : clf.atoms().alive_ids()) EXPECT_GT(wt.atom_weights[a], 0.0);
+
+  // Seed determinism: identical Rng state -> identical packet sequence.
+  Rng ra(33), rb(33);
+  const auto ta = datasets::zipf_trace(reps, clf.atoms().capacity(), 500, ra, 1.2);
+  const auto tb = datasets::zipf_trace(reps, clf.atoms().capacity(), 500, rb, 1.2);
+  for (std::size_t i = 0; i < ta.packets.size(); ++i)
+    ASSERT_TRUE(ta.packets[i] == tb.packets[i]);
+
+  EXPECT_THROW(datasets::zipf_trace(reps, clf.atoms().capacity(), 10, rng, 0.0),
+               Error);
+}
+
 TEST(Traces, PoissonArrivalsSortedAndRateConsistent) {
   Rng rng(12);
   const auto ts = datasets::poisson_arrivals(100.0, 10.0, rng);

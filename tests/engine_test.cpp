@@ -270,6 +270,132 @@ TEST(QueryEngine, StatsRoundTripUnderConcurrentUpdates) {
   EXPECT_DOUBLE_EQ(snap.find("engine.classifier.rebuilds")->value, 3.0);
 }
 
+TEST(FlatSnapshot, BehaviorTableMatchesOracleExhaustively) {
+  // Differential sweep over every (atom, ingress) cell, on a middlebox-free
+  // FIB-dominated dataset and an ACL-heavy one: the precomputed table, the
+  // lazy table (first touch + cached re-read), and the disabled-table walk
+  // must all be byte-identical to the topology-walk oracle and to the live
+  // classifier's behavior_of.
+  for (const bool acl_heavy : {false, true}) {
+    Dataset data = acl_heavy ? datasets::stanford_like(Scale::Tiny, 21)
+                             : datasets::internet2_like(Scale::Tiny, 21);
+    auto mgr = Dataset::make_manager();
+    ApClassifier clf(data.net, mgr);
+    const std::size_t boxes = data.net.topology.box_count();
+
+    FlatSnapshot::Options pre;  // default budget: precomputed at build time
+    FlatSnapshot::Options lazy;
+    // Cell pointers fit, the behavior estimate does not -> lazy fill.
+    lazy.behavior_table_budget =
+        clf.atoms().capacity() * boxes * sizeof(void*) + 64;
+    FlatSnapshot::Options off;
+    off.behavior_table_budget = 0;
+
+    const auto sp = FlatSnapshot::build(clf, pre);
+    const auto sl = FlatSnapshot::build(clf, lazy);
+    const auto sd = FlatSnapshot::build(clf, off);
+    ASSERT_EQ(sp->behavior_table_mode(),
+              FlatSnapshot::BehaviorTableMode::kPrecomputed);
+    ASSERT_EQ(sl->behavior_table_mode(), FlatSnapshot::BehaviorTableMode::kLazy);
+    ASSERT_EQ(sd->behavior_table_mode(),
+              FlatSnapshot::BehaviorTableMode::kDisabled);
+
+    const auto alive = clf.atoms().alive_ids();
+    ASSERT_FALSE(alive.empty());
+    // The eager build already filled every live cell.
+    EXPECT_EQ(sp->behavior_table_fills(), alive.size() * boxes);
+    EXPECT_EQ(sl->behavior_table_fills(), 0u);
+
+    for (BoxId ingress = 0; ingress < boxes; ++ingress) {
+      for (const AtomId atom : alive) {
+        const Behavior oracle = sd->behavior_walk(atom, ingress);
+        expect_same_behavior(oracle, clf.behavior_of(atom, ingress),
+                             "classifier");
+        expect_same_behavior(oracle, sp->behavior_of(atom, ingress),
+                             "precomputed");
+        expect_same_behavior(oracle, sl->behavior_of(atom, ingress),
+                             "lazy first touch");
+        expect_same_behavior(oracle, sl->behavior_of(atom, ingress),
+                             "lazy cached");
+        expect_same_behavior(oracle, sd->behavior_of(atom, ingress),
+                             "disabled");
+      }
+    }
+    // The lazy sweep filled exactly the touched cells, once each.
+    EXPECT_EQ(sl->behavior_table_fills(), alive.size() * boxes);
+  }
+}
+
+TEST(FlatSnapshot, HeaderCacheMatchesWalkAndCounts) {
+  World w;
+  FlatSnapshot::Options opts;
+  opts.header_cache_capacity = 4096;
+  const auto snap = FlatSnapshot::build(w.clf, opts);
+  ASSERT_NE(snap->header_cache(), nullptr);
+  EXPECT_GE(snap->header_cache()->capacity(), 4096u);
+
+  // Cache-assisted answers must equal the pure walk, cold and warm.
+  for (const PacketHeader& h : w.trace)
+    ASSERT_EQ(snap->classify(h), snap->classify_walk(h));
+  const std::uint64_t hits_after_first = snap->header_cache_hits();
+  for (const PacketHeader& h : w.trace)
+    ASSERT_EQ(snap->classify(h), snap->classify_walk(h));
+  EXPECT_GT(snap->header_cache_hits(), hits_after_first);
+  EXPECT_GT(snap->header_cache_misses(), 0u);
+
+  // Batched classification is equivalent to per-element classify.
+  std::vector<AtomId> out(w.trace.size());
+  snap->classify_into(w.trace.data(), w.trace.size(), out.data());
+  for (std::size_t i = 0; i < w.trace.size(); ++i)
+    ASSERT_EQ(out[i], snap->classify_walk(w.trace[i]));
+
+  // A cache-free snapshot takes the lockstep-walk path in classify_into.
+  FlatSnapshot::Options no_cache;
+  no_cache.header_cache_capacity = 0;
+  const auto bare = FlatSnapshot::build(w.clf, no_cache);
+  EXPECT_EQ(bare->header_cache(), nullptr);
+  std::vector<AtomId> out2(w.trace.size());
+  bare->classify_into(w.trace.data(), w.trace.size(), out2.data());
+  for (std::size_t i = 0; i < w.trace.size(); ++i)
+    ASSERT_EQ(out2[i], snap->classify_walk(w.trace[i]));
+}
+
+TEST(FlatSnapshot, MemoryBytesCountsAcceleratorBlocks) {
+  World w;
+  FlatSnapshot::Options off;
+  off.behavior_table_budget = 0;
+  off.header_cache_capacity = 0;
+  const auto bare = FlatSnapshot::build(w.clf, off);
+
+  FlatSnapshot::Options on;  // default table budget + cache
+  const auto full = FlatSnapshot::build(w.clf, on);
+  // The table cells, published behaviors, and cache slots must all be
+  // visible in the accounting.
+  EXPECT_GT(full->memory_bytes(),
+            bare->memory_bytes() + full->header_cache()->memory_bytes());
+
+  // Lazy fills grow the accounted footprint as cells publish.
+  FlatSnapshot::Options lazy;
+  lazy.behavior_table_budget =
+      w.clf.atoms().capacity() * w.data.net.topology.box_count() *
+          sizeof(void*) +
+      64;
+  const auto sl = FlatSnapshot::build(w.clf, lazy);
+  const std::size_t before = sl->memory_bytes();
+  (void)sl->behavior_of(w.clf.atoms().alive_ids().front(), 0);
+  EXPECT_GT(sl->memory_bytes(), before);
+
+  // The visit-counter block is part of the footprint too.
+  ApClassifier::Options copts;
+  copts.track_visits = true;
+  World wv(7, copts);
+  const auto sv = FlatSnapshot::build(wv.clf, off);
+  const auto sn = FlatSnapshot::build(w.clf, off);
+  EXPECT_GE(sv->memory_bytes(),
+            sn->memory_bytes() +
+                sv->atom_capacity() * sizeof(std::uint64_t));
+}
+
 TEST(QueryEngine, QpsMeterMeasuresBatchThroughput) {
   World w;
   QueryEngine eng(w.clf, QueryEngine::Options{});
