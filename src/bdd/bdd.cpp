@@ -328,6 +328,14 @@ NodeRef BddManager::make_node(std::uint32_t var, NodeRef low, NodeRef high) {
       return r;
     }
   }
+  // Budget gate (graceful degradation): refuse to grow the pool past the
+  // configured cap with a typed error instead of allocating toward OOM.
+  // Thrown before any mutation, so the manager stays consistent — created
+  // intermediates are unreferenced garbage the next gc() reclaims.
+  if (node_budget_ > 0 && nodes_.size() - free_count_ >= node_budget_)
+    throw Error(ErrorCode::kResourceExhausted,
+                "BDD node budget exhausted (" + std::to_string(node_budget_) +
+                    " nodes); raise node_budget or simplify the ruleset");
   ++op_stats_.nodes_created;
   NodeRef r;
   if (free_head_ != kNil) {

@@ -142,6 +142,13 @@ class BddManager {
   /// call only between top-level operations (all public ops do internally).
   void maybe_gc();
 
+  /// Caps the pool at `max_nodes` occupied slots.  Once the cap is reached,
+  /// any operation needing a fresh node throws apc::Error(kResourceExhausted)
+  /// instead of allocating toward OOM; the manager stays consistent and
+  /// usable (run gc() and retry, or raise the budget).  0 = unlimited.
+  void set_node_budget(std::size_t max_nodes) { node_budget_ = max_nodes; }
+  std::size_t node_budget() const { return node_budget_; }
+
   std::size_t live_node_count() const;          ///< nodes reachable from roots
   std::size_t allocated_node_count() const;     ///< pool slots in use (incl. garbage)
   std::size_t memory_bytes() const;             ///< approximate heap footprint
@@ -228,6 +235,7 @@ class BddManager {
   std::size_t free_count_ = 0;
   std::vector<CacheEntry> cache_;     // direct-mapped op cache
   std::size_t next_gc_size_ = 1 << 16;
+  std::size_t node_budget_ = 0;  // 0 = unlimited
   bool auto_gc_ = true;
   OpStats op_stats_;
 };

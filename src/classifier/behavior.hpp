@@ -63,12 +63,16 @@ struct BehaviorEdge {
   std::uint32_t out_port = 0;
   /// Next box for link ports; unset when the edge is a host delivery.
   std::optional<BoxId> to;
+
+  bool operator==(const BehaviorEdge&) const = default;
 };
 
 struct Drop {
   enum class Reason : std::uint8_t { NoMatchingRule, InputAcl, OutputAcl };
   BoxId box = 0;
   Reason reason = Reason::NoMatchingRule;
+
+  bool operator==(const Drop&) const = default;
 };
 
 /// The network-wide behavior of one packet class from one ingress box.
@@ -84,6 +88,8 @@ struct Behavior {
   /// True iff the behavior traverses `box` (waypoint checks).
   bool traverses(BoxId box) const;
   std::string to_string(const Topology& topo) const;
+
+  bool operator==(const Behavior&) const = default;
 };
 
 /// Walks the network for packets in `atom` entering at `ingress`.

@@ -32,6 +32,7 @@ ApClassifier::ApClassifier(const NetworkModel& net, std::shared_ptr<bdd::BddMana
                            Options opts)
     : net_(net), mgr_(std::move(mgr)), opts_(opts) {
   require(mgr_ != nullptr, "ApClassifier: null manager");
+  if (opts_.node_budget > 0) mgr_->set_node_budget(opts_.node_budget);
   net_.validate();
   compiled_ = compile_network(net_, *mgr_, reg_);
   BuildPool bp(opts_.threads);

@@ -58,6 +58,11 @@ class ApClassifier {
     /// Parallel construction is bit-identical to serial (see
     /// docs/architecture.md, "Parallel construction pipeline").
     std::size_t threads = 0;
+    /// BDD node budget applied to the shared manager (0 = unlimited).  When
+    /// a build or update would grow the pool past the cap, it fails with
+    /// apc::Error(kResourceExhausted) instead of allocating toward OOM —
+    /// graceful degradation for adversarial or runaway rulesets.
+    std::size_t node_budget = 0;
   };
 
   /// Compiles `net` to predicates, computes atomic predicates, and builds

@@ -1,8 +1,32 @@
 #include "classifier/reconstruction.hpp"
 
+#include <charconv>
+
 #include "ap/atoms.hpp"
+#include "util/fault_injection.hpp"
 
 namespace apc {
+
+namespace {
+
+// WAL record payloads: "A <key>\n<bdd v1 text>" for adds, "R <key>" for
+// removals.  The BDD text form (bdd::serialize) is manager-independent, so a
+// record written against one manager replays into any fresh one.
+std::string encode_add(std::uint64_t key, const bdd::Bdd& p) {
+  return "A " + std::to_string(key) + "\n" + bdd::serialize(p);
+}
+
+std::string encode_remove(std::uint64_t key) { return "R " + std::to_string(key); }
+
+std::uint64_t parse_key(std::string_view s) {
+  std::uint64_t key = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), key);
+  require(ec == std::errc{} && ptr == s.data() + s.size(), ErrorCode::kCorruptData,
+          "WAL record: bad update key");
+  return key;
+}
+
+}  // namespace
 
 std::shared_ptr<ReconstructionManager::Snapshot> ReconstructionManager::build_snapshot(
     std::shared_ptr<bdd::BddManager> mgr,
@@ -18,6 +42,13 @@ std::shared_ptr<ReconstructionManager::Snapshot> ReconstructionManager::build_sn
   bo.method = opts.method;
   bo.seed = opts.seed;
   snap->tree = build_tree(snap->reg, snap->uni, bo);
+  if (snap->tree.empty()) {
+    // Zero predicates: seed a single universal atom so the incremental
+    // add_predicate kernel has a leaf to split.  The durable constructor and
+    // recover() both start from this state and replay updates onto it.
+    const AtomId a = snap->uni.add(snap->mgr->bdd_true());
+    snap->tree.set_root(snap->tree.add_leaf(a));
+  }
 
   if (!weight_samples.empty()) {
     // Map the manager-independent samples onto the NEW atom ids via the
@@ -34,16 +65,68 @@ std::shared_ptr<ReconstructionManager::Snapshot> ReconstructionManager::build_sn
   return snap;
 }
 
+std::shared_ptr<bdd::BddManager> ReconstructionManager::make_manager() const {
+  auto mgr = std::make_shared<bdd::BddManager>(opts_.num_vars);
+  if (opts_.node_budget > 0) mgr->set_node_budget(opts_.node_budget);
+  return mgr;
+}
+
 ReconstructionManager::ReconstructionManager(const std::vector<bdd::Bdd>& predicates,
                                              Options opts)
-    : opts_(opts) {
-  auto mgr = std::make_shared<bdd::BddManager>(opts.num_vars);
-  std::vector<std::pair<bdd::Bdd, std::uint64_t>> preds;
-  preds.reserve(predicates.size());
-  for (const auto& p : predicates) {
-    preds.emplace_back(bdd::transfer(p, *mgr), next_key_++);
+    : opts_(std::move(opts)) {
+  auto mgr = make_manager();
+  if (opts_.wal_path.empty()) {
+    std::vector<std::pair<bdd::Bdd, std::uint64_t>> preds;
+    preds.reserve(predicates.size());
+    for (const auto& p : predicates) {
+      preds.emplace_back(bdd::transfer(p, *mgr), next_key_++);
+    }
+    cur_ = build_snapshot(std::move(mgr), std::move(preds), opts_, {});
+    return;
   }
-  cur_ = build_snapshot(std::move(mgr), std::move(preds), opts_, {});
+  // Durable mode: start from the empty tree and push the initial predicates
+  // through the same log-then-apply path add_predicate() uses.  This keeps
+  // construction deterministic and replayable — recover() walks the very
+  // same sequence and lands on the identical tree.
+  std::vector<std::string> records;
+  wal_ = std::make_unique<io::Wal>(opts_.wal_path, opts_.wal, &records);
+  require(records.empty(), ErrorCode::kFailedPrecondition,
+          "ReconstructionManager: WAL already has records; restart with recover()");
+  cur_ = build_snapshot(std::move(mgr), {}, opts_, {});
+  for (const auto& p : predicates) add_predicate(p);
+}
+
+std::unique_ptr<ReconstructionManager> ReconstructionManager::recover(Options opts) {
+  require(!opts.wal_path.empty(), ErrorCode::kInvalidArgument,
+          "ReconstructionManager::recover: wal_path not set");
+  auto rm = std::unique_ptr<ReconstructionManager>(
+      new ReconstructionManager(RecoverTag{}, std::move(opts)));
+  std::vector<std::string> records;
+  rm->wal_ = std::make_unique<io::Wal>(rm->opts_.wal_path, rm->opts_.wal, &records);
+  rm->cur_ = build_snapshot(rm->make_manager(), {}, rm->opts_, {});
+
+  // Replay the clean prefix through the live mutation kernels — *without*
+  // re-logging (the records are already durable).
+  for (const std::string& rec : records) {
+    require(rec.size() >= 3 && rec[1] == ' ' && (rec[0] == 'A' || rec[0] == 'R'),
+            ErrorCode::kCorruptData, "WAL record: unknown update type");
+    if (rec[0] == 'A') {
+      const std::size_t nl = rec.find('\n');
+      require(nl != std::string::npos, ErrorCode::kCorruptData,
+              "WAL add record: missing BDD payload");
+      const std::uint64_t key = parse_key(std::string_view(rec).substr(2, nl - 2));
+      rm->apply_add(bdd::deserialize(*rm->cur_->mgr, rec.substr(nl + 1)), key);
+      rm->next_key_ = std::max(rm->next_key_, key + 1);
+    } else {
+      const std::uint64_t key = parse_key(std::string_view(rec).substr(2));
+      if (const auto id = rm->cur_->reg.find_by_key(key))
+        delete_predicate(rm->cur_->reg, *id);
+    }
+  }
+  rm->wal_recoveries_.add();
+  const io::WalRecoveryReport& rep = rm->wal_->recovery_report();
+  if (rep.torn_tail || rep.crc_mismatch) rm->torn_tail_truncations_.add();
+  return rm;
 }
 
 ReconstructionManager::~ReconstructionManager() { join_worker(); }
@@ -56,11 +139,26 @@ AtomId ReconstructionManager::classify(const PacketHeader& h) const {
   return cur_->tree.classify(h, cur_->reg);
 }
 
+void ReconstructionManager::apply_add(bdd::Bdd local, std::uint64_t key) {
+  apc::add_predicate(cur_->tree, cur_->reg, cur_->uni, std::move(local),
+                     PredicateKind::External, std::nullopt, key);
+}
+
 std::uint64_t ReconstructionManager::add_predicate(const bdd::Bdd& p) {
   const std::uint64_t key = next_key_++;
   bdd::Bdd local = bdd::transfer(p, *cur_->mgr);
-  apc::add_predicate(cur_->tree, cur_->reg, cur_->uni, std::move(local),
-                     PredicateKind::External, std::nullopt, key);
+  // Write-ahead: log before applying.  If the append fails (disk full, I/O
+  // error), the in-memory state is untouched and the key unconsumed state
+  // loss is bounded to this unacknowledged update — the caller can retry.
+  if (wal_) {
+    try {
+      wal_->append(encode_add(key, local));
+    } catch (...) {
+      --next_key_;
+      throw;
+    }
+  }
+  apply_add(std::move(local), key);
   if (rebuilding()) journal_.push_back({true, p, key});
   return key;
 }
@@ -73,6 +171,7 @@ void ReconstructionManager::remove_predicate(std::uint64_t key) {
   // it would only bloat the journal.
   const auto id = cur_->reg.find_by_key(key);
   if (!id) return;
+  if (wal_) wal_->append(encode_remove(key));
   delete_predicate(cur_->reg, *id);
   if (rebuilding()) journal_.push_back({false, {}, key});
 }
@@ -86,7 +185,7 @@ void ReconstructionManager::trigger_rebuild(
 
   // Snapshot live predicates into a fresh manager (query thread does the
   // transfer; after the thread starts, only the worker touches new_mgr).
-  auto new_mgr = std::make_shared<bdd::BddManager>(opts_.num_vars);
+  auto new_mgr = make_manager();
   std::vector<std::pair<bdd::Bdd, std::uint64_t>> preds;
   for (const PredId id : cur_->reg.live_ids()) {
     preds.emplace_back(bdd::transfer(cur_->reg.bdd_of(id), *new_mgr),
@@ -150,6 +249,18 @@ void ReconstructionManager::register_metrics(obs::MetricsRegistry& reg,
                   "count");
   reg.register_fn(prefix + ".avg_leaf_depth",
                   [this] { return average_leaf_depth(); }, "count");
+  if (wal_) {
+    reg.register_counter(prefix + ".wal_records", &wal_->records_appended());
+    reg.register_counter(prefix + ".wal_syncs", &wal_->syncs());
+    reg.register_fn(prefix + ".wal_size_bytes",
+                    [this] { return static_cast<double>(wal_->size_bytes()); },
+                    "bytes");
+  }
+  reg.register_counter(prefix + ".wal_recoveries", &wal_recoveries_);
+  reg.register_counter(prefix + ".torn_tail_truncations", &torn_tail_truncations_);
+  reg.register_fn(prefix + ".injected_faults",
+                  [] { return static_cast<double>(util::injected_fault_count()); },
+                  "count");
 }
 
 obs::MetricsSnapshot ReconstructionManager::stats() const {

@@ -23,6 +23,7 @@
 #include "aptree/build.hpp"
 #include "aptree/tree.hpp"
 #include "aptree/update.hpp"
+#include "io/wal.hpp"
 #include "packet/header.hpp"
 
 namespace apc {
@@ -96,14 +97,37 @@ class ReconstructionManager {
     BuildMethod method = BuildMethod::Oapt;
     std::uint64_t seed = 1;
     std::uint32_t num_vars = HeaderLayout::kBits;
+    /// Write-ahead log path for durable predicate updates (empty = no WAL).
+    /// With a WAL, every add/remove is logged *before* it is applied, so a
+    /// killed process can be restored with recover() to a state equivalent
+    /// to the pre-crash classifier.  The normal constructor requires a fresh
+    /// (absent or empty) log — restart from an existing one via recover().
+    std::string wal_path;
+    /// Durability knobs for the WAL (fsync policy / interval).
+    io::WalOptions wal;
+    /// BDD node budget applied to every internal manager (0 = unlimited);
+    /// see BddManager::set_node_budget.
+    std::size_t node_budget = 0;
   };
 
   /// Builds the initial snapshot synchronously from `predicates` (handles
   /// may belong to any manager; they are transferred into a private one).
+  /// With Options::wal_path set, the initial predicates are applied — and
+  /// logged — one by one through the same code path add_predicate() uses,
+  /// so construction is deterministic and recover() reproduces the exact
+  /// tree (same atom ids), not merely an equivalent one.
   ReconstructionManager(const std::vector<bdd::Bdd>& predicates, Options opts);
   explicit ReconstructionManager(const std::vector<bdd::Bdd>& predicates)
       : ReconstructionManager(predicates, Options{}) {}
   ~ReconstructionManager();
+
+  /// Restores a manager from the write-ahead log at `opts.wal_path` (which
+  /// must be set): replays the clean record prefix in order — durably
+  /// truncating any torn tail — through the live add/remove code path.
+  /// Because the live path logged each mutation before applying it, the
+  /// recovered classifier is equivalent to the crashed one for every
+  /// acknowledged update.  Throws kCorruptData on an undecodable record.
+  static std::unique_ptr<ReconstructionManager> recover(Options opts);
 
   ReconstructionManager(const ReconstructionManager&) = delete;
   ReconstructionManager& operator=(const ReconstructionManager&) = delete;
@@ -148,6 +172,14 @@ class ReconstructionManager {
   std::size_t atom_count() const { return cur_->uni.alive_count(); }
   std::size_t rebuild_count() const { return rebuild_count_; }
 
+  // ---- Durability introspection ----
+  /// nullptr when running without a WAL.
+  const io::Wal* wal() const { return wal_.get(); }
+  /// Times this instance was restored via recover() (0 or 1).
+  const obs::Counter& wal_recoveries() const { return wal_recoveries_; }
+  /// Torn/corrupt WAL tails truncated at open (0 or 1 per instance).
+  const obs::Counter& torn_tail_truncations() const { return torn_tail_truncations_; }
+
   // ---- Observability (see src/obs/) ----
   /// Journal entries waiting to be replayed onto the pending tree.
   std::size_t journal_length() const { return journal_.size(); }
@@ -183,6 +215,13 @@ class ReconstructionManager {
       std::vector<std::pair<bdd::Bdd, std::uint64_t>> preds, const Options& opts,
       const std::vector<std::pair<PacketHeader, double>>& weight_samples);
 
+  struct RecoverTag {};
+  explicit ReconstructionManager(RecoverTag, Options opts) : opts_(std::move(opts)) {}
+  std::shared_ptr<bdd::BddManager> make_manager() const;
+  /// Applies an add to the live tree (no WAL write, no journaling) — the
+  /// shared kernel of add_predicate() and recover() replay.
+  void apply_add(bdd::Bdd local, std::uint64_t key);
+
   void join_worker();
 
   Options opts_;
@@ -194,6 +233,10 @@ class ReconstructionManager {
   std::vector<JournalEntry> journal_;  // query thread only
   std::uint64_t next_key_ = 1;
   std::size_t rebuild_count_ = 0;
+
+  std::unique_ptr<io::Wal> wal_;  // query thread only
+  obs::Counter wal_recoveries_;
+  obs::Counter torn_tail_truncations_;
 
   obs::Counter replayed_entries_;
   obs::LatencyHistogram rebuild_hist_;  // worker writes, any thread reads

@@ -32,16 +32,77 @@ FlatSnapshot::Options snapshot_options(const QueryEngine::Options& o) {
 }  // namespace
 
 QueryEngine::QueryEngine(ApClassifier& clf, Options opts)
-    : clf_(clf), opts_(opts), pool_(default_threads(opts.num_threads)) {
+    : clf_(clf), opts_(std::move(opts)), pool_(default_threads(opts_.num_threads)) {
   require(opts_.batch_grain > 0, "QueryEngine: zero batch grain");
   if (opts_.build_threads > 0) clf_.set_build_threads(opts_.build_threads);
-  snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_));
+  // Warm restore: a valid durable snapshot serves immediately, skipping the
+  // freeze + eager-precompute cost.  Anything wrong with the file (absent,
+  // torn, corrupt) falls back to a normal build — never a crash.
+  std::shared_ptr<const FlatSnapshot> restored;
+  if (!opts_.snapshot_path.empty()) {
+    try {
+      restored = load_snapshot(opts_.snapshot_path, snapshot_options(opts_));
+      snapshot_restores_.add();
+    } catch (const Error&) {
+    }
+  }
+  if (restored)
+    snap_.store(std::move(restored));
+  else
+    snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_));
   publish_count_.fetch_add(1, std::memory_order_relaxed);
   last_publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  persist_current_locked();  // ctor: no readers yet, no lock needed
 }
+
+// ---- batch admission (Options::max_pending_batches) ----
+
+bool QueryEngine::admit_batch() const {
+  if (opts_.max_pending_batches == 0) return true;
+  if (pending_batches_.fetch_add(1, std::memory_order_acq_rel) >=
+      opts_.max_pending_batches) {
+    pending_batches_.fetch_sub(1, std::memory_order_acq_rel);
+    batches_rejected_.add();
+    return false;
+  }
+  return true;
+}
+
+void QueryEngine::release_batch() const {
+  if (opts_.max_pending_batches > 0)
+    pending_batches_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+struct QueryEngine::BatchTicket {
+  const QueryEngine& e;
+  const bool admitted;
+  explicit BatchTicket(const QueryEngine& eng) : e(eng), admitted(eng.admit_batch()) {}
+  ~BatchTicket() {
+    if (admitted) e.release_batch();
+  }
+  explicit operator bool() const { return admitted; }
+};
 
 std::vector<AtomId> QueryEngine::classify_batch(
     const std::vector<PacketHeader>& hs) const {
+  auto out = try_classify_batch(hs);
+  require(out.has_value(), ErrorCode::kUnavailable,
+          "QueryEngine: batch admission cap reached; retry or shed load");
+  return std::move(*out);
+}
+
+std::vector<Behavior> QueryEngine::query_batch(const std::vector<PacketHeader>& hs,
+                                               BoxId ingress) const {
+  auto out = try_query_batch(hs, ingress);
+  require(out.has_value(), ErrorCode::kUnavailable,
+          "QueryEngine: batch admission cap reached; retry or shed load");
+  return std::move(*out);
+}
+
+std::optional<std::vector<AtomId>> QueryEngine::try_classify_batch(
+    const std::vector<PacketHeader>& hs) const {
+  BatchTicket ticket(*this);
+  if (!ticket) return std::nullopt;
   obs::ScopedTimer timer(classify_batch_hist_);
   batch_size_hist_.record(hs.size());
   std::vector<AtomId> out(hs.size());
@@ -55,8 +116,10 @@ std::vector<AtomId> QueryEngine::classify_batch(
   return out;
 }
 
-std::vector<Behavior> QueryEngine::query_batch(const std::vector<PacketHeader>& hs,
-                                               BoxId ingress) const {
+std::optional<std::vector<Behavior>> QueryEngine::try_query_batch(
+    const std::vector<PacketHeader>& hs, BoxId ingress) const {
+  BatchTicket ticket(*this);
+  if (!ticket) return std::nullopt;
   obs::ScopedTimer timer(query_batch_hist_);
   batch_size_hist_.record(hs.size());
   std::vector<Behavior> out(hs.size());
@@ -94,6 +157,20 @@ void QueryEngine::republish_locked() {
   snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_));
   publish_count_.fetch_add(1, std::memory_order_relaxed);
   last_publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  persist_current_locked();
+}
+
+void QueryEngine::persist_current_locked() {
+  if (opts_.snapshot_path.empty()) return;
+  // Durability here is best-effort by design: the snapshot is a cache of
+  // the classifier (the WAL is the source of truth), so a failed save must
+  // degrade — count it and keep serving — not take the engine down.
+  try {
+    save_snapshot(*snap_.load(), opts_.snapshot_path);
+    snapshot_saves_.add();
+  } catch (const Error&) {
+    snapshot_save_failures_.add();
+  }
 }
 
 double QueryEngine::snapshot_age_seconds() const {
@@ -142,6 +219,12 @@ void QueryEngine::register_metrics(obs::MetricsRegistry& reg,
   reg.register_fn(prefix + ".snapshot.memory_bytes",
                   [this] { return static_cast<double>(snapshot()->memory_bytes()); },
                   "bytes");
+  reg.register_counter(prefix + ".snapshot_restores", &snapshot_restores_);
+  reg.register_counter(prefix + ".snapshot_saves", &snapshot_saves_);
+  reg.register_counter(prefix + ".snapshot_save_failures", &snapshot_save_failures_);
+  reg.register_counter(prefix + ".batches_rejected", &batches_rejected_);
+  reg.register_fn(prefix + ".pending_batches",
+                  [this] { return static_cast<double>(pending_batches()); }, "count");
   pool_.register_metrics(reg, prefix + ".pool.");
   clf_.register_metrics(reg, prefix + ".classifier");
 }

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "classifier/classifier.hpp"
 #include "engine/snapshot.hpp"
@@ -67,6 +68,19 @@ class QueryEngine {
     /// Header-cache shard count (power of two); 0 = auto-size from
     /// capacity.
     std::size_t header_cache_shards = 0;
+    /// Durable snapshot file (empty = off).  At construction a valid file
+    /// here is warm-restored — the engine serves queries from it without
+    /// paying the freeze/precompute cost — and every publish (including the
+    /// initial one) atomically saves the fresh snapshot back.  A missing or
+    /// corrupt file falls back to a normal build; a failed save is counted
+    /// and tolerated (serving continues).  See snapshot.hpp and
+    /// docs/architecture.md, "Fault tolerance & durability".
+    std::string snapshot_path;
+    /// Admission cap: at most this many batch queries in flight at once.
+    /// Excess classify_batch()/query_batch() calls fail fast with
+    /// apc::Error(kUnavailable) (the try_* variants return nullopt instead)
+    /// rather than piling onto the pool.  0 = unbounded.
+    std::size_t max_pending_batches = 0;
   };
 
   /// Builds the initial snapshot from `clf`.  The engine keeps a reference:
@@ -89,11 +103,18 @@ class QueryEngine {
   }
 
   /// Stage-1 classification of a whole batch, fanned across the pool.
-  /// The entire batch is answered from a single snapshot.
+  /// The entire batch is answered from a single snapshot.  Throws
+  /// apc::Error(kUnavailable) when the admission cap is reached.
   std::vector<AtomId> classify_batch(const std::vector<PacketHeader>& hs) const;
   /// Two-stage queries for a whole batch (middlebox-free networks).
   std::vector<Behavior> query_batch(const std::vector<PacketHeader>& hs,
                                     BoxId ingress) const;
+  /// Non-throwing admission variants: nullopt when the engine is saturated
+  /// (Options::max_pending_batches) — shed load or retry later.
+  std::optional<std::vector<AtomId>> try_classify_batch(
+      const std::vector<PacketHeader>& hs) const;
+  std::optional<std::vector<Behavior>> try_query_batch(
+      const std::vector<PacketHeader>& hs, BoxId ingress) const;
 
   // ---- Write side (serialized; rebuild-and-swap publication) ----
   AddPredicateResult add_predicate(bdd::Bdd p,
@@ -140,6 +161,19 @@ class QueryEngine {
   /// Seconds since the current snapshot was published.
   double snapshot_age_seconds() const;
 
+  // ---- Durability / degradation introspection ----
+  /// Warm restores performed at construction (0 or 1).
+  const obs::Counter& snapshot_restores() const { return snapshot_restores_; }
+  /// Successful / failed durable snapshot saves.
+  const obs::Counter& snapshot_saves() const { return snapshot_saves_; }
+  const obs::Counter& snapshot_save_failures() const { return snapshot_save_failures_; }
+  /// Batches refused by the admission cap.
+  const obs::Counter& batches_rejected() const { return batches_rejected_; }
+  /// Batch queries currently in flight (only tracked when the cap is set).
+  std::size_t pending_batches() const {
+    return pending_batches_.load(std::memory_order_acquire);
+  }
+
   /// Registers the engine's metric inventory under `prefix`: batch latency
   /// histograms, batch sizes, publish count/age, pool counters, and the
   /// underlying classifier's metrics (under `<prefix>.classifier`).
@@ -158,6 +192,16 @@ class QueryEngine {
   /// Builds a fresh snapshot from the classifier and publishes it.
   /// Caller holds writer_mu_.
   void republish_locked();
+  /// Saves the current snapshot to Options::snapshot_path (no-op when
+  /// unset); failures are counted, never thrown.  Caller holds writer_mu_
+  /// (or is the constructor).
+  void persist_current_locked();
+
+  /// RAII admission ticket for one in-flight batch (see
+  /// Options::max_pending_batches).
+  struct BatchTicket;
+  bool admit_batch() const;
+  void release_batch() const;
 
   /// Mutex-guarded publication slot (see the class comment for why this is
   /// not std::atomic<std::shared_ptr>).  load() copies the pointer under
@@ -198,6 +242,14 @@ class QueryEngine {
   mutable obs::LatencyHistogram batch_size_hist_;      // headers per batch
   mutable obs::Counter queries_answered_;
   std::atomic<std::int64_t> last_publish_ns_{0};  // steady_clock epoch ns
+
+  // Durability / degradation (see Options::snapshot_path and
+  // Options::max_pending_batches).
+  obs::Counter snapshot_restores_;
+  obs::Counter snapshot_saves_;
+  obs::Counter snapshot_save_failures_;
+  mutable std::atomic<std::size_t> pending_batches_{0};
+  mutable obs::Counter batches_rejected_;
 };
 
 }  // namespace apc::engine

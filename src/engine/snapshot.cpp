@@ -156,37 +156,20 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf,
   snap->has_middleboxes_ = clf.has_middleboxes();
   if (clf.options().track_visits) snap->visits_.reset(snap->atom_capacity_);
 
-  // ---- Header -> atom cache (layer 2) ----
-  if (opts.header_cache_capacity > 0) {
-    HeaderAtomCache::Mask mask{};
-    for (std::size_t i = 2; i < snap->bdd_nodes_.size(); ++i) {
-      const std::uint32_t v = snap->bdd_nodes_[i].var;
-      mask[v >> 6] |= std::uint64_t{1} << (v & 63);
-    }
-    snap->cache_ = std::make_unique<HeaderAtomCache>(
-        opts.header_cache_capacity, opts.header_cache_shards, mask);
-  }
+  // ---- Query-path accelerators (header cache + behavior-table cells) ----
+  snap->init_accelerators(opts);
 
-  // ---- Behavior table (layer 1) ----
-  // The cell-pointer array must fit the budget or the table is off; the
-  // full estimate (cells + one behavior per live cell) decides eager vs
-  // lazy.  Middlebox networks always go lazy: query() refuses them, so an
-  // eager fill would precompute cells nobody is expected to read.
-  const std::size_t cells = snap->atom_capacity_ * snap->boxes_.size();
-  const std::size_t cell_bytes = cells * sizeof(std::atomic<const Behavior*>);
-  if (opts.behavior_table_budget > 0 && cells > 0 &&
-      cell_bytes <= opts.behavior_table_budget) {
-    snap->table_cells_ = cells;
-    snap->table_ = std::make_unique<std::atomic<const Behavior*>[]>(cells);
-    for (std::size_t i = 0; i < cells; ++i)
-      snap->table_[i].store(nullptr, std::memory_order_relaxed);
-    snap->table_heap_bytes_.store(cell_bytes, std::memory_order_relaxed);
-
+  // Upgrade the lazy table to a full eager precompute when the estimate
+  // (cells + one behavior per live cell) also fits the budget.  Middlebox
+  // networks always stay lazy: query() refuses them, so an eager fill would
+  // precompute cells nobody is expected to read.
+  if (snap->table_mode_ == BehaviorTableMode::kLazy && !snap->has_middleboxes_) {
     const std::vector<AtomId> alive = clf.atoms().alive_ids();
     const std::size_t boxes = snap->boxes_.size();
     const std::size_t estimate =
-        cell_bytes + alive.size() * boxes * kBehaviorBytesEstimate;
-    if (!snap->has_middleboxes_ && estimate <= opts.behavior_table_budget) {
+        snap->table_cells_ * sizeof(std::atomic<const Behavior*>) +
+        alive.size() * boxes * kBehaviorBytesEstimate;
+    if (estimate <= opts.behavior_table_budget) {
       Stopwatch sw;
       const std::size_t total = alive.size() * boxes;
       const auto fill = [&](std::size_t first, std::size_t last) {
@@ -202,12 +185,37 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf,
         fill(0, total);
       snap->table_build_seconds_ = sw.seconds();
       snap->table_mode_ = BehaviorTableMode::kPrecomputed;
-    } else {
-      snap->table_mode_ = BehaviorTableMode::kLazy;
     }
   }
 
   return snap;
+}
+
+void FlatSnapshot::init_accelerators(const Options& opts) {
+  // Header -> atom cache (layer 2), keyed on the bits any predicate tests.
+  if (opts.header_cache_capacity > 0) {
+    HeaderAtomCache::Mask mask{};
+    for (std::size_t i = 2; i < bdd_nodes_.size(); ++i) {
+      const std::uint32_t v = bdd_nodes_[i].var;
+      mask[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
+    cache_ = std::make_unique<HeaderAtomCache>(opts.header_cache_capacity,
+                                               opts.header_cache_shards, mask);
+  }
+
+  // Behavior table (layer 1): the cell-pointer array must fit the budget or
+  // the table is off; cells start empty (kLazy).
+  const std::size_t cells = atom_capacity_ * boxes_.size();
+  const std::size_t cell_bytes = cells * sizeof(std::atomic<const Behavior*>);
+  if (opts.behavior_table_budget > 0 && cells > 0 &&
+      cell_bytes <= opts.behavior_table_budget) {
+    table_cells_ = cells;
+    table_ = std::make_unique<std::atomic<const Behavior*>[]>(cells);
+    for (std::size_t i = 0; i < cells; ++i)
+      table_[i].store(nullptr, std::memory_order_relaxed);
+    table_heap_bytes_.store(cell_bytes, std::memory_order_relaxed);
+    table_mode_ = BehaviorTableMode::kLazy;
+  }
 }
 
 FlatSnapshot::~FlatSnapshot() {

@@ -151,6 +151,16 @@ class FlatSnapshot {
  private:
   FlatSnapshot() = default;
 
+  friend void save_snapshot(const FlatSnapshot& snap, const std::string& path);
+  friend std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
+                                                           const Options& opts);
+
+  /// Builds the header cache and the behavior-table cell array from the
+  /// frozen core arrays per `opts` (table mode becomes kLazy when the cell
+  /// array fits the budget; build() upgrades to kPrecomputed after an eager
+  /// fill).  Shared between build() and load_snapshot().
+  void init_accelerators(const Options& opts);
+
   /// 8-byte tree node in DFS preorder.  An internal node's true-branch
   /// child is the next array element; `right` holds the false-branch index.
   /// Leaves set right = kLeaf and carry their atom id in `bdd_root`.
@@ -213,5 +223,29 @@ class FlatSnapshot {
   mutable obs::Counter cache_hits_;
   mutable obs::Counter cache_misses_;
 };
+
+// ---- Durable snapshot persistence (snapshot_io.cpp) ----
+// See docs/architecture.md, "Fault tolerance & durability".
+
+/// Atomically writes the snapshot's frozen core (BDD array, tree, stage-2
+/// state) to `path`: serialize to `path + ".tmp"`, fsync, rename over the
+/// target, fsync the directory.  The file carries magic/version/endianness
+/// and a CRC32C, so a restarted process can warm-restore and serve before
+/// any rebuild.  Throws apc::Error(kIo) on filesystem failure.  Runtime
+/// accelerator state (header cache contents, lazily filled behavior cells,
+/// visit counters) is intentionally not persisted — it regenerates.
+void save_snapshot(const FlatSnapshot& snap, const std::string& path);
+
+/// Loads a snapshot saved by save_snapshot().  Every header field, the
+/// checksum, and all structural invariants (index bounds, DFS-forward tree
+/// edges, strictly increasing BDD variable order) are validated; a file
+/// failing any check is rejected with apc::Error(kCorruptData) — never UB.
+/// The behavior table starts lazy (or disabled, per `opts`) and the header
+/// cache starts cold.  Throws kIo when the file cannot be read.
+std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
+                                                  const FlatSnapshot::Options& opts);
+inline std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path) {
+  return load_snapshot(path, FlatSnapshot::Options{});
+}
 
 }  // namespace apc::engine

@@ -1,0 +1,327 @@
+// Durable FlatSnapshot persistence — see snapshot.hpp for the contract and
+// docs/architecture.md ("Fault tolerance & durability") for the file layout:
+//
+//   +-----------------------------------------------------------+
+//   | magic "APCSNAP1" (8B) | version u32 | endian u32           |
+//   | payload_len u64 | crc32c(payload) u32 (masked)             |
+//   +-----------------------------------------------------------+
+//   | payload: flags, atom capacity, BDD node array, tree array, |
+//   |          per-box stage-2 port entries and ACL bitsets      |
+//   +-----------------------------------------------------------+
+//
+// Saves are atomic (tmp + fsync + rename + directory fsync): a reader never
+// observes a half-written snapshot, and a crash mid-save leaves the previous
+// file intact.  Loads trust nothing: header fields, the checksum, and every
+// structural invariant are validated before the arrays are adopted, so a
+// corrupt or adversarial file yields apc::Error(kCorruptData), never UB.
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "engine/snapshot.hpp"
+#include "util/crc32c.hpp"
+#include "util/fault_injection.hpp"
+
+namespace apc::engine {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'P', 'C', 'S', 'N', 'A', 'P', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianSentinel = 0x01020304u;
+constexpr std::size_t kFileHeaderBytes = sizeof(kMagic) + 4 + 4 + 8 + 4;
+
+static_assert(sizeof(bdd::FlatBddNode) == 12, "FlatBddNode layout is serialized raw");
+
+[[noreturn]] void fail_io(const std::string& what, int err) {
+  throw Error(ErrorCode::kIo,
+              what + ": " + std::strerror(err) + " (errno " + std::to_string(err) + ")");
+}
+
+[[noreturn]] void fail_corrupt(const std::string& path, const char* what) {
+  throw Error(ErrorCode::kCorruptData,
+              "snapshot " + path + ": " + what);
+}
+
+// ---- serialization primitives ----
+
+void put_bytes(std::string& out, const void* p, std::size_t n) {
+  if (n != 0) out.append(static_cast<const char*>(p), n);
+}
+void put_u8(std::string& out, std::uint8_t v) { put_bytes(out, &v, 1); }
+void put_u32(std::string& out, std::uint32_t v) { put_bytes(out, &v, 4); }
+void put_i32(std::string& out, std::int32_t v) { put_bytes(out, &v, 4); }
+void put_u64(std::string& out, std::uint64_t v) { put_bytes(out, &v, 8); }
+
+void put_bitset(std::string& out, const FlatBitset& b) {
+  put_u64(out, b.size());
+  put_u64(out, b.words().size());
+  put_bytes(out, b.words().data(), b.words().size() * sizeof(std::uint64_t));
+}
+
+/// Bounds-checked cursor over the untrusted payload.
+struct Reader {
+  const char* p;
+  std::size_t left;
+  const std::string& path;
+
+  void take(void* out, std::size_t n) {
+    if (left < n) fail_corrupt(path, "truncated payload");
+    if (n != 0) std::memcpy(out, p, n);  // empty arrays have a null data()
+    p += n;
+    left -= n;
+  }
+  std::uint8_t u8() { std::uint8_t v; take(&v, 1); return v; }
+  std::uint32_t u32() { std::uint32_t v; take(&v, 4); return v; }
+  std::int32_t i32() { std::int32_t v; take(&v, 4); return v; }
+  std::uint64_t u64() { std::uint64_t v; take(&v, 8); return v; }
+
+  /// Reads a length-prefixed array of `elem_size`-byte elements, rejecting
+  /// counts that do not fit the remaining payload *before* allocating.
+  template <typename T>
+  std::vector<T> array(std::size_t elem_size) {
+    const std::uint64_t n = u64();
+    if (n > left / elem_size) fail_corrupt(path, "array length exceeds payload");
+    std::vector<T> out(static_cast<std::size_t>(n));
+    take(out.data(), static_cast<std::size_t>(n) * elem_size);
+    return out;
+  }
+
+  FlatBitset bitset() {
+    const std::uint64_t nbits = u64();
+    const std::uint64_t nwords = u64();
+    if (nwords > left / sizeof(std::uint64_t))
+      fail_corrupt(path, "bitset length exceeds payload");
+    std::vector<std::uint64_t> words(static_cast<std::size_t>(nwords));
+    take(words.data(), words.size() * sizeof(std::uint64_t));
+    FlatBitset out;
+    if (!FlatBitset::from_words(static_cast<std::size_t>(nbits), std::move(words), &out))
+      fail_corrupt(path, "bitset word count / tail bits inconsistent");
+    return out;
+  }
+};
+
+// ---- file I/O helpers ----
+
+void write_all_fd(int fd, const char* p, std::size_t n, const std::string& what) {
+  std::size_t cap = n;
+  if (const int err = util::fault_errno("snapshot.save.write", &cap)) {
+    errno = err;
+    fail_io(what, err);
+  }
+  const bool short_write = cap < n;
+  std::size_t target = short_write ? cap : n;
+  while (target > 0) {
+    const ssize_t w = ::write(fd, p, target);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      fail_io(what, errno);
+    }
+    p += w;
+    target -= static_cast<std::size_t>(w);
+  }
+  if (short_write) fail_io(what + " (short write)", 5 /* EIO */);
+}
+
+std::string read_file(const std::string& path) {
+  if (const int err = util::fault_errno("snapshot.load.read"))
+    fail_io("snapshot: read " + path, err);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail_io("snapshot: open " + path, errno);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      fail_io("snapshot: read " + path, err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (dfd < 0) return;  // best effort: not all filesystems allow dir fsync
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+void save_snapshot(const FlatSnapshot& snap, const std::string& path) {
+  require(!path.empty(), ErrorCode::kInvalidArgument, "save_snapshot: empty path");
+
+  // ---- serialize the frozen core ----
+  std::string payload;
+  put_u8(payload, snap.has_middleboxes_ ? 1 : 0);
+  put_u8(payload, snap.tracks_visits() ? 1 : 0);
+  put_u64(payload, snap.atom_capacity_);
+
+  put_u64(payload, snap.bdd_nodes_.size());
+  put_bytes(payload, snap.bdd_nodes_.data(),
+            snap.bdd_nodes_.size() * sizeof(bdd::FlatBddNode));
+
+  put_u64(payload, snap.tree_.size());
+  put_bytes(payload, snap.tree_.data(),
+            snap.tree_.size() * sizeof(FlatSnapshot::FlatTreeNode));
+  put_i32(payload, snap.tree_root_);
+
+  put_u64(payload, snap.boxes_.size());
+  for (const FlatSnapshot::FlatBox& fb : snap.boxes_) {
+    put_u64(payload, fb.ports.size());
+    for (const FlatSnapshot::FlatPortEntry& e : fb.ports) {
+      put_u32(payload, e.port);
+      put_i32(payload, e.peer_box);
+      put_u32(payload, e.peer_port);
+      put_u8(payload, e.has_out_acl ? 1 : 0);
+      put_bitset(payload, e.fwd_atoms);
+      put_bitset(payload, e.out_acl_atoms);
+    }
+    put_u64(payload, fb.in_acls.size());
+    for (const FlatSnapshot::FlatInAcl& a : fb.in_acls) {
+      put_u8(payload, a.present ? 1 : 0);
+      put_bitset(payload, a.atoms);
+    }
+  }
+
+  std::string file;
+  file.reserve(kFileHeaderBytes + payload.size());
+  put_bytes(file, kMagic, sizeof(kMagic));
+  put_u32(file, kVersion);
+  put_u32(file, kEndianSentinel);
+  put_u64(file, payload.size());
+  put_u32(file, util::crc32c_mask(util::crc32c(payload.data(), payload.size())));
+  file += payload;
+
+  // ---- atomic write: tmp + fsync + rename + dir fsync ----
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail_io("snapshot: open " + tmp, errno);
+  try {
+    write_all_fd(fd, file.data(), file.size(), "snapshot: write " + tmp);
+    if (const int err = util::fault_errno("snapshot.save.fsync"))
+      fail_io("snapshot: fsync " + tmp, err);
+    if (::fsync(fd) != 0) fail_io("snapshot: fsync " + tmp, errno);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());  // never leave a torn tmp behind
+    throw;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail_io("snapshot: close " + tmp, errno);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail_io("snapshot: rename " + tmp + " -> " + path, err);
+  }
+  fsync_parent_dir(path);
+}
+
+std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
+                                                  const FlatSnapshot::Options& opts) {
+  const std::string file = read_file(path);
+  if (file.size() < kFileHeaderBytes) fail_corrupt(path, "file shorter than header");
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0)
+    fail_corrupt(path, "bad magic");
+
+  Reader hdr{file.data() + sizeof(kMagic), file.size() - sizeof(kMagic), path};
+  const std::uint32_t version = hdr.u32();
+  if (version != kVersion) fail_corrupt(path, "unsupported version");
+  if (hdr.u32() != kEndianSentinel) fail_corrupt(path, "endianness mismatch");
+  const std::uint64_t payload_len = hdr.u64();
+  const std::uint32_t stored_crc = util::crc32c_unmask(hdr.u32());
+  if (payload_len != hdr.left) fail_corrupt(path, "payload length mismatch");
+  if (util::crc32c(hdr.p, hdr.left) != stored_crc) fail_corrupt(path, "checksum mismatch");
+
+  Reader r{hdr.p, hdr.left, path};
+  auto snap = std::shared_ptr<FlatSnapshot>(new FlatSnapshot());
+  snap->has_middleboxes_ = r.u8() != 0;
+  const bool tracks_visits = r.u8() != 0;
+  snap->atom_capacity_ = static_cast<std::size_t>(r.u64());
+
+  snap->bdd_nodes_ = r.array<bdd::FlatBddNode>(sizeof(bdd::FlatBddNode));
+  snap->tree_ = r.array<FlatSnapshot::FlatTreeNode>(sizeof(FlatSnapshot::FlatTreeNode));
+  snap->tree_root_ = r.i32();
+
+  const std::uint64_t box_count = r.u64();
+  if (box_count > r.left) fail_corrupt(path, "box count exceeds payload");
+  snap->boxes_.resize(static_cast<std::size_t>(box_count));
+  for (FlatSnapshot::FlatBox& fb : snap->boxes_) {
+    const std::uint64_t ports = r.u64();
+    if (ports > r.left) fail_corrupt(path, "port count exceeds payload");
+    fb.ports.resize(static_cast<std::size_t>(ports));
+    for (FlatSnapshot::FlatPortEntry& e : fb.ports) {
+      e.port = r.u32();
+      e.peer_box = r.i32();
+      e.peer_port = r.u32();
+      e.has_out_acl = r.u8() != 0;
+      e.fwd_atoms = r.bitset();
+      e.out_acl_atoms = r.bitset();
+    }
+    const std::uint64_t acls = r.u64();
+    if (acls > r.left) fail_corrupt(path, "ACL count exceeds payload");
+    fb.in_acls.resize(static_cast<std::size_t>(acls));
+    for (FlatSnapshot::FlatInAcl& a : fb.in_acls) {
+      a.present = r.u8() != 0;
+      a.atoms = r.bitset();
+    }
+  }
+  if (r.left != 0) fail_corrupt(path, "trailing bytes after payload");
+
+  // ---- structural validation: adversarial indices must not walk out of
+  // bounds or loop forever ----
+  const std::size_t nb = snap->bdd_nodes_.size();
+  if (nb < 2) fail_corrupt(path, "missing BDD terminals");
+  for (std::size_t i = 2; i < nb; ++i) {
+    const bdd::FlatBddNode& n = snap->bdd_nodes_[i];
+    if (n.lo >= nb || n.hi >= nb) fail_corrupt(path, "BDD child out of range");
+    if (n.var >= PacketHeader::kMaxBits) fail_corrupt(path, "BDD variable out of range");
+    // ROBDD invariant: variables strictly increase toward the terminals —
+    // also the termination guarantee for the eval walk.
+    if (n.lo > bdd::kTrue && snap->bdd_nodes_[n.lo].var <= n.var)
+      fail_corrupt(path, "BDD variable order violated");
+    if (n.hi > bdd::kTrue && snap->bdd_nodes_[n.hi].var <= n.var)
+      fail_corrupt(path, "BDD variable order violated");
+  }
+  const std::size_t nt = snap->tree_.size();
+  if (nt == 0 || snap->tree_root_ != 0) fail_corrupt(path, "bad tree root");
+  for (std::size_t i = 0; i < nt; ++i) {
+    const FlatSnapshot::FlatTreeNode& t = snap->tree_[i];
+    if (t.right == FlatSnapshot::kLeaf) {
+      if (t.bdd_root >= snap->atom_capacity_)
+        fail_corrupt(path, "leaf atom out of range");
+    } else {
+      if (t.bdd_root >= nb) fail_corrupt(path, "tree predicate out of range");
+      // DFS preorder: both children sit strictly after the node (true child
+      // is i+1), so every walk makes forward progress and terminates.
+      if (t.right <= static_cast<std::int32_t>(i) ||
+          t.right >= static_cast<std::int32_t>(nt))
+        fail_corrupt(path, "tree edge not DFS-forward");
+    }
+  }
+  for (const FlatSnapshot::FlatBox& fb : snap->boxes_) {
+    for (const FlatSnapshot::FlatPortEntry& e : fb.ports) {
+      if (e.peer_box >= static_cast<std::int32_t>(snap->boxes_.size()) ||
+          e.peer_box < -1)
+        fail_corrupt(path, "peer box out of range");
+    }
+  }
+
+  if (tracks_visits) snap->visits_.reset(snap->atom_capacity_);
+  snap->init_accelerators(opts);
+  return snap;
+}
+
+}  // namespace apc::engine

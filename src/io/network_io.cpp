@@ -1,5 +1,6 @@
 #include "io/network_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -10,8 +11,52 @@ namespace apc::io {
 
 namespace {
 
+// A line longer than this is a binary blob or garbage, not a directive;
+// bounding it keeps a malformed file from ballooning token buffers.
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
 [[noreturn]] void fail(std::size_t line, const std::string& msg) {
-  throw Error("network file line " + std::to_string(line) + ": " + msg);
+  throw Error(ErrorCode::kParse,
+              "network file line " + std::to_string(line) + ": " + msg);
+}
+
+/// Structural UTF-8 scan (RFC 3629: no overlongs, no surrogates, <= U+10FFFF).
+/// Network files are ASCII by convention; this admits UTF-8 names but
+/// rejects raw binary — the classic "loaded the wrong file" failure.
+bool valid_utf8(const std::string& s) {
+  const auto* p = reinterpret_cast<const unsigned char*>(s.data());
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < n;) {
+    const unsigned char c = p[i];
+    std::size_t len;
+    std::uint32_t cp;
+    if (c < 0x80) {
+      ++i;
+      continue;
+    } else if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      cp = c & 0x1F;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      cp = c & 0x0F;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      cp = c & 0x07;
+    } else {
+      return false;
+    }
+    if (i + len > n) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      if ((p[i + k] & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (p[i + k] & 0x3F);
+    }
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000))
+      return false;  // overlong encoding
+    if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+    i += len;
+  }
+  return true;
 }
 
 std::vector<std::string> tokenize(const std::string& line) {
@@ -25,23 +70,30 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
-std::uint32_t parse_uint(const std::string& s, std::size_t line, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const unsigned long v = std::stoul(s, &pos);
-    if (pos != s.size()) throw std::invalid_argument(s);
-    return static_cast<std::uint32_t>(v);
-  } catch (const std::exception&) {
+/// Exception-free unsigned parse: the whole token must be digits and the
+/// value must fit `max`.  (The previous std::stoul version accepted "7abc"
+/// prefixes via exceptions and silently truncated out-of-range values when
+/// callers narrowed the result.)
+std::uint32_t parse_uint(const std::string& s, std::size_t line, const char* what,
+                         std::uint64_t max = 0xFFFFFFFFull) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (s.empty() || ec != std::errc{} || ptr != s.data() + s.size())
     fail(line, std::string("bad ") + what + ": " + s);
-  }
+  if (v > max)
+    fail(line, std::string(what) + " out of range (max " + std::to_string(max) +
+                   "): " + s);
+  return static_cast<std::uint32_t>(v);
 }
 
 PortRange parse_range(const std::string& s, std::size_t line) {
   const std::size_t dash = s.find('-');
   if (dash == std::string::npos) fail(line, "bad port range: " + s);
   PortRange r;
-  r.lo = static_cast<std::uint16_t>(parse_uint(s.substr(0, dash), line, "port"));
-  r.hi = static_cast<std::uint16_t>(parse_uint(s.substr(dash + 1), line, "port"));
+  r.lo = static_cast<std::uint16_t>(
+      parse_uint(s.substr(0, dash), line, "port", 0xFFFF));
+  r.hi = static_cast<std::uint16_t>(
+      parse_uint(s.substr(dash + 1), line, "port", 0xFFFF));
   if (r.lo > r.hi) fail(line, "inverted port range: " + s);
   return r;
 }
@@ -60,10 +112,15 @@ NetworkModel read_network(std::istream& in) {
     return it->second;
   };
 
+  bool saw_directive = false;
   while (std::getline(in, line)) {
     ++lineno;
+    if (line.size() > kMaxLineBytes)
+      fail(lineno, "line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+    if (!valid_utf8(line)) fail(lineno, "invalid UTF-8 (binary data?)");
     const auto tok = tokenize(line);
     if (tok.empty()) continue;
+    saw_directive = true;
     const std::string& cmd = tok[0];
 
     if (cmd == "box") {
@@ -202,7 +259,7 @@ NetworkModel read_network(std::istream& in) {
       r.src_port = parse_range(tok[10], lineno);
       r.dst_port = parse_range(tok[12], lineno);
       if (tok[14] != "any")
-        r.proto = static_cast<std::uint8_t>(parse_uint(tok[14], lineno, "proto"));
+        r.proto = static_cast<std::uint8_t>(parse_uint(tok[14], lineno, "proto", 0xFF));
 
       auto& acls = tok[1] == "in" ? net.input_acls : net.output_acls;
       const auto it = acls.find({b, port});
@@ -213,6 +270,8 @@ NetworkModel read_network(std::istream& in) {
       fail(lineno, "unknown directive: " + cmd);
     }
   }
+  require(saw_directive, ErrorCode::kParse,
+          "network file: empty (no directives)");
   net.ensure_fibs();
   net.validate();
   return net;
@@ -220,7 +279,8 @@ NetworkModel read_network(std::istream& in) {
 
 NetworkModel read_network_file(const std::string& path) {
   std::ifstream in(path);
-  require(in.good(), "read_network_file: cannot open file");
+  if (!in.good())
+    throw Error(ErrorCode::kIo, "read_network_file: cannot open " + path);
   return read_network(in);
 }
 

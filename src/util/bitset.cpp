@@ -15,6 +15,18 @@ std::size_t words_for(std::size_t nbits) { return (nbits + kWordBits - 1) / kWor
 
 FlatBitset::FlatBitset(std::size_t nbits) : nbits_(nbits), words_(words_for(nbits), 0) {}
 
+bool FlatBitset::from_words(std::size_t nbits, std::vector<std::uint64_t> words,
+                            FlatBitset* out) {
+  if (out == nullptr || words.size() != words_for(nbits)) return false;
+  const std::size_t extra = words.size() * kWordBits - nbits;
+  if (extra > 0 && !words.empty() &&
+      (words.back() & ~((~std::uint64_t{0}) >> extra)) != 0)
+    return false;  // set bits past the domain: corrupt serialization
+  out->nbits_ = nbits;
+  out->words_ = std::move(words);
+  return true;
+}
+
 void FlatBitset::resize(std::size_t nbits) {
   if (nbits <= nbits_) return;
   nbits_ = nbits;

@@ -90,6 +90,15 @@ class FlatBitset {
   /// words round up to 64-bit granularity).  Memory accounting only.
   std::size_t memory_bytes() const { return words_.capacity() * sizeof(std::uint64_t); }
 
+  /// Raw word storage (64 bits per word, LSB-first) — snapshot serialization.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  /// Rebuilds a bitset from serialized storage.  Word count must match the
+  /// domain and tail bits past `nbits` must be zero; returns false (leaving
+  /// *out untouched) otherwise, so corrupt files are rejected instead of
+  /// smuggling out-of-domain bits into set algebra.
+  static bool from_words(std::size_t nbits, std::vector<std::uint64_t> words,
+                         FlatBitset* out);
+
  private:
   std::size_t nbits_ = 0;
   std::vector<std::uint64_t> words_;

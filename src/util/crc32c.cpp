@@ -1,0 +1,48 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace apc::util {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFF];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFF];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFF];
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  while (len >= 4) {
+    c ^= static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+    c = kTables.t[3][c & 0xFF] ^ kTables.t[2][(c >> 8) & 0xFF] ^
+        kTables.t[1][(c >> 16) & 0xFF] ^ kTables.t[0][c >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) c = (c >> 8) ^ kTables.t[0][(c ^ *p++) & 0xFF];
+  return ~c;
+}
+
+}  // namespace apc::util

@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
+// durable byte this library writes (WAL records, snapshot files).
+//
+// Software slice-by-4 implementation: no SSE4.2 dependency, ~1.5 GB/s —
+// orders of magnitude faster than the fsyncs it rides along with, and the
+// same polynomial hardware-accelerated implementations use, so files stay
+// portable if the implementation is ever swapped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apc::util {
+
+/// CRC32C of `data[0..len)`, continuing from `seed` (pass the previous
+/// return value to checksum discontiguous buffers as one stream; 0 starts a
+/// fresh checksum).
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+/// Masked CRC in the storage-system tradition (e.g. LevelDB): storing a CRC
+/// of data that itself embeds CRCs invites accidental fixed points, so
+/// durable formats store the masked value.
+inline std::uint32_t crc32c_mask(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+inline std::uint32_t crc32c_unmask(std::uint32_t masked) {
+  const std::uint32_t rot = masked - 0xA282EAD8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace apc::util

@@ -1,7 +1,11 @@
-// Error type used across the AP Classifier library.
+// Error taxonomy used across the AP Classifier library.
 //
-// Construction-time misuse (bad prefixes, inconsistent wiring, out-of-range
-// field widths, ...) throws apc::Error.  Hot query paths never throw.
+// Every failure that crosses a module boundary is an apc::Error carrying an
+// ErrorCode, so callers can branch on *what kind* of failure occurred
+// (corrupt file vs. transient I/O vs. overload) without parsing message
+// strings, and no raw std:: exception type escapes a module.  Construction-
+// time misuse (bad prefixes, inconsistent wiring, out-of-range field widths,
+// ...) throws kInvalidArgument.  Hot query paths never throw.
 #pragma once
 
 #include <stdexcept>
@@ -9,15 +13,57 @@
 
 namespace apc {
 
-/// Exception thrown on library misuse or malformed input.
+/// What kind of failure an apc::Error reports.  Codes are stable: callers
+/// and tests branch on them.
+enum class ErrorCode {
+  kInvalidArgument,     ///< library misuse / malformed in-memory input
+  kParse,               ///< malformed textual input (network files, ...)
+  kIo,                  ///< operating-system I/O failure (open/read/write/fsync)
+  kCorruptData,         ///< on-disk data failed magic/version/CRC/bounds checks
+  kResourceExhausted,   ///< a configured budget (nodes, queue slots) was hit
+  kUnavailable,         ///< serving path shed load; retry later
+  kFailedPrecondition,  ///< operation invalid in the current state
+  kInternal,            ///< invariant violation / injected fault
+};
+
+/// Stable human-readable name of a code (for messages and logs).
+inline const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kCorruptData: return "corrupt_data";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Exception thrown on library misuse, malformed input, or failed I/O.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), code_(ErrorCode::kInvalidArgument) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(std::string("[") + error_code_name(code) + "] " + what),
+        code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 /// Throws apc::Error with `msg` when `cond` is false.
 inline void require(bool cond, const char* msg) {
   if (!cond) throw Error(msg);
+}
+
+/// Code-carrying variant.
+inline void require(bool cond, ErrorCode code, const char* msg) {
+  if (!cond) throw Error(code, msg);
 }
 
 }  // namespace apc

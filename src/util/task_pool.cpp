@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/fault_injection.hpp"
 
 namespace apc::util {
 
@@ -39,6 +40,11 @@ void TaskPool::register_metrics(obs::MetricsRegistry& reg,
 void TaskPool::execute(std::unique_lock<std::mutex>& lock, Task task) {
   lock.unlock();
   try {
+    // Chaos hook: a fired "taskpool.task" fault surfaces through the same
+    // capture-and-rethrow path a real task exception takes, so tests can
+    // prove fork/join error propagation without a cooperating task.
+    if (fault_fires("taskpool.task"))
+      throw Error(ErrorCode::kInternal, "injected fault at task boundary");
     task.fn();
   } catch (...) {
     if (task.group) {

@@ -1,0 +1,118 @@
+// Table-driven negative tests for the network text format: every malformed
+// input must surface as a typed apc::Error (kParse for bad content, kIo for
+// filesystem failures) carrying the line number — never a raw std::
+// exception, never a silent partial parse.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/network_io.hpp"
+
+namespace apc::io {
+namespace {
+
+// A minimal valid prelude the malformed line is appended to (so the failure
+// is attributable to that line, not missing context).
+constexpr const char* kPrelude = R"(box a
+box b
+link a b
+hostport a h1
+hostport b h2
+acl in b 0 default permit
+)";
+
+struct MalformedCase {
+  const char* name;
+  std::string text;              // full file content
+  const char* expect_fragment;   // must appear in the error message
+};
+
+std::vector<MalformedCase> malformed_cases() {
+  const std::string p = kPrelude;
+  std::vector<MalformedCase> cases = {
+      {"PortOutOfRange",
+       p + "aclrule in b 0 deny src 0.0.0.0/0 dst 0.0.0.0/0 sport 0-70000 "
+           "dport 0-65535 proto 6\n",
+       "out of range"},
+      {"PortNotANumber",
+       p + "aclrule in b 0 deny src 0.0.0.0/0 dst 0.0.0.0/0 sport 0-7abc "
+           "dport 0-65535 proto 6\n",
+       "bad port"},
+      {"InvertedPortRange",
+       p + "aclrule in b 0 deny src 0.0.0.0/0 dst 0.0.0.0/0 sport 0-65535 "
+           "dport 23-22 proto 6\n",
+       "inverted port range"},
+      {"ProtoOutOfRange",
+       p + "aclrule in b 0 deny src 0.0.0.0/0 dst 0.0.0.0/0 sport 0-65535 "
+           "dport 0-65535 proto 300\n",
+       "out of range"},
+      {"DuplicateBox", p + "box a\n", "duplicate box"},
+      {"UnknownBox", p + "fib ghost 10.0.0.0/8 0\n", "unknown box"},
+      {"UnknownDirective", p + "frobnicate a b\n", "unknown directive"},
+      {"AclRuleBeforeAcl",
+       p + "aclrule out b 0 deny src 0.0.0.0/0 dst 0.0.0.0/0 sport 0-65535 "
+           "dport 0-65535 proto 6\n",
+       "aclrule before matching acl"},
+      {"AclRuleTokenCount", p + "aclrule in b 0 deny src 0.0.0.0/0\n",
+       "expected 15 tokens"},
+      {"BadPrefix", p + "fib a 10.0.0.0/40 0\n", ""},
+      {"FlowRuleBadAction", p + "flowrule a 5 teleport 1\n",
+       "expected forward|drop"},
+      {"EmptyFile", "", "empty"},
+      {"CommentOnlyFile", "# nothing here\n\n  \n", "empty"},
+      {"NonUtf8", p + "box caf\xC3(\n", "invalid UTF-8"},
+      {"OversizedLine", p + "# " + std::string(70 * 1024, 'x') + "\n",
+       "exceeds"},
+  };
+  return cases;
+}
+
+TEST(NetworkIoMalformed, EveryCaseFailsTyped) {
+  for (const MalformedCase& c : malformed_cases()) {
+    try {
+      read_network_string(c.text);
+      FAIL() << c.name << ": malformed input was accepted";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << c.name << ": " << e.what();
+      EXPECT_NE(std::string(e.what()).find(c.expect_fragment), std::string::npos)
+          << c.name << ": message was: " << e.what();
+    } catch (const std::exception& e) {
+      FAIL() << c.name << ": escaped as untyped " << typeid(e).name() << ": "
+             << e.what();
+    }
+  }
+}
+
+TEST(NetworkIoMalformed, ErrorsCarryTheLineNumber) {
+  // The bad directive is on line 7 (after the 6-line prelude).
+  try {
+    read_network_string(std::string(kPrelude) + "fib ghost 10.0.0.0/8 0\n");
+    FAIL() << "expected kParse";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetworkIoMalformed, MissingFileIsIoNotParse) {
+  try {
+    read_network_file("/nonexistent/apc/never/net.txt");
+    FAIL() << "expected kIo";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+}
+
+TEST(NetworkIoMalformed, BoundaryValuesAreAccepted) {
+  // The extremes the negative cases sit just beyond.
+  const std::string ok = std::string(kPrelude) +
+                         "aclrule in b 0 deny src 0.0.0.0/0 dst 0.0.0.0/0 "
+                         "sport 0-65535 dport 65535-65535 proto 255\n" +
+                         "fib a 10.0.0.0/8 0\n";
+  const NetworkModel net = read_network_string(ok);
+  EXPECT_EQ(net.total_acl_rules(), 1u);
+}
+
+}  // namespace
+}  // namespace apc::io
