@@ -21,6 +21,16 @@ void AtomUniverse::kill(AtomId id) {
   alive_[id] = false;
 }
 
+AtomId AtomUniverse::merge(AtomId a, AtomId b) {
+  require(a != b && a < alive_.size() && b < alive_.size(),
+          "AtomUniverse::merge: bad ids");
+  require(alive_[a] && alive_[b], "AtomUniverse::merge: dead operand");
+  bdd::Bdd m = bdds_[a] | bdds_[b];
+  alive_[a] = false;
+  alive_[b] = false;
+  return add(std::move(m));
+}
+
 std::size_t AtomUniverse::alive_count() const {
   std::size_t n = 0;
   for (bool a : alive_)

@@ -35,6 +35,11 @@ class AtomUniverse {
   AtomId add(bdd::Bdd bdd);
   void kill(AtomId id);
 
+  /// Merges two live atoms (predicate deletion, the inverse of splitting):
+  /// kills both and appends their disjunction as a fresh atom, returning
+  /// the new id.
+  AtomId merge(AtomId a, AtomId b);
+
   std::size_t capacity() const { return bdds_.size(); }  ///< incl. dead slots
   std::size_t alive_count() const;
   bool is_alive(AtomId id) const { return alive_.at(id); }

@@ -30,6 +30,11 @@ PredId PredicateRegistry::add_with_key(bdd::Bdd bdd, PredicateKind kind,
 void PredicateRegistry::mark_deleted(PredId id) {
   require(id < preds_.size(), "PredicateRegistry::mark_deleted: bad id");
   preds_[id].deleted = true;
+  // Dead predicates must not keep a stale R-set: later atom splits/merges
+  // skip deleted entries when patching, so leftover bits would silently rot.
+  // The domain is kept (callers may still probe in-range ids defensively);
+  // all bits go to zero, matching compute_atoms' empty sets for deleted.
+  preds_[id].atoms.clear();
 }
 
 std::size_t PredicateRegistry::live_count() const {

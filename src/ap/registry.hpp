@@ -46,7 +46,8 @@ class PredicateRegistry {
   PredId add_with_key(bdd::Bdd bdd, PredicateKind kind, std::optional<PortId> origin,
                       std::uint64_t key);
 
-  /// Marks a predicate deleted (lazy delete; see SS VI-A).
+  /// Marks a predicate deleted and clears its R-set (the atoms it used to
+  /// separate are merged by delete_predicate; see SS VI-A).
   void mark_deleted(PredId id);
 
   std::size_t size() const { return preds_.size(); }

@@ -271,6 +271,17 @@ class ParallelBuilder {
 
 }  // namespace
 
+TreeFragment build_subtree(const PredicateRegistry& reg, const FlatBitset& S,
+                           std::size_t count) {
+  require(count > 0, "build_subtree: empty atom set");
+  const BuildContext ctx{reg, nullptr};
+  TreeBuilder b(ctx);
+  TreeFragment out;
+  out.root = b.build_oapt(S, count, reg.live_ids());
+  out.nodes = b.take_nodes();
+  return out;
+}
+
 int compare_predicates(const FlatBitset& S, const FlatBitset& Ri, const FlatBitset& Rj,
                        const std::vector<double>* weights) {
   const FlatBitset a = S & Ri;  // S ∩ R(pi)

@@ -79,6 +79,21 @@ ApTree best_from_random(const PredicateRegistry& reg, const AtomUniverse& uni,
                         std::size_t samples, std::uint64_t seed = 1,
                         std::vector<double>* all_avg_depths = nullptr);
 
+/// A self-contained subtree: node array in the serial builder's layout
+/// (children before parent, root last) plus the root's index.  Produced by
+/// build_subtree and consumed by ApTree::graft.
+struct TreeFragment {
+  std::vector<ApTree::Node> nodes;
+  std::int32_t root = ApTree::kNil;
+};
+
+/// Builds an OAPT subtree over exactly the atoms set in `S` (`count` =
+/// S.count(), passed to skip a recount), choosing among the live predicates
+/// of `reg`.  Serial and deterministic — incremental deletion uses this to
+/// rebuild only the dirty subtrees instead of the whole tree.
+TreeFragment build_subtree(const PredicateRegistry& reg, const FlatBitset& S,
+                           std::size_t count);
+
 /// The pairwise relation of SS V-C, exposed for tests.
 /// Returns +1 if pi is superior to pj on atom set S, -1 if inferior, 0 if
 /// same-order.  `wi`/`wj`/`wije`/`ws` arithmetic uses weights when given.

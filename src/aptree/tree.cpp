@@ -33,6 +33,100 @@ void ApTree::split_leaf(std::int32_t idx, PredId pred, AtomId left_atom,
   n.atom = kNil;
 }
 
+void ApTree::fuse_leaf(std::int32_t idx, AtomId atom) {
+  require(idx >= 0 && static_cast<std::size_t>(idx) < nodes_.size(),
+          "ApTree::fuse_leaf: bad index");
+  require(!nodes_[idx].is_leaf(), "ApTree::fuse_leaf: already a leaf");
+  Node& n = nodes_[idx];
+  n.pred = kNil;
+  n.left = kNil;
+  n.right = kNil;
+  n.atom = static_cast<std::int32_t>(atom);
+}
+
+void ApTree::graft(std::int32_t idx, const std::vector<Node>& fragment,
+                   std::int32_t frag_root) {
+  require(idx >= 0 && static_cast<std::size_t>(idx) < nodes_.size(),
+          "ApTree::graft: bad index");
+  require(frag_root >= 0 && static_cast<std::size_t>(frag_root) < fragment.size(),
+          "ApTree::graft: bad fragment root");
+  // The fragment root is written into `idx`, everything else appended.  The
+  // root is skipped in the append (a second, unreachable copy of a leaf root
+  // would shadow the live one in leaf_of_atom-style scans); fragment child
+  // pointers never reference the root, so the remap below is total.
+  const std::int32_t off = static_cast<std::int32_t>(nodes_.size());
+  const auto remap = [off, frag_root](std::int32_t j) {
+    return j < frag_root ? off + j : off + j - 1;
+  };
+  nodes_.reserve(nodes_.size() + fragment.size() - 1);
+  for (std::size_t j = 0; j < fragment.size(); ++j) {
+    if (static_cast<std::int32_t>(j) == frag_root) continue;
+    Node n = fragment[j];
+    if (!n.is_leaf()) {
+      n.left = remap(n.left);
+      n.right = remap(n.right);
+    }
+    nodes_.push_back(n);
+  }
+  Node root_node = fragment[static_cast<std::size_t>(frag_root)];
+  if (!root_node.is_leaf()) {
+    root_node.left = remap(root_node.left);
+    root_node.right = remap(root_node.right);
+  }
+  nodes_[static_cast<std::size_t>(idx)] = root_node;
+}
+
+std::size_t ApTree::unreachable_nodes() const {
+  if (root_ == kNil) return nodes_.size();
+  std::size_t reachable = 0;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::int32_t i = stack.back();
+    stack.pop_back();
+    ++reachable;
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (!n.is_leaf()) {
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    }
+  }
+  return nodes_.size() - reachable;
+}
+
+void ApTree::compact() {
+  if (root_ == kNil) {
+    nodes_.clear();
+    return;
+  }
+  // DFS preorder relayout (root first, left before right): deterministic, so
+  // WAL replay that compacts at the same points lands on the same node array.
+  std::vector<Node> out;
+  out.reserve(nodes_.size() - unreachable_nodes());
+  struct Item {
+    std::int32_t src;
+    std::int32_t parent;  ///< index in `out` to patch, kNil for the root
+    bool is_left;
+  };
+  std::vector<Item> stack{{root_, kNil, false}};
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    const std::int32_t ni = static_cast<std::int32_t>(out.size());
+    out.push_back(nodes_[static_cast<std::size_t>(it.src)]);
+    if (it.parent != kNil) {
+      Node& p = out[static_cast<std::size_t>(it.parent)];
+      (it.is_left ? p.left : p.right) = ni;
+    }
+    const Node& n = out.back();
+    if (!n.is_leaf()) {
+      stack.push_back({n.right, ni, false});
+      stack.push_back({n.left, ni, true});
+    }
+  }
+  nodes_ = std::move(out);
+  root_ = 0;
+}
+
 AtomId ApTree::classify(const PacketHeader& h, const PredicateRegistry& reg,
                         std::size_t* evals) const {
   require(root_ != kNil, "ApTree::classify on empty tree");
@@ -110,11 +204,22 @@ double ApTree::weighted_average_depth(const std::vector<double>& atom_weights) c
 }
 
 std::vector<std::int32_t> ApTree::leaf_of_atom(std::size_t atom_capacity) const {
+  // Walk only the reachable tree: fuse_leaf/graft leave unreachable garbage
+  // nodes behind whose stale leaf labels must not shadow the live ones.
   std::vector<std::int32_t> out(atom_capacity, kNil);
-  for (std::int32_t i = 0; i < static_cast<std::int32_t>(nodes_.size()); ++i) {
-    const Node& n = nodes_[i];
-    if (n.is_leaf() && n.atom >= 0 && static_cast<std::size_t>(n.atom) < atom_capacity)
-      out[n.atom] = i;
+  if (root_ == kNil) return out;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::int32_t i = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.is_leaf()) {
+      if (n.atom >= 0 && static_cast<std::size_t>(n.atom) < atom_capacity)
+        out[static_cast<std::size_t>(n.atom)] = i;
+      continue;
+    }
+    stack.push_back(n.right);
+    stack.push_back(n.left);
   }
   return out;
 }

@@ -52,6 +52,29 @@ class ApTree {
   /// leaf children (used by predicate addition, SS VI-A).
   void split_leaf(std::int32_t idx, PredId pred, AtomId left_atom, AtomId right_atom);
 
+  /// Inverse of split_leaf: collapses internal node `idx` back into a leaf
+  /// carrying `atom` (predicate deletion when a single atom survives the
+  /// merge).  The old child subtree becomes unreachable garbage; see
+  /// unreachable_nodes()/compact().
+  void fuse_leaf(std::int32_t idx, AtomId atom);
+
+  /// Replaces the subtree rooted at `idx` with an externally built fragment
+  /// (predicate deletion rebuilds only dirty subtrees).  All fragment nodes
+  /// except the fragment root are appended with rebased child indices; the
+  /// root is written into `idx` in place, so the parent's child pointer
+  /// stays valid.  The old subtree becomes unreachable garbage.
+  void graft(std::int32_t idx, const std::vector<Node>& fragment,
+             std::int32_t frag_root);
+
+  /// Nodes no longer reachable from the root — garbage left behind by
+  /// fuse_leaf/graft.  O(node_count) DFS.
+  std::size_t unreachable_nodes() const;
+
+  /// Rewrites the node array to exactly the reachable nodes in DFS preorder
+  /// (root first, deterministic), dropping garbage.  Invalidates previously
+  /// held node indices.
+  void compact();
+
   /// Stage-1 classification: returns the atom id of `h`.
   /// `evals` (optional) receives the number of predicates evaluated.
   AtomId classify(const PacketHeader& h, const PredicateRegistry& reg,

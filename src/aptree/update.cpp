@@ -1,5 +1,9 @@
 #include "aptree/update.hpp"
 
+#include <unordered_map>
+
+#include "aptree/build.hpp"
+
 namespace apc {
 
 AddPredicateResult add_predicate(ApTree& tree, PredicateRegistry& reg,
@@ -20,7 +24,7 @@ AddPredicateResult add_predicate(ApTree& tree, PredicateRegistry& reg,
 
   std::vector<AtomSplit>& splits = res.splits;
 
-  for (AtomId a = 0; a < leaves.size(); ++a) {
+  for (AtomId a = 0; a < static_cast<AtomId>(leaves.size()); ++a) {
     if (leaves[a] == ApTree::kNil || !uni.is_alive(a)) continue;
     const bdd::Bdd& ab = uni.bdd_of(a);
     const bdd::Bdd inside = ab & pb;
@@ -44,13 +48,14 @@ AddPredicateResult add_predicate(ApTree& tree, PredicateRegistry& reg,
     ++res.leaves_split;
   }
 
-  // Patch every predicate's R set: children inherit the dead parent's
-  // memberships; the new predicate owns all "inside" children.
+  // Patch every live predicate's R set: children inherit the dead parent's
+  // memberships; the new predicate owns all "inside" children.  Deleted
+  // predicates are skipped — their R-sets are empty and must stay so.
   r_new.resize(uni.capacity());
   for (const AtomSplit& s : splits) r_new.set(s.in_atom);
 
-  for (PredId q = 0; q < reg.size(); ++q) {
-    if (q == pid) continue;
+  for (PredId q = 0; q < static_cast<PredId>(reg.size()); ++q) {
+    if (q == pid || reg.is_deleted(q)) continue;
     FlatBitset& rq = reg.info_mut(q).atoms;
     rq.resize(uni.capacity());
     for (const AtomSplit& s : splits) {
@@ -65,8 +70,174 @@ AddPredicateResult add_predicate(ApTree& tree, PredicateRegistry& reg,
   return res;
 }
 
-void delete_predicate(PredicateRegistry& reg, PredId id) {
-  reg.mark_deleted(id);
+namespace {
+
+/// Leaf atoms of the subtree rooted at `idx`, in DFS (left-first) order.
+std::vector<AtomId> subtree_atoms(const ApTree& tree, std::int32_t idx) {
+  std::vector<AtomId> out;
+  std::vector<std::int32_t> stack{idx};
+  while (!stack.empty()) {
+    const std::int32_t i = stack.back();
+    stack.pop_back();
+    const ApTree::Node& n = tree.node(i);
+    if (n.is_leaf()) {
+      out.push_back(static_cast<AtomId>(n.atom));
+      continue;
+    }
+    stack.push_back(n.right);
+    stack.push_back(n.left);
+  }
+  return out;
+}
+
+/// Membership signature of atom `a` over the given predicates: bit q set
+/// iff a ∈ R(q).  Two sibling atoms merge exactly when their signatures
+/// over the remaining live predicates are equal.
+FlatBitset signature_of(const PredicateRegistry& reg, const std::vector<PredId>& live,
+                        AtomId a) {
+  FlatBitset sig(reg.size());
+  for (const PredId q : live) {
+    const FlatBitset& rq = reg.atoms_of(q);
+    if (a < rq.size() && rq.test(a)) sig.set(q);
+  }
+  return sig;
+}
+
+}  // namespace
+
+DeletePredicateResult delete_predicate(ApTree& tree, PredicateRegistry& reg,
+                                       AtomUniverse& uni, PredId id) {
+  require(!tree.empty(), "delete_predicate: empty tree");
+  require(id < reg.size(), "delete_predicate: bad id");
+  require(!reg.is_deleted(id), "delete_predicate: already deleted");
+  reg.mark_deleted(id);  // also clears R(id)
+
+  DeletePredicateResult res;
+  res.pred_id = id;
+
+  // 1. Collect the reachable nodes labeled `id`, in preorder.  The kernel's
+  // exit invariant — no reachable node is ever labeled a deleted predicate —
+  // plus pruning (a predicate never re-splits its own subtrees) makes these
+  // sites non-nested, so their leaf sets are disjoint and they are exactly
+  // the places where atoms can merge: two atoms with equal live signatures
+  // must be separated by an `id`-labeled node.
+  std::vector<std::int32_t> sites;
+  {
+    std::vector<std::int32_t> stack{tree.root()};
+    while (!stack.empty()) {
+      const std::int32_t i = stack.back();
+      stack.pop_back();
+      const ApTree::Node& n = tree.node(i);
+      if (n.is_leaf()) continue;
+      if (static_cast<PredId>(n.pred) == id) {
+        sites.push_back(i);
+        continue;  // no `id` node can nest below another
+      }
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    }
+  }
+  if (sites.empty()) return res;  // p never split anything that survived
+
+  const std::vector<PredId> live = reg.live_ids();
+
+  // 2. Plan the merges per site.  Signatures are computed against the
+  // pre-merge R-sets; the operands are all pre-existing atoms, so no
+  // cross-site interference is possible.  Within one side of a site every
+  // signature is unique (the side's leaves are separated by live-labeled
+  // nodes), so the hash-bucketed pairing below is an exact bijection
+  // between the matching subsets of the two sides — and it only ever
+  // iterates the deterministic DFS atom orders, never the hash map.
+  struct SitePlan {
+    std::int32_t node = ApTree::kNil;
+    std::vector<AtomId> survivors;  ///< unpaired leftovers + merged atoms
+  };
+  std::vector<SitePlan> plans;
+  plans.reserve(sites.size());
+
+  for (const std::int32_t site : sites) {
+    const ApTree::Node& n = tree.node(site);
+    const std::vector<AtomId> lefts = subtree_atoms(tree, n.left);
+    const std::vector<AtomId> rights = subtree_atoms(tree, n.right);
+
+    struct RightEntry {
+      AtomId atom = 0;
+      FlatBitset sig;
+      bool paired = false;
+    };
+    std::unordered_map<std::size_t, std::vector<RightEntry>> by_hash;
+    for (const AtomId b : rights) {
+      FlatBitset sig = signature_of(reg, live, b);
+      const std::size_t h = sig.hash();
+      by_hash[h].push_back({b, std::move(sig), false});
+    }
+
+    SitePlan plan;
+    plan.node = site;
+    std::vector<bool> right_paired(rights.size(), false);
+    for (const AtomId a : lefts) {
+      const FlatBitset sig = signature_of(reg, live, a);
+      RightEntry* partner = nullptr;
+      const auto it = by_hash.find(sig.hash());
+      if (it != by_hash.end()) {
+        for (RightEntry& e : it->second)
+          if (!e.paired && e.sig == sig) {
+            partner = &e;
+            break;
+          }
+      }
+      if (partner == nullptr) {
+        plan.survivors.push_back(a);  // keeps its identity (¬p side empty)
+        continue;
+      }
+      partner->paired = true;
+      for (std::size_t j = 0; j < rights.size(); ++j)
+        if (rights[j] == partner->atom) right_paired[j] = true;
+      const AtomId m = uni.merge(a, partner->atom);
+      res.merges.push_back({a, partner->atom, m});
+      plan.survivors.push_back(m);
+    }
+    for (std::size_t j = 0; j < rights.size(); ++j)
+      if (!right_paired[j]) plan.survivors.push_back(rights[j]);
+    plans.push_back(std::move(plan));
+  }
+
+  // 3. Patch the live R-sets: a merged atom inherits the (identical)
+  // memberships of its operands.
+  for (const PredId q : live) {
+    FlatBitset& rq = reg.info_mut(q).atoms;
+    rq.resize(uni.capacity());
+    for (const AtomMerge& m : res.merges) {
+      if (rq.test(m.left_atom)) {
+        rq.reset(m.left_atom);
+        rq.reset(m.right_atom);
+        rq.set(m.merged);
+      }
+    }
+  }
+
+  // 4. Repair the tree at each site: one survivor fuses back into a single
+  // leaf; otherwise rebuild just this subtree over the survivors (their
+  // signatures are pairwise distinct, so the builder always finds live
+  // splitters).  Grafts only append nodes, so the other sites' indices
+  // stay valid.
+  for (const SitePlan& plan : plans) {
+    if (plan.survivors.size() == 1) {
+      tree.fuse_leaf(plan.node, plan.survivors.front());
+      ++res.leaves_fused;
+    } else {
+      FlatBitset S(uni.capacity());
+      for (const AtomId a : plan.survivors) S.set(a);
+      const TreeFragment frag = build_subtree(reg, S, plan.survivors.size());
+      tree.graft(plan.node, frag.nodes, frag.root);
+      ++res.subtrees_rebuilt;
+    }
+  }
+
+  // 5. Garbage nodes accumulate across deletes; compact once they dominate.
+  // The trigger depends only on tree state, keeping replay deterministic.
+  if (tree.unreachable_nodes() * 2 > tree.node_count()) tree.compact();
+  return res;
 }
 
 }  // namespace apc

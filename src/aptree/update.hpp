@@ -3,13 +3,20 @@
 // Adding a predicate p walks all current leaves: a leaf atom a with both
 // a∧p and a∧¬p non-false is split in place into an internal node labeled p
 // with two fresh leaf atoms; otherwise the leaf is unchanged and only R(p)
-// membership is recorded.  Every existing predicate's R set is patched so
-// the split children inherit the parent's memberships.
+// membership is recorded.  Every live predicate's R set is patched so the
+// split children inherit the parent's memberships.
 //
-// Deleting a predicate is lazy: it is marked deleted in the registry.  The
-// tree still evaluates it (queries stay correct — sibling subtrees remain
-// disjoint), and stage 2 simply ignores deleted predicates.  Reconstruction
-// (classifier/reconstruction.hpp) eventually rebuilds without it.
+// Deleting a predicate p is the exact inverse: its R-set is cleared, and at
+// every reachable tree node labeled p the sibling atoms whose distinguishing
+// predicate set collapsed (equal membership over all remaining live
+// predicates) are merged — BDDs OR-ed, operands tombstoned, a fresh atom
+// appended — and the node is either fused back into a single leaf or its
+// subtree is rebuilt over the surviving atoms.  Only the dirty subtrees are
+// touched; the rest of the tree (and all other atom ids) stay put.
+//
+// Both kernels are deterministic: replaying the same update sequence (e.g.
+// from the reconstruction WAL) reproduces bit-identical atom ids, R-sets,
+// and tree layout.
 #pragma once
 
 #include "ap/atoms.hpp"
@@ -36,16 +43,37 @@ struct AddPredicateResult {
   std::vector<AtomSplit> splits;
 };
 
+/// One atom fusion: `left_atom` (from the deleted predicate's true side)
+/// and `right_atom` (false side) are tombstoned, replaced by `merged`.
+struct AtomMerge {
+  AtomId left_atom = 0;
+  AtomId right_atom = 0;
+  AtomId merged = 0;
+};
+
+struct DeletePredicateResult {
+  PredId pred_id = 0;
+  std::size_t leaves_fused = 0;      ///< nodes collapsed back into one leaf
+  std::size_t subtrees_rebuilt = 0;  ///< nodes whose subtree was rebuilt
+  /// The fusions, so dependent structures can be patched (mirror of
+  /// AddPredicateResult::splits).
+  std::vector<AtomMerge> merges;
+};
+
 /// Adds predicate `p` to the registry, splits affected atoms/leaves, and
-/// patches all R sets.  `tree` may be empty (then only atoms are split —
-/// used by reconstruction replay before the new tree exists... the tree is
-/// required non-empty here; replay uses the same call on the new tree).
+/// patches all live R sets.  `tree` must be non-empty.
 AddPredicateResult add_predicate(ApTree& tree, PredicateRegistry& reg,
                                  AtomUniverse& uni, bdd::Bdd p, PredicateKind kind,
                                  std::optional<PortId> origin = {},
                                  std::uint64_t external_key = 0);
 
-/// Lazy delete (registry mark only).
-void delete_predicate(PredicateRegistry& reg, PredId id);
+/// Deletes predicate `id`: clears its R-set, merges every sibling atom pair
+/// whose membership signature over the remaining live predicates is equal,
+/// and repairs the tree locally (leaf fusion or dirty-subtree rebuild).
+/// Postcondition: the atom universe, live R-sets, and classification results
+/// are equivalent to a from-scratch recomputation over the remaining live
+/// predicates, and no reachable tree node is labeled a deleted predicate.
+DeletePredicateResult delete_predicate(ApTree& tree, PredicateRegistry& reg,
+                                       AtomUniverse& uni, PredId id);
 
 }  // namespace apc

@@ -182,8 +182,25 @@ Behavior ApClassifier::query(const PacketHeader& h, BoxId ingress) const {
 
 AddPredicateResult ApClassifier::add_predicate(bdd::Bdd p, PredicateKind kind,
                                                std::optional<PortId> origin) {
+  return add_predicate_internal(std::move(p), kind, origin);
+}
+
+AddPredicateResult ApClassifier::add_predicate_internal(bdd::Bdd p, PredicateKind kind,
+                                                        std::optional<PortId> origin) {
   auto res = apc::add_predicate(tree_, reg_, uni_, std::move(p), kind, origin);
   apply_atom_splits(res.splits);
+  for (const AtomSplit& s : res.splits) {
+    delta_.killed.push_back(s.old_atom);
+    delta_.added.push_back(s.in_atom);
+    delta_.added.push_back(s.out_atom);
+  }
+  // Forward/ACL predicates shape stage-2 behavior: every member atom's
+  // behavior may change even if the atom itself did not split.  External
+  // predicates never enter the compiled network, so they stay clean.
+  if (kind != PredicateKind::External) {
+    reg_.atoms_of(res.pred_id).for_each(
+        [this](std::size_t a) { delta_.dirty.push_back(static_cast<AtomId>(a)); });
+  }
   visit_counts_.grow(uni_.capacity());
   return res;
 }
@@ -212,7 +229,58 @@ void ApClassifier::apply_atom_splits(const std::vector<AtomSplit>& splits) {
   }
 }
 
-void ApClassifier::remove_predicate(PredId id) { delete_predicate(reg_, id); }
+void ApClassifier::apply_atom_merges(const std::vector<AtomMerge>& merges) {
+  if (merges.empty() || middleboxes_.empty()) return;
+  for (Middlebox& mb : middleboxes_) {
+    for (MiddleboxEntry& e : mb.entries) {
+      for (const AtomMerge& m : merges) {
+        // A merged atom inherits the union of its operands' match bits.
+        // Predicate-derived match sets always hold the operands together
+        // (the operands' live-predicate memberships are identical by
+        // construction); a hand-built set that split them loses that
+        // distinction here — the same information loss a full rebuild's
+        // renumbering would cause.
+        if (e.match_atoms.test(m.left_atom) || e.match_atoms.test(m.right_atom)) {
+          e.match_atoms.resize(uni_.capacity());
+          if (m.left_atom < e.match_atoms.size()) e.match_atoms.reset(m.left_atom);
+          if (m.right_atom < e.match_atoms.size()) e.match_atoms.reset(m.right_atom);
+          e.match_atoms.set(m.merged);
+        }
+        // A Type 1 entry's precomputed result atom maps exactly.
+        if (e.type == ChangeType::Deterministic &&
+            (e.next_atom == m.left_atom || e.next_atom == m.right_atom)) {
+          e.next_atom = m.merged;
+        }
+      }
+    }
+  }
+}
+
+DeletePredicateResult ApClassifier::remove_predicate(PredId id) {
+  return delete_predicate_internal(id);
+}
+
+DeletePredicateResult ApClassifier::delete_predicate_internal(PredId id) {
+  const PredicateKind kind = reg_.info(id).kind;
+  std::vector<AtomId> old_r;
+  if (kind != PredicateKind::External) {
+    reg_.atoms_of(id).for_each(
+        [&old_r](std::size_t a) { old_r.push_back(static_cast<AtomId>(a)); });
+  }
+  auto res = apc::delete_predicate(tree_, reg_, uni_, id);
+  apply_atom_merges(res.merges);
+  for (const AtomMerge& m : res.merges) {
+    delta_.killed.push_back(m.left_atom);
+    delta_.killed.push_back(m.right_atom);
+    delta_.added.push_back(m.merged);
+  }
+  // The deleted predicate's former members may change behavior (a Forward/
+  // ACL entry vanished); merge operands in old_r land in `killed` too, and
+  // consumers treat killed ∪ added ∪ dirty uniformly.
+  for (const AtomId a : old_r) delta_.dirty.push_back(a);
+  visit_counts_.grow(uni_.capacity());
+  return res;
+}
 
 ApClassifier::RuleUpdateResult ApClassifier::refresh_box_predicates(BoxId box) {
   RuleUpdateResult res;
@@ -236,13 +304,14 @@ ApClassifier::RuleUpdateResult ApClassifier::refresh_box_predicates(BoxId box) {
       next.push_back(*old);  // unchanged: tree untouched (SS VI-A)
       continue;
     }
-    // Changed (or new) predicate: lazy-delete the old, add the new.
+    // Changed (or new) predicate: delete the old (merging its atoms back),
+    // add the new.
     CompiledNetwork::PortEntry e;
     e.port = port;
     e.out_acl = old ? old->out_acl : kNoPred;
-    if (old) delete_predicate(reg_, old->pred);
-    const auto add = apc::add_predicate(tree_, reg_, uni_, std::move(pred),
-                                        PredicateKind::Forward, PortId{box, port});
+    if (old) delete_predicate_internal(old->pred);
+    const auto add = add_predicate_internal(std::move(pred), PredicateKind::Forward,
+                                            PortId{box, port});
     e.pred = add.pred_id;
     res.atoms_split += add.leaves_split;
     ++res.predicates_changed;
@@ -251,7 +320,7 @@ ApClassifier::RuleUpdateResult ApClassifier::refresh_box_predicates(BoxId box) {
   // Ports that lost every effective rule: predicate disappears.
   for (std::size_t i = 0; i < entries.size(); ++i) {
     if (consumed[i]) continue;
-    delete_predicate(reg_, entries[i].pred);
+    delete_predicate_internal(entries[i].pred);
     ++res.predicates_changed;
   }
   entries = std::move(next);
@@ -372,11 +441,10 @@ ApClassifier::RuleUpdateResult ApClassifier::move_region_to_port(
       if ((old & region).is_false()) continue;  // unaffected port
       updated = old.minus(region);
     }
-    delete_predicate(reg_, e.pred);
+    delete_predicate_internal(e.pred);
     if (updated.is_false()) continue;  // entry pruned below via rebuild of list
-    const auto add = apc::add_predicate(tree_, reg_, uni_, std::move(updated),
-                                        PredicateKind::Forward, PortId{box, e.port});
-    apply_atom_splits(add.splits);
+    const auto add = add_predicate_internal(std::move(updated),
+                                            PredicateKind::Forward, PortId{box, e.port});
     e.pred = add.pred_id;
     res.atoms_split += add.leaves_split;
     ++res.predicates_changed;
@@ -391,10 +459,8 @@ ApClassifier::RuleUpdateResult ApClassifier::move_region_to_port(
     }
   }
   if (!target_found) {
-    const auto add = apc::add_predicate(tree_, reg_, uni_, region,
-                                        PredicateKind::Forward,
-                                        PortId{box, target_port});
-    apply_atom_splits(add.splits);
+    const auto add = add_predicate_internal(region, PredicateKind::Forward,
+                                            PortId{box, target_port});
     CompiledNetwork::PortEntry e;
     e.port = target_port;
     e.pred = add.pred_id;
@@ -423,15 +489,14 @@ ApClassifier::RuleUpdateResult ApClassifier::remove_region(BoxId box,
       continue;
     }
     bdd::Bdd updated = old.minus(region);
-    delete_predicate(reg_, e.pred);
+    delete_predicate_internal(e.pred);
     ++res.predicates_changed;
     if (updated.is_false()) {
       entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
       continue;
     }
-    const auto add = apc::add_predicate(tree_, reg_, uni_, std::move(updated),
-                                        PredicateKind::Forward, PortId{box, e.port});
-    apply_atom_splits(add.splits);
+    const auto add = add_predicate_internal(std::move(updated),
+                                            PredicateKind::Forward, PortId{box, e.port});
     e.pred = add.pred_id;
     res.atoms_split += add.leaves_split;
     ++i;
@@ -482,10 +547,9 @@ ApClassifier::RuleUpdateResult ApClassifier::set_input_acl(BoxId box,
   const PredId old = compiled_.in_acl_by_port[box][port];
   if (old != kNoPred && !reg_.is_deleted(old) && reg_.bdd_of(old) == pred) return res;
 
-  if (old != kNoPred) delete_predicate(reg_, old);
-  const auto add = apc::add_predicate(tree_, reg_, uni_, std::move(pred),
-                                      PredicateKind::AclInput, PortId{box, port});
-  apply_atom_splits(add.splits);
+  if (old != kNoPred) delete_predicate_internal(old);
+  const auto add = add_predicate_internal(std::move(pred), PredicateKind::AclInput,
+                                          PortId{box, port});
   compiled_.in_acl_by_port[box][port] = add.pred_id;
   compiled_.input_acl_pred[{box, port}] = add.pred_id;
   res.atoms_split += add.leaves_split;
@@ -498,8 +562,8 @@ void ApClassifier::rebuild(std::optional<BuildMethod> method, bool distribution_
   std::vector<double> weights;
   if (distribution_aware) weights = visit_weights();
 
-  // Recompute atoms from live predicates only: lazy-deleted predicates drop
-  // out and previously split atoms merge back (paper SS VI-B).
+  // Recompute atoms from live predicates only (deleted slots stay dead) and
+  // renumber the universe from scratch (paper SS VI-B).
   AtomUniverse old_uni = std::move(uni_);
   std::vector<double> old_weights = std::move(weights);
   BuildPool bp(opts_.threads);
@@ -532,6 +596,12 @@ void ApClassifier::rebuild(std::optional<BuildMethod> method, bool distribution_
   tree_ = build_tree(reg_, uni_, bo);
   visit_counts_.reset(uni_.capacity());
   ++telemetry_.rebuilds;
+  // A full rebuild renumbers every atom: the accumulated delta no longer
+  // describes the new universe.  Mark it lost so snapshot republication
+  // falls back to a from-scratch build.  (rebuild_with_weights keeps the
+  // atoms — and therefore the delta — intact.)
+  delta_ = AtomDelta{};
+  delta_.valid = false;
 }
 
 void ApClassifier::rebuild_with_weights(const std::vector<double>& atom_weights,

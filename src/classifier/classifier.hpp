@@ -28,6 +28,23 @@ struct ProbBehavior {
   Behavior behavior;
 };
 
+/// Net atom-universe change accumulated across incremental updates since the
+/// last take_atom_delta() call.  The snapshot engine consumes it to patch
+/// only the affected behavior-table rows and header-cache entries instead of
+/// rebuilding both wholesale.  `valid == false` means the delta was lost (a
+/// full rebuild renumbered every atom) and consumers must fall back to a
+/// from-scratch snapshot.
+struct AtomDelta {
+  bool valid = true;
+  std::vector<AtomId> killed;  ///< tombstoned ids (split parents, merge operands)
+  std::vector<AtomId> added;   ///< appended ids (split halves, merge results)
+  /// Atoms that survived with identical BDDs but whose *behavior* may have
+  /// changed: members of an added or deleted Forward/ACL predicate's R-set.
+  std::vector<AtomId> dirty;
+
+  bool empty() const { return killed.empty() && added.empty() && dirty.empty(); }
+};
+
 /// Construction telemetry from the most recent build (initial or rebuild)
 /// plus lifetime rebuild counts.  Copyable so ApClassifier::fork() keeps
 /// working: the atomic fork counter is copied by value.
@@ -113,15 +130,25 @@ class ApClassifier {
   AddPredicateResult add_predicate(bdd::Bdd p,
                                    PredicateKind kind = PredicateKind::External,
                                    std::optional<PortId> origin = {});
-  /// Lazy delete.
-  void remove_predicate(PredId id);
+  /// Incremental delete: merges the sibling atoms the predicate was the
+  /// last distinguisher of and repairs only the dirty subtrees (the exact
+  /// inverse of add_predicate).
+  DeletePredicateResult remove_predicate(PredId id);
+
+  /// Returns and resets the atom delta accumulated since the last call.
+  /// The snapshot engine calls this under its writer lock at republication.
+  AtomDelta take_atom_delta() {
+    AtomDelta d = std::move(delta_);
+    delta_ = AtomDelta{};
+    return d;
+  }
 
   // ---- Rule-level updates ----
   // The paper converts a rule insertion/deletion into predicate changes
   // using the method of [Yang & Lam TR-13-15] (SS VI-A): recompile the
   // affected box's table; ports whose predicate changed get their old
-  // predicate lazily deleted and the new one added to the tree.  If no
-  // predicate changes, the AP Tree is untouched.
+  // predicate deleted (atoms merged incrementally) and the new one added
+  // to the tree.  If no predicate changes, the AP Tree is untouched.
 
   struct RuleUpdateResult {
     std::size_t predicates_changed = 0;  ///< ports whose predicate changed
@@ -222,7 +249,15 @@ class ApClassifier {
   RuleUpdateResult move_region_to_port(BoxId box, const bdd::Bdd& region,
                                        std::uint32_t target_port);
   RuleUpdateResult remove_region(BoxId box, const bdd::Bdd& region);
+  /// Shared add/delete kernels: run the tree update, patch dependent
+  /// structures (middlebox tables, visit counters), and fold the change
+  /// into the accumulated atom delta.  Every mutating path funnels through
+  /// these two so the delta can never miss an update.
+  AddPredicateResult add_predicate_internal(bdd::Bdd p, PredicateKind kind,
+                                            std::optional<PortId> origin);
+  DeletePredicateResult delete_predicate_internal(PredId id);
   void apply_atom_splits(const std::vector<AtomSplit>& splits);
+  void apply_atom_merges(const std::vector<AtomMerge>& merges);
   bdd::Bdd multicast_space(BoxId box) const;
 
   NetworkModel net_;
@@ -233,6 +268,7 @@ class ApClassifier {
   ApTree tree_;
   Options opts_;
   BuildTelemetry telemetry_;
+  AtomDelta delta_;
   std::vector<Middlebox> middleboxes_;
   // Atomic so that const classify() calls from several threads never race
   // (the resize-on-update, grow-only discipline lives in the non-const

@@ -1,11 +1,21 @@
 #include "classifier/reconstruction.hpp"
 
 #include <charconv>
+#include <chrono>
 
 #include "ap/atoms.hpp"
 #include "util/fault_injection.hpp"
 
 namespace apc {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 namespace {
 
@@ -119,8 +129,7 @@ std::unique_ptr<ReconstructionManager> ReconstructionManager::recover(Options op
       rm->next_key_ = std::max(rm->next_key_, key + 1);
     } else {
       const std::uint64_t key = parse_key(std::string_view(rec).substr(2));
-      if (const auto id = rm->cur_->reg.find_by_key(key))
-        delete_predicate(rm->cur_->reg, *id);
+      apply_remove(*rm->cur_, key);
     }
   }
   rm->wal_recoveries_.add();
@@ -144,6 +153,11 @@ void ReconstructionManager::apply_add(bdd::Bdd local, std::uint64_t key) {
                      PredicateKind::External, std::nullopt, key);
 }
 
+void ReconstructionManager::apply_remove(Snapshot& snap, std::uint64_t key) {
+  if (const auto id = snap.reg.find_by_key(key))
+    apc::delete_predicate(snap.tree, snap.reg, snap.uni, *id);
+}
+
 std::uint64_t ReconstructionManager::add_predicate(const bdd::Bdd& p) {
   const std::uint64_t key = next_key_++;
   bdd::Bdd local = bdd::transfer(p, *cur_->mgr);
@@ -158,7 +172,12 @@ std::uint64_t ReconstructionManager::add_predicate(const bdd::Bdd& p) {
       throw;
     }
   }
+  const auto start = std::chrono::steady_clock::now();
   apply_add(std::move(local), key);
+  if (policy_) {
+    policy_->record_update();
+    policy_->record_update_cost(seconds_since(start));
+  }
   if (rebuilding()) journal_.push_back({true, p, key});
   return key;
 }
@@ -172,7 +191,12 @@ void ReconstructionManager::remove_predicate(std::uint64_t key) {
   const auto id = cur_->reg.find_by_key(key);
   if (!id) return;
   if (wal_) wal_->append(encode_remove(key));
-  delete_predicate(cur_->reg, *id);
+  const auto start = std::chrono::steady_clock::now();
+  apply_remove(*cur_, key);
+  if (policy_) {
+    policy_->record_update();
+    policy_->record_update_cost(seconds_since(start));
+  }
   if (rebuilding()) journal_.push_back({false, {}, key});
 }
 
@@ -199,10 +223,12 @@ void ReconstructionManager::trigger_rebuild(
   worker_ = std::thread([this, new_mgr = std::move(new_mgr),
                          preds = std::move(preds),
                          samples = std::move(weight_samples)]() mutable {
+    const auto start = std::chrono::steady_clock::now();
     {
       obs::ScopedTimer timer(rebuild_hist_);
       pending_ = build_snapshot(std::move(new_mgr), std::move(preds), opts_, samples);
     }
+    last_rebuild_seconds_.store(seconds_since(start), std::memory_order_release);
     rebuild_done_.store(true, std::memory_order_release);
   });
 }
@@ -221,8 +247,8 @@ bool ReconstructionManager::maybe_swap() {
       bdd::Bdd local = bdd::transfer(j.bdd, *snap->mgr);
       apc::add_predicate(snap->tree, snap->reg, snap->uni, std::move(local),
                          PredicateKind::External, std::nullopt, j.key);
-    } else if (const auto id = snap->reg.find_by_key(j.key)) {
-      delete_predicate(snap->reg, *id);
+    } else {
+      apply_remove(*snap, j.key);
     }
   }
   replayed_entries_.add(journal_.size());
@@ -230,6 +256,7 @@ bool ReconstructionManager::maybe_swap() {
   cur_ = std::move(snap);
   rebuilding_.store(false, std::memory_order_release);
   ++rebuild_count_;
+  if (policy_) policy_->record_rebuild_cost(last_rebuild_seconds());
   return true;
 }
 
@@ -239,6 +266,8 @@ void ReconstructionManager::register_metrics(obs::MetricsRegistry& reg,
                   [this] { return static_cast<double>(journal_.size()); }, "count");
   reg.register_counter(prefix + ".replayed_entries", &replayed_entries_);
   reg.register_histogram(prefix + ".rebuild_seconds", &rebuild_hist_);
+  reg.register_fn(prefix + ".last_rebuild_seconds",
+                  [this] { return last_rebuild_seconds(); }, "seconds");
   reg.register_fn(prefix + ".swaps",
                   [this] { return static_cast<double>(rebuild_count_); }, "count");
   reg.register_fn(prefix + ".predicates",

@@ -48,6 +48,14 @@ class ReconstructionPolicy {
     /// permanently changed workload can re-anchor it.  1 carries the
     /// baseline unchanged; 0 restores the old zeroing behavior.
     double best_qps_decay = 0.9;
+    /// Trigger when the *measured* time spent applying incremental deltas
+    /// since the last reconstruction exceeds this multiple of the last
+    /// measured full-rebuild time (0 disables).  Updates used to be assumed
+    /// to cost a full rebuild's worth of damage after `max_updates` of them;
+    /// with true incremental deletes the actual delta cost is tiny, so the
+    /// criterion compares measured cost against measured cost instead.
+    /// Inert until both sides have been observed at least once.
+    double delta_cost_ratio = 1.0;
   };
 
   ReconstructionPolicy() = default;
@@ -58,6 +66,10 @@ class ReconstructionPolicy {
     last_qps_ = qps;
     best_qps_ = std::max(best_qps_, qps);
   }
+  /// Measured wall-clock cost of one incremental update (seconds).
+  void record_update_cost(double seconds) { update_cost_ += seconds; }
+  /// Measured wall-clock cost of the most recent full rebuild (seconds).
+  void record_rebuild_cost(double seconds) { rebuild_cost_ = seconds; }
 
   bool should_trigger() const {
     if (thresholds_.max_updates > 0 && updates_ >= thresholds_.max_updates)
@@ -65,6 +77,9 @@ class ReconstructionPolicy {
     if (thresholds_.min_throughput_fraction > 0.0 && best_qps_ > 0.0 &&
         last_qps_ > 0.0 &&
         last_qps_ < best_qps_ * thresholds_.min_throughput_fraction)
+      return true;
+    if (thresholds_.delta_cost_ratio > 0.0 && rebuild_cost_ > 0.0 &&
+        update_cost_ >= thresholds_.delta_cost_ratio * rebuild_cost_)
       return true;
     return false;
   }
@@ -79,16 +94,21 @@ class ReconstructionPolicy {
     updates_ = 0;
     best_qps_ *= thresholds_.best_qps_decay;
     last_qps_ = 0.0;
+    update_cost_ = 0.0;  // the rebuild just amortized the accumulated deltas
   }
 
   std::size_t updates_since_rebuild() const { return updates_; }
   double best_qps() const { return best_qps_; }
+  double update_cost_since_rebuild() const { return update_cost_; }
+  double last_rebuild_cost() const { return rebuild_cost_; }
 
  private:
   Thresholds thresholds_;
   std::size_t updates_ = 0;
   double best_qps_ = 0.0;
   double last_qps_ = 0.0;
+  double update_cost_ = 0.0;
+  double rebuild_cost_ = 0.0;
 };
 
 class ReconstructionManager {
@@ -139,8 +159,17 @@ class ReconstructionManager {
   /// rebuild is in flight).  Returns a stable key for later removal.
   /// `p` may belong to any manager.
   std::uint64_t add_predicate(const bdd::Bdd& p);
-  /// Lazy-deletes by key (journaled during rebuilds).
+  /// Incrementally deletes by key: merges the atoms the predicate used to
+  /// separate and repairs the tree in place (journaled during rebuilds).
   void remove_predicate(std::uint64_t key);
+
+  /// Attaches a trigger policy (not owned; may be nullptr to detach).  While
+  /// attached, the manager feeds it measured observations: each add/remove
+  /// records one update plus its wall-clock apply cost, and every swap
+  /// records the measured rebuild cost.  The caller still drives the loop —
+  /// poll policy->should_trigger(), call trigger_rebuild(), and reset() the
+  /// policy after triggering.  Query thread only.
+  void attach_policy(ReconstructionPolicy* policy) { policy_ = policy; }
 
   /// Kicks off a background rebuild from a snapshot of the live predicates.
   /// No-op if one is already running.
@@ -171,6 +200,11 @@ class ReconstructionManager {
   std::size_t live_predicate_count() const { return cur_->reg.live_count(); }
   std::size_t atom_count() const { return cur_->uni.alive_count(); }
   std::size_t rebuild_count() const { return rebuild_count_; }
+  /// Wall-clock seconds of the most recent finished background rebuild
+  /// (0 before the first one).  Safe from any thread.
+  double last_rebuild_seconds() const {
+    return last_rebuild_seconds_.load(std::memory_order_acquire);
+  }
 
   // ---- Durability introspection ----
   /// nullptr when running without a WAL.
@@ -221,6 +255,12 @@ class ReconstructionManager {
   /// Applies an add to the live tree (no WAL write, no journaling) — the
   /// shared kernel of add_predicate() and recover() replay.
   void apply_add(bdd::Bdd local, std::uint64_t key);
+  /// Applies a removal to `snap` through the incremental delete/merge kernel
+  /// (no WAL write, no journaling) — shared by remove_predicate(), recover()
+  /// "R" replay, and maybe_swap() journal replay, so crash recovery and
+  /// journal catch-up land on the same merged state as the live path.
+  /// Unknown keys are ignored.
+  static void apply_remove(Snapshot& snap, std::uint64_t key);
 
   void join_worker();
 
@@ -233,6 +273,8 @@ class ReconstructionManager {
   std::vector<JournalEntry> journal_;  // query thread only
   std::uint64_t next_key_ = 1;
   std::size_t rebuild_count_ = 0;
+  ReconstructionPolicy* policy_ = nullptr;    // not owned; query thread only
+  std::atomic<double> last_rebuild_seconds_{0.0};  // worker writes
 
   std::unique_ptr<io::Wal> wal_;  // query thread only
   obs::Counter wal_recoveries_;

@@ -22,9 +22,7 @@ constexpr std::size_t kBehaviorBytesEstimate =
 
 }  // namespace
 
-std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf,
-                                                        const Options& opts,
-                                                        util::TaskPool* pool) {
+std::shared_ptr<FlatSnapshot> FlatSnapshot::build_core(const ApClassifier& clf) {
   auto snap = std::shared_ptr<FlatSnapshot>(new FlatSnapshot());
   const ApTree& tree = clf.tree();
   const PredicateRegistry& reg = clf.registry();
@@ -32,15 +30,23 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf,
 
   // Flatten the BDD of every distinct predicate the tree evaluates into one
   // shared node array (structural sharing across predicates is preserved:
-  // flatten() deduplicates by manager node).
+  // flatten() deduplicates by manager node).  Only REACHABLE nodes count:
+  // incremental deletes leave unreachable garbage behind, and garbage may
+  // be labeled with since-deleted predicates.
   std::vector<PredId> pred_ids;
   std::unordered_map<PredId, std::uint32_t> pred_slot;
-  for (std::size_t i = 0; i < tree.node_count(); ++i) {
-    const ApTree::Node& n = tree.node(static_cast<std::int32_t>(i));
-    if (n.is_leaf()) continue;
-    const PredId p = static_cast<PredId>(n.pred);
-    if (pred_slot.emplace(p, static_cast<std::uint32_t>(pred_ids.size())).second)
-      pred_ids.push_back(p);
+  {
+    std::vector<std::int32_t> dfs{tree.root()};
+    while (!dfs.empty()) {
+      const ApTree::Node& n = tree.node(dfs.back());
+      dfs.pop_back();
+      if (n.is_leaf()) continue;
+      const PredId p = static_cast<PredId>(n.pred);
+      if (pred_slot.emplace(p, static_cast<std::uint32_t>(pred_ids.size())).second)
+        pred_ids.push_back(p);
+      dfs.push_back(n.right);
+      dfs.push_back(n.left);
+    }
   }
   std::vector<bdd::Bdd> roots;
   roots.reserve(pred_ids.size());
@@ -155,39 +161,146 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf,
   snap->atom_capacity_ = clf.atoms().capacity();
   snap->has_middleboxes_ = clf.has_middleboxes();
   if (clf.options().track_visits) snap->visits_.reset(snap->atom_capacity_);
+  return snap;
+}
 
-  // ---- Query-path accelerators (header cache + behavior-table cells) ----
-  snap->init_accelerators(opts);
-
+void FlatSnapshot::maybe_precompute(const ApClassifier& clf, const Options& opts,
+                                    util::TaskPool* pool) {
   // Upgrade the lazy table to a full eager precompute when the estimate
   // (cells + one behavior per live cell) also fits the budget.  Middlebox
   // networks always stay lazy: query() refuses them, so an eager fill would
   // precompute cells nobody is expected to read.
-  if (snap->table_mode_ == BehaviorTableMode::kLazy && !snap->has_middleboxes_) {
-    const std::vector<AtomId> alive = clf.atoms().alive_ids();
-    const std::size_t boxes = snap->boxes_.size();
-    const std::size_t estimate =
-        snap->table_cells_ * sizeof(std::atomic<const Behavior*>) +
-        alive.size() * boxes * kBehaviorBytesEstimate;
-    if (estimate <= opts.behavior_table_budget) {
-      Stopwatch sw;
-      const std::size_t total = alive.size() * boxes;
-      const auto fill = [&](std::size_t first, std::size_t last) {
-        for (std::size_t k = first; k < last; ++k) {
-          const AtomId atom = alive[k / boxes];
-          const BoxId box = static_cast<BoxId>(k % boxes);
-          snap->fill_cell(snap->table_[atom * boxes + box], atom, box);
+  if (table_mode_ != BehaviorTableMode::kLazy || has_middleboxes_) return;
+  const std::vector<AtomId> alive = clf.atoms().alive_ids();
+  const std::size_t boxes = boxes_.size();
+  const std::size_t estimate =
+      table_cells_ * sizeof(std::atomic<const Behavior*>) +
+      alive.size() * boxes * kBehaviorBytesEstimate;
+  if (estimate > opts.behavior_table_budget) return;
+  Stopwatch sw;
+  const std::size_t total = alive.size() * boxes;
+  const auto fill = [&](std::size_t first, std::size_t last) {
+    for (std::size_t k = first; k < last; ++k) {
+      const AtomId atom = alive[k / boxes];
+      const BoxId box = static_cast<BoxId>(k % boxes);
+      std::atomic<const Behavior*>& cell = table_[atom * boxes + box];
+      // Cells seeded by a delta carry-over are already correct — walking
+      // them again would only build a copy fill_cell throws away.
+      if (cell.load(std::memory_order_relaxed) == nullptr)
+        fill_cell(cell, atom, box);
+    }
+  };
+  if (pool != nullptr)
+    pool->parallel_for(total, 64, fill);
+  else
+    fill(0, total);
+  table_build_seconds_ = sw.seconds();
+  table_mode_ = BehaviorTableMode::kPrecomputed;
+}
+
+std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf,
+                                                        const Options& opts,
+                                                        util::TaskPool* pool) {
+  auto snap = build_core(clf);
+  snap->init_accelerators(opts);
+  snap->maybe_precompute(clf, opts, pool);
+  return snap;
+}
+
+bool FlatSnapshot::same_stage2_shape(const FlatSnapshot& prev) const {
+  if (boxes_.size() != prev.boxes_.size()) return false;
+  for (std::size_t b = 0; b < boxes_.size(); ++b) {
+    const FlatBox& nb = boxes_[b];
+    const FlatBox& pb = prev.boxes_[b];
+    if (nb.ports.size() != pb.ports.size()) return false;
+    if (nb.in_acls.size() != pb.in_acls.size()) return false;
+    for (std::size_t i = 0; i < nb.ports.size(); ++i) {
+      const FlatPortEntry& ne = nb.ports[i];
+      const FlatPortEntry& pe = pb.ports[i];
+      if (ne.port != pe.port || ne.peer_box != pe.peer_box ||
+          ne.peer_port != pe.peer_port || ne.has_out_acl != pe.has_out_acl)
+        return false;
+    }
+    for (std::size_t i = 0; i < nb.in_acls.size(); ++i)
+      if (nb.in_acls[i].present != pb.in_acls[i].present) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const FlatSnapshot> FlatSnapshot::build_delta(
+    const ApClassifier& clf, const Options& opts, util::TaskPool* pool,
+    const FlatSnapshot& prev, const AtomDelta& delta) {
+  auto snap = build_core(clf);
+  snap->init_accelerators(opts);
+
+  if (delta.valid) {
+    // Atoms whose behavior rows may have changed: killed atoms are gone,
+    // added atoms are new ids (>= prev capacity by construction), dirty
+    // atoms kept their id but changed predicate membership.  Everything
+    // else behaves identically, so its rows and cache entries carry over.
+    std::vector<char> row_dirty(prev.atom_capacity_, 0);
+    std::vector<char> killed(prev.atom_capacity_, 0);
+    const auto mark = [&](const std::vector<AtomId>& ids, std::vector<char>& set) {
+      for (const AtomId a : ids)
+        if (a < set.size()) set[a] = 1;
+    };
+    mark(delta.killed, row_dirty);
+    mark(delta.added, row_dirty);
+    mark(delta.dirty, row_dirty);
+    mark(delta.killed, killed);
+
+    // Behavior-table rows: deep-copy every published cell of a clean atom.
+    // Copies (not shared pointers) because the previous snapshot frees its
+    // cells on teardown.  Gated on identical stage-2 shape — a structural
+    // change (new port entry, ACL added/removed) invalidates rows the atom
+    // delta cannot see.
+    if (snap->table_mode_ != BehaviorTableMode::kDisabled &&
+        prev.table_mode_ != BehaviorTableMode::kDisabled &&
+        snap->has_middleboxes_ == prev.has_middleboxes_ &&
+        snap->same_stage2_shape(prev)) {
+      const std::size_t boxes = snap->boxes_.size();
+      for (const AtomId a : clf.atoms().alive_ids()) {
+        if (a >= prev.atom_capacity_ || row_dirty[a]) continue;
+        for (std::size_t b = 0; b < boxes; ++b) {
+          const Behavior* src =
+              prev.table_[a * boxes + b].load(std::memory_order_acquire);
+          if (src == nullptr) continue;
+          const Behavior* copy = new Behavior(*src);
+          snap->table_[a * boxes + b].store(copy, std::memory_order_relaxed);
+          snap->table_heap_bytes_.fetch_add(behavior_heap_bytes(*copy),
+                                            std::memory_order_relaxed);
+          ++snap->rows_carried_;
         }
-      };
-      if (pool != nullptr)
-        pool->parallel_for(total, 64, fill);
-      else
-        fill(0, total);
-      snap->table_build_seconds_ = sw.seconds();
-      snap->table_mode_ = BehaviorTableMode::kPrecomputed;
+      }
+    }
+
+    // Header-cache entries: a surviving atom's BDD is unchanged, so every
+    // (header -> atom) mapping whose atom was not killed is still correct.
+    // The old canonical key can be re-masked for the new cache only when
+    // the new tested-bits mask is a subset of the old one (true after
+    // deletes; adds usually widen the mask and start cold).
+    if (snap->cache_ && prev.cache_) {
+      const HeaderAtomCache::Mask& nm = snap->cache_->mask();
+      const HeaderAtomCache::Mask& om = prev.cache_->mask();
+      bool subset = true;
+      for (std::size_t i = 0; i < nm.size(); ++i)
+        subset = subset && (nm[i] & ~om[i]) == 0;
+      if (subset) {
+        prev.cache_->for_each_valid(
+            [&](const HeaderAtomCache::KeyWords& key, AtomId atom) {
+              if (atom >= snap->atom_capacity_) return;
+              if (atom < killed.size() && killed[atom]) return;
+              HeaderAtomCache::KeyWords remasked;
+              for (std::size_t i = 0; i < remasked.size(); ++i)
+                remasked[i] = key[i] & nm[i];
+              snap->cache_->insert_canonical(remasked, atom);
+              ++snap->cache_entries_carried_;
+            });
+      }
     }
   }
 
+  snap->maybe_precompute(clf, opts, pool);
   return snap;
 }
 

@@ -90,6 +90,26 @@ class FlatSnapshot {
     return build(clf, Options{});
   }
 
+  /// Delta-assisted build: freezes the classifier like build(), then seeds
+  /// the new snapshot's accelerators from the retiring one instead of
+  /// starting them cold.  `delta` is the classifier's accumulated atom delta
+  /// since `prev` was published (ApClassifier::take_atom_delta):
+  ///   * Behavior-table rows of atoms untouched by the delta are deep-copied
+  ///     from `prev` (only rows owned by killed/added/dirty atoms are
+  ///     recomputed) — gated on identical stage-2 shape, so any structural
+  ///     network change falls back to recomputing everything.
+  ///   * Header-cache entries survive when the new tested-bits mask is a
+  ///     subset of the old one (re-masked; entries of killed atoms evicted).
+  /// Always safe: every carry condition is checked here, so a caller may
+  /// pass any prev/delta pair and only loses the acceleration.  Reading
+  /// `prev` concurrently with its own query traffic is safe (atomic cell
+  /// loads, seqlock-validated cache reads).
+  static std::shared_ptr<const FlatSnapshot> build_delta(const ApClassifier& clf,
+                                                         const Options& opts,
+                                                         util::TaskPool* pool,
+                                                         const FlatSnapshot& prev,
+                                                         const AtomDelta& delta);
+
   ~FlatSnapshot();
 
   // ---- Stage 1 (lock-free, const, thread-safe) ----
@@ -147,6 +167,11 @@ class FlatSnapshot {
   /// Cache traffic counters, folded in by classify()/classify_into().
   std::uint64_t header_cache_hits() const { return cache_hits_.value(); }
   std::uint64_t header_cache_misses() const { return cache_misses_.value(); }
+  /// Accelerator state inherited from the previous snapshot by
+  /// build_delta() (0 after a full build): behavior-table cells deep-copied
+  /// and header-cache entries re-inserted.
+  std::uint64_t behavior_rows_carried() const { return rows_carried_; }
+  std::uint64_t header_entries_carried() const { return cache_entries_carried_; }
 
  private:
   FlatSnapshot() = default;
@@ -155,11 +180,28 @@ class FlatSnapshot {
   friend std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
                                                            const Options& opts);
 
+  /// Freezes the classifier's tree, predicates, and stage-2 state into the
+  /// core arrays (no accelerators) — shared by build() and build_delta().
+  /// Only tree nodes reachable from the root are frozen; garbage left
+  /// behind by incremental deletes (which may reference deleted predicates)
+  /// is never consulted.
+  static std::shared_ptr<FlatSnapshot> build_core(const ApClassifier& clf);
+
   /// Builds the header cache and the behavior-table cell array from the
   /// frozen core arrays per `opts` (table mode becomes kLazy when the cell
   /// array fits the budget; build() upgrades to kPrecomputed after an eager
   /// fill).  Shared between build() and load_snapshot().
   void init_accelerators(const Options& opts);
+
+  /// Upgrades a lazy table to an eager precompute when the estimated full
+  /// footprint fits the budget.  Cells already published (delta carry-over)
+  /// are kept, not recomputed.
+  void maybe_precompute(const ApClassifier& clf, const Options& opts,
+                        util::TaskPool* pool);
+
+  /// True when `prev` froze an identical stage-2 shape (same boxes, ports,
+  /// peers, ACL placement) — the carry-over precondition for behavior rows.
+  bool same_stage2_shape(const FlatSnapshot& prev) const;
 
   /// 8-byte tree node in DFS preorder.  An internal node's true-branch
   /// child is the next array element; `right` holds the false-branch index.
@@ -222,6 +264,10 @@ class FlatSnapshot {
   std::unique_ptr<HeaderAtomCache> cache_;
   mutable obs::Counter cache_hits_;
   mutable obs::Counter cache_misses_;
+
+  // ---- Delta carry-over accounting (build_delta only; immutable after) ----
+  std::uint64_t rows_carried_ = 0;
+  std::uint64_t cache_entries_carried_ = 0;
 };
 
 // ---- Durable snapshot persistence (snapshot_io.cpp) ----

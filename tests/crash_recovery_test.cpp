@@ -127,6 +127,47 @@ TEST(CrashRecovery, PrefixCrashSuffixEqualsFullStream) {
   }
 }
 
+// Delete-heavy interleaved history with the crash cut landing inside the
+// removal burst: "R" replay must drive the same incremental merge kernel as
+// the live path, so the recovered universe has the merged (not tombstoned)
+// atom count and identical classifications.
+TEST(CrashRecovery, DeleteHeavyInterleavedHistoryReplaysMerges) {
+  BddManager src(kVars);
+  const auto pool = make_predicates(src, 12, 21);
+
+  // Script: all adds first, then remove two of every three, then re-add a
+  // couple so the cut separates removals on both sides.
+  std::vector<Update> script;
+  for (std::size_t i = 0; i < pool.size(); ++i) script.push_back({true, i});
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    if (i % 3 != 2) script.push_back({false, i});
+  script.push_back({true, 1});
+  script.push_back({false, pool.size()});  // remove the re-added one again
+  const std::size_t cut = pool.size() + pool.size() / 3;  // mid removal burst
+
+  const std::string ref_path = tmp_wal("del_ref");
+  ReconstructionManager ref(std::vector<Bdd>{}, wal_opts(ref_path));
+  std::vector<std::uint64_t> ref_keys;
+  apply(ref, pool, script, 0, script.size(), ref_keys);
+
+  const std::string path = tmp_wal("del_crash");
+  std::vector<std::uint64_t> keys;
+  {
+    ReconstructionManager rm(std::vector<Bdd>{}, wal_opts(path));
+    apply(rm, pool, script, 0, cut, keys);
+  }
+  auto recovered = ReconstructionManager::recover(wal_opts(path));
+  apply(*recovered, pool, script, cut, script.size(), keys);
+
+  ASSERT_EQ(keys, ref_keys);
+  EXPECT_EQ(recovered->live_predicate_count(), ref.live_predicate_count());
+  EXPECT_EQ(recovered->atom_count(), ref.atom_count());
+  for (std::uint32_t x = 0; x < 1024; ++x) {
+    const PacketHeader h = header_from_assignment(x);
+    ASSERT_EQ(recovered->classify(h), ref.classify(h)) << "header " << x;
+  }
+}
+
 TEST(CrashRecovery, RecoveryTruncatesTornTailAndCountsIt) {
   BddManager src(kVars);
   const auto pool = make_predicates(src, 6, 3);

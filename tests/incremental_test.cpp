@@ -1,0 +1,316 @@
+// Incremental atom maintenance (paper SS VI-A extended to deletion):
+// add-then-delete identity, randomized incremental-vs-from-scratch
+// differentials, delta snapshot publication equivalence, and churn under
+// concurrent batch queries.  Suite names contain "Incremental" on purpose —
+// CI runs them under TSan and the chaos job by that regex.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ap/atoms.hpp"
+#include "aptree/build.hpp"
+#include "aptree/update.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/traces.hpp"
+#include "engine/engine.hpp"
+#include "engine/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using engine::FlatSnapshot;
+using engine::QueryEngine;
+using engine::SnapshotDeltaPolicy;
+
+constexpr std::uint32_t kVars = 8;
+
+PacketHeader header_from_assignment(std::uint32_t x) {
+  std::vector<std::uint8_t> bits(kVars);
+  for (std::uint32_t v = 0; v < kVars; ++v) bits[v] = (x >> v) & 1;
+  return PacketHeader::from_bits(bits);
+}
+
+Bdd random_cube(BddManager& mgr, Rng& rng) {
+  Bdd p = mgr.bdd_true();
+  for (std::uint32_t v = 0; v < kVars; ++v) {
+    const auto r = rng.uniform(3);
+    if (r == 0) p = p & mgr.var(v);
+    if (r == 1) p = p & mgr.nvar(v);
+  }
+  return p;
+}
+
+struct KernelFixture {
+  BddManager mgr{kVars};
+  PredicateRegistry reg;
+  AtomUniverse uni;
+  ApTree tree;
+
+  KernelFixture() {
+    reg.add(mgr.var(0) | mgr.var(3), PredicateKind::External);
+    reg.add(mgr.var(1) & mgr.var(2), PredicateKind::External);
+    reg.add(mgr.var(4), PredicateKind::External);
+    uni = compute_atoms(reg);
+    tree = build_tree(reg, uni);
+  }
+
+  std::vector<Bdd> atom_bdds() const {
+    std::vector<Bdd> out;
+    for (const AtomId a : uni.alive_ids()) out.push_back(uni.bdd_of(a));
+    return out;
+  }
+
+  std::vector<Bdd> r_set_bdds(PredId p) const {
+    std::vector<Bdd> out;
+    reg.atoms_of(p).for_each(
+        [&](std::size_t a) { out.push_back(uni.bdd_of(static_cast<AtomId>(a))); });
+    return out;
+  }
+};
+
+void expect_same_bdd_multiset(const std::vector<Bdd>& a, const std::vector<Bdd>& b,
+                              const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  // BDDs are canonical per manager, so multiset equality is countable by
+  // direct comparison (cube fixtures never produce enough duplicates for
+  // the quadratic scan to matter).
+  for (const Bdd& x : a) {
+    const auto cnt = [&](const std::vector<Bdd>& v) {
+      return std::count(v.begin(), v.end(), x);
+    };
+    EXPECT_EQ(cnt(a), cnt(b)) << what;
+  }
+}
+
+// Add P and then delete P: atom BDDs, every live R-set, and every
+// classification must be exactly what they were had P never existed.
+TEST(Incremental, AddThenDeleteIsIdentity) {
+  KernelFixture f;
+  const std::vector<Bdd> atoms_before = f.atom_bdds();
+  std::vector<std::vector<Bdd>> r_before;
+  for (PredId p = 0; p < f.reg.size(); ++p) r_before.push_back(f.r_set_bdds(p));
+  std::vector<Bdd> class_before;
+  for (std::uint32_t x = 0; x < (1u << kVars); ++x) {
+    const PacketHeader h = header_from_assignment(x);
+    class_before.push_back(f.uni.bdd_of(f.tree.classify(h, f.reg)));
+  }
+
+  Rng rng(99);
+  for (int round = 0; round < 6; ++round) {
+    Bdd p = random_cube(f.mgr, rng);
+    if (p.is_false() || p.is_true()) continue;
+    const auto res =
+        add_predicate(f.tree, f.reg, f.uni, std::move(p), PredicateKind::External);
+    delete_predicate(f.tree, f.reg, f.uni, res.pred_id);
+
+    expect_same_bdd_multiset(atoms_before, f.atom_bdds(), "atom BDDs");
+    for (PredId q = 0; q < r_before.size(); ++q)
+      expect_same_bdd_multiset(r_before[q], f.r_set_bdds(q), "R-set BDDs");
+    for (std::uint32_t x = 0; x < (1u << kVars); ++x) {
+      const PacketHeader h = header_from_assignment(x);
+      ASSERT_EQ(class_before[x], f.uni.bdd_of(f.tree.classify(h, f.reg)))
+          << "round " << round << " x=" << x;
+    }
+  }
+}
+
+class IncrementalChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+// After EVERY add/delete in a random sequence, the incrementally maintained
+// universe and tree must be semantically identical to a from-scratch
+// compute_atoms + build_tree over the live predicates.
+TEST_P(IncrementalChurn, EveryStepMatchesFromScratch) {
+  KernelFixture f;
+  Rng rng(GetParam());
+  std::vector<PredId> added;
+  for (int step = 0; step < 30; ++step) {
+    if (rng.coin(0.6) || added.empty()) {
+      Bdd p = random_cube(f.mgr, rng);
+      if (p.is_false()) continue;
+      added.push_back(
+          add_predicate(f.tree, f.reg, f.uni, std::move(p), PredicateKind::External)
+              .pred_id);
+    } else {
+      const std::size_t i = rng.uniform(added.size());
+      delete_predicate(f.tree, f.reg, f.uni, added[i]);
+      added.erase(added.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    // From-scratch reference over a registry copy (compute_atoms refills
+    // R-sets in place, which would clobber the incremental state).
+    PredicateRegistry sreg = f.reg;
+    AtomUniverse suni = compute_atoms(sreg);
+    ASSERT_EQ(f.uni.alive_count(), suni.alive_count()) << "step " << step;
+    ASSERT_EQ(f.tree.leaf_count(), f.uni.alive_count()) << "step " << step;
+    const ApTree stree = build_tree(sreg, suni);
+    for (std::uint32_t x = 0; x < (1u << kVars); ++x) {
+      const PacketHeader h = header_from_assignment(x);
+      ASSERT_EQ(f.uni.bdd_of(f.tree.classify(h, f.reg)),
+                suni.bdd_of(stree.classify(h, sreg)))
+          << "step " << step << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalChurn, ::testing::Values(11, 42, 1234));
+
+// ---- Engine-level delta publication ----
+
+struct EngineWorld {
+  datasets::Dataset data;
+  std::shared_ptr<bdd::BddManager> mgr = datasets::Dataset::make_manager();
+  ApClassifier clf;
+  std::vector<PacketHeader> trace;
+
+  explicit EngineWorld(std::uint64_t seed = 7)
+      : data(datasets::internet2_like(datasets::Scale::Tiny, seed)),
+        clf(data.net, mgr) {
+    Rng rng(seed * 31 + 1);
+    const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+    trace = datasets::uniform_trace(reps, 200, rng);
+  }
+
+  ForwardingRule random_rule(BoxId b, Rng& rng) const {
+    const std::uint8_t len = static_cast<std::uint8_t>(10 + rng.uniform(13));
+    const Ipv4Prefix p =
+        Ipv4Prefix{(10u << 24) | (static_cast<std::uint32_t>(rng.next()) & 0x00FFFF00u),
+                   len}
+            .normalized();
+    const std::uint32_t port = static_cast<std::uint32_t>(
+        rng.uniform(data.net.topology.box(b).ports.size()));
+    return {p, port, -1};
+  }
+};
+
+void expect_same_behavior(const Behavior& a, const Behavior& b, const char* what) {
+  EXPECT_TRUE(a == b) << what;
+}
+
+// A delta-built snapshot must answer every query exactly like a cold full
+// build of the same classifier state — only warm-up differs.
+TEST(IncrementalSnapshot, BuildDeltaEquivalentToFullBuild) {
+  EngineWorld w;
+  const FlatSnapshot::Options opts;
+  auto prev = FlatSnapshot::build(w.clf, opts);
+  w.clf.take_atom_delta();  // baseline: delta now starts from `prev`
+
+  // Warm prev's header cache so there is something to carry.
+  for (const PacketHeader& h : w.trace) prev->classify(h);
+
+  // Churn: insert a rule, then remove it again (accumulates one delta).
+  Rng rng(5);
+  const ForwardingRule r = w.random_rule(0, rng);
+  w.clf.insert_fib_rule(0, r);
+  w.clf.remove_fib_rule(0, r);
+  const AtomDelta delta = w.clf.take_atom_delta();
+  ASSERT_TRUE(delta.valid);
+
+  const auto via_delta = FlatSnapshot::build_delta(w.clf, opts, nullptr, *prev, delta);
+  const auto via_full = FlatSnapshot::build(w.clf, opts);
+  EXPECT_GT(via_delta->behavior_rows_carried(), 0u);
+  EXPECT_GT(via_delta->header_entries_carried(), 0u);
+  EXPECT_EQ(via_full->behavior_rows_carried(), 0u);
+
+  for (const PacketHeader& h : w.trace)
+    ASSERT_EQ(via_delta->classify(h), via_full->classify(h));
+  for (const AtomId a : w.clf.atoms().alive_ids()) {
+    for (BoxId b = 0; b < w.data.net.topology.box_count(); ++b) {
+      expect_same_behavior(via_delta->behavior_of(a, b), via_full->behavior_of(a, b),
+                           "delta vs full");
+    }
+  }
+}
+
+// Two engines fed identical update streams — one publishing deltas, one
+// always building cold — must stay bit-equivalent query for query.
+TEST(IncrementalEngine, DeltaPolicyMatchesFullRebuildUnderChurn) {
+  EngineWorld wa(7);
+  EngineWorld wb(7);
+  QueryEngine::Options oa;
+  oa.num_threads = 2;
+  oa.snapshot_delta = SnapshotDeltaPolicy::kAlways;
+  QueryEngine::Options ob = oa;
+  ob.snapshot_delta = SnapshotDeltaPolicy::kNever;
+  QueryEngine ea(wa.clf, oa);
+  QueryEngine eb(wb.clf, ob);
+
+  Rng rng(13);
+  std::vector<std::pair<BoxId, ForwardingRule>> installed;
+  bool carried_rows = false;
+  for (int round = 0; round < 12; ++round) {
+    // Warm A's cache so delta publishes have entries to carry.
+    ea.classify_batch(wa.trace);
+    if (round % 3 != 2 || installed.empty()) {
+      const BoxId b =
+          static_cast<BoxId>(rng.uniform(wa.data.net.topology.box_count()));
+      const ForwardingRule r = wa.random_rule(b, rng);
+      ea.insert_fib_rule(b, r);
+      eb.insert_fib_rule(b, r);
+      installed.emplace_back(b, r);
+    } else {
+      const auto [b, r] = installed.back();
+      installed.pop_back();
+      ea.remove_fib_rule(b, r);
+      eb.remove_fib_rule(b, r);
+    }
+    carried_rows = carried_rows || ea.snapshot()->behavior_rows_carried() > 0;
+
+    const auto atoms_a = ea.classify_batch(wa.trace);
+    const auto atoms_b = eb.classify_batch(wa.trace);
+    ASSERT_EQ(atoms_a, atoms_b) << "round " << round;
+    const auto beh_a = ea.query_batch(wa.trace, 0);
+    const auto beh_b = eb.query_batch(wa.trace, 0);
+    ASSERT_EQ(beh_a.size(), beh_b.size());
+    for (std::size_t i = 0; i < beh_a.size(); i += 17)
+      expect_same_behavior(beh_a[i], beh_b[i], "engine delta vs full");
+  }
+  EXPECT_GT(ea.snapshot_delta_publishes().value(), 0u);
+  EXPECT_EQ(eb.snapshot_delta_publishes().value(), 0u);
+  EXPECT_TRUE(carried_rows);
+}
+
+// Rule churn through the delta-publishing engine while reader threads
+// hammer batch queries: exercises the carry-over reads against the retiring
+// snapshot's concurrently-written cache (run under TSan in CI).
+TEST(IncrementalConcurrency, DeltaPublishesUnderConcurrentBatches) {
+  EngineWorld w(3);
+  QueryEngine::Options o;
+  o.num_threads = 2;
+  o.snapshot_delta = SnapshotDeltaPolicy::kAlways;
+  QueryEngine e(w.clf, o);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto atoms = e.classify_batch(w.trace);
+        ASSERT_EQ(atoms.size(), w.trace.size());
+      }
+    });
+  }
+
+  Rng rng(17);
+  for (int round = 0; round < 8; ++round) {
+    const BoxId b = static_cast<BoxId>(rng.uniform(w.data.net.topology.box_count()));
+    const ForwardingRule r = w.random_rule(b, rng);
+    e.insert_fib_rule(b, r);
+    e.remove_fib_rule(b, r);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  // Final state answers exactly like the classifier.
+  const auto snap = e.snapshot();
+  for (const PacketHeader& h : w.trace)
+    ASSERT_EQ(snap->classify(h), w.clf.classify(h));
+}
+
+}  // namespace
+}  // namespace apc

@@ -123,17 +123,20 @@ TEST(Reconstruction, DeleteDuringRebuildIsReplayed) {
   EXPECT_EQ(rm.live_predicate_count(), 10u);
 }
 
-TEST(Reconstruction, ReconstructionDropsDeletedPredicates) {
+TEST(Reconstruction, RemovePredicateMergesAtomsImmediately) {
   BddManager src(10);
   ReconstructionManager rm(make_predicates(src, 8, 5), small_opts());
   const std::uint64_t key = rm.add_predicate(src.var(2) & src.nvar(5));
   const std::size_t atoms_with = rm.atom_count();
   rm.remove_predicate(key);
-  // Lazy delete keeps atoms; a reconstruction merges them back.
-  EXPECT_EQ(rm.atom_count(), atoms_with);
+  // Incremental delete merges the split atoms right away — no rebuild
+  // needed to reclaim them.
+  EXPECT_LT(rm.atom_count(), atoms_with);
+  const std::size_t atoms_after_remove = rm.atom_count();
+  // A full reconstruction lands on the same universe size.
   rm.trigger_rebuild();
   rm.wait_and_swap();
-  EXPECT_LT(rm.atom_count(), atoms_with);
+  EXPECT_EQ(rm.atom_count(), atoms_after_remove);
 }
 
 TEST(Reconstruction, QueriesRemainCorrectWhileRebuilding) {

@@ -1,6 +1,9 @@
 // Tests for real-time AP Tree updates (paper SS VI-A): predicate addition
-// (leaf splitting, R-set patching) and lazy deletion.
+// (leaf splitting, R-set patching) and incremental deletion (atom merges,
+// leaf fusion, subtree rebuilds).
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 #include "ap/atoms.hpp"
 #include "aptree/build.hpp"
@@ -40,9 +43,13 @@ struct Fixture {
       const PacketHeader h = header_from_assignment(x, 6);
       ASSERT_EQ(tree.classify(h, reg), lin.classify(h)) << "x=" << x;
     }
-    // Every live predicate's R(p) is exact w.r.t. atom BDDs.
+    // Every live predicate's R(p) is exact w.r.t. atom BDDs; deleted
+    // predicates carry empty R-sets.
     for (PredId p = 0; p < reg.size(); ++p) {
-      if (reg.is_deleted(p)) continue;
+      if (reg.is_deleted(p)) {
+        ASSERT_EQ(reg.atoms_of(p).count(), 0u) << "deleted pred " << p;
+        continue;
+      }
       for (const AtomId a : uni.alive_ids()) {
         const bool in_r = reg.atoms_of(p).test(a);
         const bool implies = uni.bdd_of(a).implies(reg.bdd_of(p));
@@ -85,19 +92,70 @@ TEST(Update, AddDisjointPredicate) {
   f.check_consistency();
 }
 
-TEST(Update, DeleteIsLazy) {
+TEST(Update, DeleteMergesAtomsIncrementally) {
   Fixture f;
-  const std::size_t nodes_before = f.tree.node_count();
-  delete_predicate(f.reg, 0);
+  const std::size_t atoms_before = f.uni.alive_count();
+  const auto res = delete_predicate(f.tree, f.reg, f.uni, 0);
   EXPECT_TRUE(f.reg.is_deleted(0));
-  EXPECT_EQ(f.tree.node_count(), nodes_before);  // tree untouched
-  // Queries still resolve to a unique atom (deleted preds still evaluated).
-  const ApLinear lin(f.uni);
-  for (std::uint32_t x = 0; x < 64; x += 5) {
-    const PacketHeader h = header_from_assignment(x, 6);
-    EXPECT_EQ(f.tree.classify(h, f.reg), lin.classify(h));
-  }
+  EXPECT_FALSE(res.merges.empty());
+  // Each merge kills two atoms and adds one.
+  EXPECT_EQ(f.uni.alive_count(), atoms_before - res.merges.size());
+  // The surviving universe matches what a from-scratch recompute over the
+  // remaining live predicates would produce.  (compute_atoms refills R-sets
+  // against its own numbering, so run it on a copy of the registry.)
+  PredicateRegistry scratch = f.reg;
+  EXPECT_EQ(f.uni.alive_count(), compute_atoms(scratch).alive_count());
+  // The tree was repaired in place: leaves and live atoms stay in bijection.
+  EXPECT_EQ(f.tree.leaf_count(), f.uni.alive_count());
   EXPECT_EQ(f.reg.live_count(), 1u);
+  f.check_consistency();
+}
+
+TEST(Update, DeleteResultCountsRepairActions) {
+  Fixture f;
+  // var(3) splits every leaf; deleting it must undo every split, so every
+  // repair site collapses back to a single fused leaf.
+  const auto add = add_predicate(f.tree, f.reg, f.uni, f.mgr.var(3),
+                                 PredicateKind::External);
+  const auto res = delete_predicate(f.tree, f.reg, f.uni, add.pred_id);
+  EXPECT_EQ(res.merges.size(), add.leaves_split);
+  EXPECT_EQ(res.leaves_fused + res.subtrees_rebuilt, res.merges.size());
+  f.check_consistency();
+}
+
+TEST(Update, DeletePredicateWithNoSurvivingSitesIsNoop) {
+  Fixture f;
+  // bdd_true() splits nothing, so deleting it has no tree sites to repair.
+  const auto add = add_predicate(f.tree, f.reg, f.uni, f.mgr.bdd_true(),
+                                 PredicateKind::External);
+  const std::size_t atoms_before = f.uni.alive_count();
+  const std::size_t nodes_before = f.tree.node_count();
+  const auto res = delete_predicate(f.tree, f.reg, f.uni, add.pred_id);
+  EXPECT_TRUE(res.merges.empty());
+  EXPECT_EQ(f.uni.alive_count(), atoms_before);
+  EXPECT_EQ(f.tree.node_count(), nodes_before);
+  f.check_consistency();
+}
+
+TEST(Update, AddThenDeleteRestoresAtomBdds) {
+  // Add P then delete P must restore the exact atom partition (possibly
+  // under new ids): same BDD multiset, same classifications.
+  Fixture f;
+  std::vector<Bdd> before;
+  for (const AtomId a : f.uni.alive_ids()) before.push_back(f.uni.bdd_of(a));
+
+  const auto add = add_predicate(f.tree, f.reg, f.uni,
+                                 f.mgr.var(4) & f.mgr.nvar(1),
+                                 PredicateKind::External);
+  delete_predicate(f.tree, f.reg, f.uni, add.pred_id);
+
+  std::vector<Bdd> after;
+  for (const AtomId a : f.uni.alive_ids()) after.push_back(f.uni.bdd_of(a));
+  ASSERT_EQ(before.size(), after.size());
+  for (const Bdd& b : before) {
+    EXPECT_NE(std::find(after.begin(), after.end(), b), after.end());
+  }
+  f.check_consistency();
 }
 
 TEST(Update, ExternalKeysStableAndSearchable) {
@@ -106,7 +164,7 @@ TEST(Update, ExternalKeysStableAndSearchable) {
                                  PredicateKind::External, std::nullopt, 777);
   EXPECT_EQ(f.reg.info(res.pred_id).external_key, 777u);
   EXPECT_EQ(f.reg.find_by_key(777), res.pred_id);
-  delete_predicate(f.reg, res.pred_id);
+  delete_predicate(f.tree, f.reg, f.uni, res.pred_id);
   EXPECT_EQ(f.reg.find_by_key(777), std::nullopt);
 }
 
@@ -131,26 +189,29 @@ TEST_P(UpdateChurn, RandomAddDeleteSequencePreservesInvariants) {
       added.push_back(res.pred_id);
     } else {
       const std::size_t i = rng.uniform(added.size());
-      delete_predicate(f.reg, added[i]);
+      delete_predicate(f.tree, f.reg, f.uni, added[i]);
       added.erase(added.begin() + static_cast<std::ptrdiff_t>(i));
     }
+    // Incremental maintenance keeps the bijection at every step, not just
+    // at the end.
+    ASSERT_EQ(f.tree.leaf_count(), f.uni.alive_count()) << "step " << step;
   }
   f.check_consistency();
-  // Leaf count always equals live atom count.
-  EXPECT_EQ(f.tree.leaf_count(), f.uni.alive_count());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UpdateChurn, ::testing::Values(1, 2, 3, 10, 20));
 
-TEST(Update, RebuildAfterDeletesMergesAtoms) {
+TEST(Update, IncrementalDeleteMatchesFromScratchRebuild) {
   Fixture f;
   add_predicate(f.tree, f.reg, f.uni, f.mgr.var(3), PredicateKind::External);
   const std::size_t atoms_split = f.uni.alive_count();
-  delete_predicate(f.reg, 2);  // the one we just added (ids 0,1 preexist)
-  // Recompute from live predicates: atoms merge back.
-  f.uni = compute_atoms(f.reg);
-  f.tree = build_tree(f.reg, f.uni);
+  delete_predicate(f.tree, f.reg, f.uni, 2);  // the one just added (0,1 preexist)
   EXPECT_LT(f.uni.alive_count(), atoms_split);
+  // The incremental result is equivalent to recomputing from live predicates
+  // (on a registry copy — compute_atoms rewrites R-sets in place).
+  PredicateRegistry scratch_reg = f.reg;
+  AtomUniverse scratch = compute_atoms(scratch_reg);
+  EXPECT_EQ(f.uni.alive_count(), scratch.alive_count());
   f.check_consistency();
 }
 
@@ -196,15 +257,33 @@ TEST(Update, SplitLeafKeepsLeafOfAtomExact) {
     check_mapping();
   }
 
-  // Lazy deletes interleaved with more adds: the mapping must hold after
-  // every step even though deletion leaves the tree structure in place.
-  delete_predicate(f.reg, added[0]);
+  // Incremental deletes interleaved with more adds: fusions, grafted
+  // subtrees, and compaction must all keep the mapping exact.
+  delete_predicate(f.tree, f.reg, f.uni, added[0]);
   check_mapping();
   add_predicate(f.tree, f.reg, f.uni, f.mgr.var(3) ^ f.mgr.var(1),
                 PredicateKind::External);
   check_mapping();
-  delete_predicate(f.reg, added[2]);
+  delete_predicate(f.tree, f.reg, f.uni, added[2]);
   check_mapping();
+}
+
+TEST(Update, CompactPreservesClassification) {
+  // Drive enough churn to trigger compact() (unreachable*2 > node_count)
+  // and verify the relayout is behavior-preserving.
+  Fixture f;
+  std::vector<PredId> ids;
+  for (std::uint32_t v = 3; v < 6; ++v) {
+    ids.push_back(
+        add_predicate(f.tree, f.reg, f.uni, f.mgr.var(v), PredicateKind::External)
+            .pred_id);
+  }
+  for (const PredId id : ids) {
+    delete_predicate(f.tree, f.reg, f.uni, id);
+    f.check_consistency();
+  }
+  // All garbage from the deletes is eventually reclaimed.
+  EXPECT_LE(f.tree.unreachable_nodes() * 2, f.tree.node_count());
 }
 
 }  // namespace
