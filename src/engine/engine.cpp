@@ -27,6 +27,7 @@ FlatSnapshot::Options snapshot_options(const QueryEngine::Options& o) {
   so.behavior_table_budget = o.behavior_table_budget;
   so.header_cache_capacity = o.header_cache_capacity;
   so.header_cache_shards = o.header_cache_shards;
+  so.compile_program = o.compile_program;
   return so;
 }
 }  // namespace
@@ -246,6 +247,21 @@ void QueryEngine::register_metrics(obs::MetricsRegistry& reg,
   reg.register_fn(prefix + ".snapshot.memory_bytes",
                   [this] { return static_cast<double>(snapshot()->memory_bytes()); },
                   "bytes");
+  // Compiled match program rows (0s when the program is off / over budget).
+  reg.register_fn(
+      prefix + ".snapshot.program_instructions",
+      [this] { return static_cast<double>(snapshot()->program_instructions()); },
+      "count");
+  reg.register_fn(prefix + ".snapshot.program_bytes",
+                  [this] { return static_cast<double>(snapshot()->program_bytes()); },
+                  "bytes");
+  reg.register_fn(prefix + ".snapshot.program_compile_us", [this] {
+    return snapshot()->program_compile_seconds() * 1e6;
+  }, "us");
+  reg.register_fn(prefix + ".snapshot.kernel_dispatch", [this] {
+    // 0 = no program (interpreted walk), 1 = scalar kernel, 2 = AVX2 kernel.
+    return static_cast<double>(snapshot()->kernel_dispatch());
+  });
   reg.register_counter(prefix + ".snapshot_delta_publishes",
                        &snapshot_delta_publishes_);
   reg.register_fn(

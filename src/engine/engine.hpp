@@ -80,6 +80,13 @@ class QueryEngine {
     /// Header-cache shard count (power of two); 0 = auto-size from
     /// capacity.
     std::size_t header_cache_shards = 0;
+    /// Whether each published snapshot compiles its frozen tree+BDDs into a
+    /// flat branchless match program (engine/program.hpp) that cache misses
+    /// execute instead of the interpreted walk.  kAuto compiles when the
+    /// program fits MatchProgram::kAutoProgramBytes; kNever keeps the
+    /// interpreted lockstep walk.  Delta publishes share the retiring
+    /// snapshot's program when the frozen arrays are unchanged.
+    ProgramMode compile_program = ProgramMode::kAuto;
     /// Durable snapshot file (empty = off).  At construction a valid file
     /// here is warm-restored — the engine serves queries from it without
     /// paying the freeze/precompute cost — and every publish (including the

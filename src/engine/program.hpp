@@ -1,0 +1,175 @@
+// MatchProgram — a frozen snapshot compiled to a flat, branchless match
+// program.
+//
+// FlatSnapshot's interpreted walk resolves one BDD *bit* per dependent load:
+// tree node -> BDD root -> node -> node -> ... -> terminal -> next tree
+// node.  An uncached uniform trace therefore pays a full load latency per
+// header bit.  Click's Classifier shows the classic fix in software: compile
+// the decision structure into a linear program of mask-and-compare steps,
+// each testing a whole aligned word of the packet at once (SNIPPETS.md,
+// classifier.hh: "four bytes of packet data are ANDed with a mask and
+// compared against four bytes of classifier pattern").
+//
+// The compiler lowers the frozen tree + shared BDD array into contiguous
+// 16-byte instructions
+//
+//     { mask32, value32, jump_on_match, jump_on_fail }
+//
+// where a jump packs { leaf?, word_offset, target } (see the bit layout at
+// MatchInsn).  Runs of consecutive BDD bit-tests that (a) test bits of the
+// same 32-bit header word and (b) fail to the same continuation are
+// coalesced into a single instruction whose mask ORs the tested bits and
+// whose value holds the required ones — an `equals(dst_ip, X)` predicate
+// (32 BDD nodes) becomes ONE instruction.  Tree edges become jumps: a tree
+// node's true branch continues at the next tree node's entry, its false
+// branch at its right child's entry, and leaves are leaf-encoded jumps
+// carrying the AtomId, so the whole two-level structure (tree over BDDs)
+// flattens into one program with a single entry point.
+//
+// Execution is a pure data-dependent loop with no unpredictable branches:
+//
+//     while (!(pc & kLeafBit)) {
+//       insn = prog[pc & kTargetMask]
+//       w    = header.word32(insn.word)
+//       pc   = (w & insn.mask) == insn.value ? insn.on_match : insn.on_fail
+//     }
+//     atom = pc & kTargetMask
+//
+// Two kernels run it (runtime CPUID dispatch, see run_batch):
+//   * kernel_scalar.cpp — the portable interpreter, one header at a time;
+//     also the differential oracle for the SIMD kernel.
+//   * kernel_avx2.cpp — 8 headers per step: per-lane program counters,
+//     masked vpgatherdd fetches of the instruction fields and of each
+//     lane's header word, compare-under-mask, and a blend to advance the
+//     PCs; finished lanes retire their atom and admit the next header.
+//
+// A MatchProgram is immutable after compile() and holds no pointers into
+// the snapshot, so it is safe to share between snapshots (delta publishes
+// carry it when the frozen tree+BDD arrays are unchanged) and to read from
+// any number of threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ap/atoms.hpp"
+#include "bdd/bdd.hpp"
+#include "packet/header.hpp"
+
+namespace apc::engine {
+
+/// Whether a snapshot compiles a match program at freeze/publish time.
+enum class ProgramMode : std::uint8_t {
+  /// Compile when the program fits the auto budget (kAutoProgramBytes);
+  /// fall back to the interpreted walk above it.
+  kAuto,
+  /// Compile unconditionally (hard cap: kMaxInstructions).
+  kAlways,
+  /// Never compile — interpreted walk only (the pre-program behavior).
+  kNever,
+};
+
+/// Which executor a program run uses.  Values are stable: obs rows report
+/// them (0 in those rows means "no program — interpreted walk").
+enum class KernelKind : std::uint8_t { kScalar = 1, kAvx2 = 2 };
+
+/// 8-byte AP-tree node in DFS preorder (frozen by FlatSnapshot::build_core,
+/// consumed by MatchProgram::compile — defined here so both see it).  An
+/// internal node's true-branch child is the next array element; `right`
+/// holds the false-branch index.  Leaves set right = kLeaf and carry their
+/// atom id in `bdd_root`.
+struct FlatTreeNode {
+  std::uint32_t bdd_root = 0;  ///< internal: dense BDD index; leaf: atom id
+  std::int32_t right = -1;     ///< false-branch child, or kLeaf
+};
+inline constexpr std::int32_t kLeaf = -1;
+static_assert(sizeof(FlatTreeNode) == 8, "tree nodes must stay 8 bytes");
+
+/// One 16-byte match-program instruction: test a 32-bit header word under a
+/// mask and jump.  Both jump fields use the same encoding
+///
+///     bit 31      kLeafBit — the jump retires with an AtomId
+///     bits 30:27  this instruction's header word index (duplicated in both
+///                 jumps so a kernel decodes the word from whichever dword
+///                 it gathered)
+///     bits 26:0   target pc (leaf clear) or atom id (leaf set)
+///
+/// so programs and atom universes are capped at 2^27 entries each.
+struct MatchInsn {
+  std::uint32_t mask = 0;      ///< header-word bits this step tests
+  std::uint32_t value = 0;     ///< required values of the masked bits
+  std::uint32_t on_match = 0;  ///< jump when (word & mask) == value
+  std::uint32_t on_fail = 0;   ///< jump otherwise
+};
+static_assert(sizeof(MatchInsn) == 16, "instructions must stay 16 bytes");
+
+class MatchProgram {
+ public:
+  static constexpr std::uint32_t kLeafBit = 0x80000000u;
+  static constexpr std::uint32_t kTargetMask = 0x07FFFFFFu;
+  static constexpr std::uint32_t kWordShift = 27;
+  static constexpr std::uint32_t kWordFieldMask = 0xFu;  ///< 4 bits: 16 words
+  static constexpr std::size_t kMaxInstructions = std::size_t{1} << 27;
+  /// ProgramMode::kAuto compiles only while the instruction array stays
+  /// under this footprint; larger programs fall back to the walk.
+  static constexpr std::size_t kAutoProgramBytes = std::size_t{64} << 20;
+
+  /// Lowers the frozen tree + shared BDD array into a program.  Instructions
+  /// are laid out in DFS order from the entry (match path first), so the hot
+  /// prefix of a walk is forward-contiguous.  Returns nullptr when the
+  /// program would exceed `max_bytes` (0 = the kMaxInstructions hard cap
+  /// only) — the caller keeps the interpreted walk.  Pure function of its
+  /// arguments; the result holds no references to them.
+  static std::shared_ptr<const MatchProgram> compile(
+      const std::vector<bdd::FlatBddNode>& bdd_nodes,
+      const std::vector<FlatTreeNode>& tree, std::int32_t root,
+      std::size_t max_bytes = 0);
+
+  /// Classifies one header (scalar kernel).
+  AtomId run(const PacketHeader& h) const;
+
+  /// Classifies `n` headers into `out`; `which`, when non-null, selects the
+  /// header/output indices to process (the cache-miss list, mirroring
+  /// classify_lockstep).  Dispatches to the best kernel the CPU supports
+  /// (AVX2 via CPUID when the kernel was built, scalar otherwise).
+  void run_batch(const PacketHeader* hs, const std::size_t* which,
+                 std::size_t n, AtomId* out) const {
+    run_batch(hs, which, n, out, dispatch_kernel());
+  }
+  /// Same, forcing a kernel — the differential tests and the bench's
+  /// scalar-vs-SIMD rows.  Requesting kAvx2 on a CPU without AVX2 (or in an
+  /// AVX2-less build) runs the scalar kernel.
+  void run_batch(const PacketHeader* hs, const std::size_t* which,
+                 std::size_t n, AtomId* out, KernelKind kernel) const;
+
+  /// True when the AVX2 kernel is compiled in AND the CPU reports AVX2.
+  static bool avx2_available();
+  /// The kernel run_batch will pick on this machine.
+  KernelKind dispatch_kernel() const {
+    return avx2_available() ? KernelKind::kAvx2 : KernelKind::kScalar;
+  }
+
+  std::size_t instruction_count() const { return insns_.size(); }
+  std::size_t bytes() const { return insns_.size() * sizeof(MatchInsn); }
+  double compile_seconds() const { return compile_seconds_; }
+  /// Entry jump value (leaf-encoded for a single-leaf tree).
+  std::uint32_t entry() const { return entry_; }
+  const MatchInsn* instructions() const { return insns_.data(); }
+
+ private:
+  MatchProgram() = default;
+
+  void run_batch_scalar(const PacketHeader* hs, const std::size_t* which,
+                        std::size_t n, AtomId* out) const;
+  /// Defined in kernel_avx2.cpp when APC_HAVE_AVX2_KERNEL is set; otherwise
+  /// a scalar forwarder (program.cpp).
+  void run_batch_avx2(const PacketHeader* hs, const std::size_t* which,
+                      std::size_t n, AtomId* out) const;
+
+  std::vector<MatchInsn> insns_;
+  std::uint32_t entry_ = kLeafBit;  ///< empty program: atom 0 leaf
+  double compile_seconds_ = 0.0;
+};
+
+}  // namespace apc::engine

@@ -1,5 +1,6 @@
 #include "engine/snapshot.hpp"
 
+#include <cstring>
 #include <unordered_map>
 
 #include "util/stopwatch.hpp"
@@ -231,6 +232,22 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build_delta(
     const ApClassifier& clf, const Options& opts, util::TaskPool* pool,
     const FlatSnapshot& prev, const AtomDelta& delta) {
   auto snap = build_core(clf);
+
+  // Compiled program carry: the program is a pure function of the frozen
+  // (tree_, bdd_nodes_) arrays, and a MatchProgram holds no pointers into
+  // its snapshot, so when both arrays are bytewise identical the retiring
+  // snapshot's program is shared instead of recompiled.  Checked before
+  // init_accelerators so a carried program skips the compile entirely
+  // (init_program no-ops when program_ is already set).
+  if (prev.program_ && snap->tree_.size() == prev.tree_.size() &&
+      snap->bdd_nodes_.size() == prev.bdd_nodes_.size() &&
+      std::memcmp(snap->tree_.data(), prev.tree_.data(),
+                  snap->tree_.size() * sizeof(FlatTreeNode)) == 0 &&
+      std::memcmp(snap->bdd_nodes_.data(), prev.bdd_nodes_.data(),
+                  snap->bdd_nodes_.size() * sizeof(bdd::FlatBddNode)) == 0) {
+    snap->program_ = prev.program_;
+    snap->program_carried_ = true;
+  }
   snap->init_accelerators(opts);
 
   if (delta.valid) {
@@ -329,6 +346,22 @@ void FlatSnapshot::init_accelerators(const Options& opts) {
     table_heap_bytes_.store(cell_bytes, std::memory_order_relaxed);
     table_mode_ = BehaviorTableMode::kLazy;
   }
+
+  init_program(opts);
+}
+
+void FlatSnapshot::init_program(const Options& opts) {
+  if (opts.compile_program == ProgramMode::kNever) {
+    program_.reset();
+    program_carried_ = false;
+    return;
+  }
+  if (program_) return;  // delta-carried from the previous snapshot
+  const std::size_t max_bytes = opts.compile_program == ProgramMode::kAuto
+                                    ? MatchProgram::kAutoProgramBytes
+                                    : 0;
+  // nullptr (over budget) keeps the interpreted lockstep walk.
+  program_ = MatchProgram::compile(bdd_nodes_, tree_, tree_root_, max_bytes);
 }
 
 FlatSnapshot::~FlatSnapshot() {
@@ -344,9 +377,19 @@ AtomId FlatSnapshot::classify(const PacketHeader& h) const {
       visits_.bump(atom);  // no-op (size 0) unless tracking is on
       return atom;
     }
-    atom = classify_walk(h);  // bumps visits at the leaf
+    if (program_) {
+      atom = program_->run(h);
+      visits_.bump(atom);
+    } else {
+      atom = classify_walk(h);  // bumps visits at the leaf
+    }
     cache_->insert(h, atom);
     cache_misses_.add(1);
+    return atom;
+  }
+  if (program_) {
+    const AtomId atom = program_->run(h);
+    visits_.bump(atom);
     return atom;
   }
   return classify_walk(h);
@@ -384,6 +427,15 @@ void FlatSnapshot::classify_lockstep(const PacketHeader* hs,
   const bdd::FlatBddNode* nodes = bdd_nodes_.data();
   const FlatTreeNode* tree = tree_.data();
 
+  // Single-leaf tree: every header lands on the same atom, no walk needed.
+  // One batched counter add instead of n contended per-packet bumps.
+  if (tree[tree_root_].right == kLeaf) {
+    const AtomId a = static_cast<AtomId>(tree[tree_root_].bdd_root);
+    for (std::size_t i = 0; i < n; ++i) out[which ? which[i] : i] = a;
+    visits_.add(a, n);
+    return;
+  }
+
   // One in-flight walk per lane.  Each lane advances one dependent load per
   // round (a BDD node or a tree node) and prefetches the next, so the DRAM
   // latencies of up to kLanes cold walks overlap instead of serializing.
@@ -399,24 +451,15 @@ void FlatSnapshot::classify_lockstep(const PacketHeader* hs,
   std::size_t next = 0;
 
   const auto admit = [&](Lane& L) -> bool {
-    while (next < n) {
-      const std::size_t slot = which ? which[next] : next;
-      ++next;
-      const std::int32_t idx = tree_root_;
-      if (tree[idx].right == kLeaf) {  // single-leaf tree: no walk needed
-        const AtomId a = static_cast<AtomId>(tree[idx].bdd_root);
-        visits_.bump(a);
-        out[slot] = a;
-        continue;
-      }
-      L.h = &hs[slot];
-      L.slot = slot;
-      L.idx = idx;
-      L.r = tree[idx].bdd_root;
-      __builtin_prefetch(&nodes[L.r]);
-      return true;
-    }
-    return false;
+    if (next >= n) return false;
+    const std::size_t slot = which ? which[next] : next;
+    ++next;
+    L.h = &hs[slot];
+    L.slot = slot;
+    L.idx = tree_root_;
+    L.r = tree[tree_root_].bdd_root;
+    __builtin_prefetch(&nodes[L.r]);
+    return true;
   };
 
   while (active < kLanes && admit(lanes[active])) ++active;
@@ -448,15 +491,33 @@ void FlatSnapshot::classify_lockstep(const PacketHeader* hs,
   }
 }
 
+// Batch classification of the slots in `which` (or all of [0, n)): the
+// compiled match program's kernel when present, the interpreted lockstep
+// walk otherwise.  The kernels don't touch the visit counters, so the bumps
+// happen here, from the written outputs.
+void FlatSnapshot::classify_batch(const PacketHeader* hs,
+                                  const std::size_t* which, std::size_t n,
+                                  AtomId* out) const {
+  if (!program_) {
+    classify_lockstep(hs, which, n, out);
+    return;
+  }
+  program_->run_batch(hs, which, n, out);
+  if (visits_.size() > 0) {
+    for (std::size_t i = 0; i < n; ++i) visits_.bump(out[which ? which[i] : i]);
+  }
+}
+
 void FlatSnapshot::classify_into(const PacketHeader* hs, std::size_t n,
                                  AtomId* out) const {
   if (n == 0) return;
   if (!cache_) {
-    classify_lockstep(hs, nullptr, n, out);
+    classify_batch(hs, nullptr, n, out);
     return;
   }
-  // Probe pass, then one lockstep walk over the misses.  Hit/miss counts
-  // are folded into the shared counters once per batch, not per packet.
+  // Probe pass, then one kernel/lockstep pass over the misses.  Hit/miss
+  // counts are folded into the shared counters once per batch, not per
+  // packet.
   std::vector<std::size_t> misses;
   std::size_t hits = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -470,7 +531,7 @@ void FlatSnapshot::classify_into(const PacketHeader* hs, std::size_t n,
     }
   }
   if (!misses.empty()) {
-    classify_lockstep(hs, misses.data(), misses.size(), out);
+    classify_batch(hs, misses.data(), misses.size(), out);
     for (const std::size_t i : misses) cache_->insert(hs[i], out[i]);
     cache_misses_.add(misses.size());
   }
@@ -600,6 +661,9 @@ std::size_t FlatSnapshot::memory_bytes() const {
   // fill_cell), plus the header cache's slot arrays.
   bytes += table_heap_bytes_.load(std::memory_order_relaxed);
   if (cache_) bytes += cache_->memory_bytes();
+  // The compiled program counts even when delta-shared: it is live memory
+  // this snapshot keeps reachable.
+  if (program_) bytes += program_->bytes();
   return bytes;
 }
 

@@ -48,6 +48,7 @@
 #include "bdd/bdd.hpp"
 #include "classifier/classifier.hpp"
 #include "engine/header_cache.hpp"
+#include "engine/program.hpp"
 #include "obs/metrics.hpp"
 #include "util/bitset.hpp"
 #include "util/task_pool.hpp"
@@ -71,6 +72,12 @@ class FlatSnapshot {
     /// Cache shard count (power of two).  0 = auto (one shard per 256
     /// slots, at most 64).
     std::size_t header_cache_shards = 0;
+    /// Whether to compile the frozen tree+BDDs into a flat match program
+    /// (engine/program.hpp) at build time.  kAuto compiles when the program
+    /// fits MatchProgram::kAutoProgramBytes; kNever keeps the interpreted
+    /// lockstep walk (the program-less behavior).  Cache misses in
+    /// classify()/classify_into() route through the program when present.
+    ProgramMode compile_program = ProgramMode::kAuto;
   };
 
   enum class BehaviorTableMode : std::uint8_t { kDisabled, kLazy, kPrecomputed };
@@ -173,6 +180,27 @@ class FlatSnapshot {
   std::uint64_t behavior_rows_carried() const { return rows_carried_; }
   std::uint64_t header_entries_carried() const { return cache_entries_carried_; }
 
+  // ---- Compiled match program (engine/program.hpp) ----
+  /// nullptr when compilation is off (Options) or the program exceeded its
+  /// budget — classify falls back to the interpreted lockstep walk.
+  const MatchProgram* program() const { return program_.get(); }
+  std::size_t program_instructions() const {
+    return program_ ? program_->instruction_count() : 0;
+  }
+  std::size_t program_bytes() const { return program_ ? program_->bytes() : 0; }
+  /// Wall-clock seconds the compile took (0 when absent or delta-carried).
+  double program_compile_seconds() const {
+    return program_ ? program_->compile_seconds() : 0.0;
+  }
+  /// Kernel batch classification dispatches to: 0 = no program (interpreted
+  /// walk), 1 = scalar, 2 = AVX2.  Matches the obs `kernel_dispatch` row.
+  int kernel_dispatch() const {
+    return program_ ? static_cast<int>(program_->dispatch_kernel()) : 0;
+  }
+  /// True when build_delta() shared the previous snapshot's program instead
+  /// of recompiling (frozen tree+BDD arrays were unchanged).
+  bool program_carried() const { return program_carried_; }
+
  private:
   FlatSnapshot() = default;
 
@@ -193,6 +221,12 @@ class FlatSnapshot {
   /// fill).  Shared between build() and load_snapshot().
   void init_accelerators(const Options& opts);
 
+  /// Compiles the frozen tree+BDD arrays into the match program per
+  /// `opts.compile_program` (no-op for kNever; kAuto keeps program_ null
+  /// when the program would exceed kAutoProgramBytes).  Called by
+  /// init_accelerators, so the load path compiles too.
+  void init_program(const Options& opts);
+
   /// Upgrades a lazy table to an eager precompute when the estimated full
   /// footprint fits the budget.  Cells already published (delta carry-over)
   /// are kept, not recomputed.
@@ -203,15 +237,8 @@ class FlatSnapshot {
   /// peers, ACL placement) — the carry-over precondition for behavior rows.
   bool same_stage2_shape(const FlatSnapshot& prev) const;
 
-  /// 8-byte tree node in DFS preorder.  An internal node's true-branch
-  /// child is the next array element; `right` holds the false-branch index.
-  /// Leaves set right = kLeaf and carry their atom id in `bdd_root`.
-  struct FlatTreeNode {
-    std::uint32_t bdd_root = 0;  ///< internal: dense BDD index; leaf: atom id
-    std::int32_t right = -1;     ///< false-branch child, or kLeaf
-  };
-  static constexpr std::int32_t kLeaf = -1;
-  static_assert(sizeof(FlatTreeNode) == 8, "tree nodes must stay 8 bytes");
+  // The 8-byte DFS-preorder tree node (FlatTreeNode) and its kLeaf marker
+  // live in engine/program.hpp now, shared with the match-program compiler.
 
   /// Copied per-port stage-2 entry.  Bitsets of deleted predicates are left
   /// empty, which reproduces pred_contains() == false for every atom.
@@ -233,6 +260,10 @@ class FlatSnapshot {
   /// the header/output indices to process (the cache-miss list).
   void classify_lockstep(const PacketHeader* hs, const std::size_t* which,
                          std::size_t n, AtomId* out) const;
+  /// Same contract; runs the compiled match program's kernel when present
+  /// (bumping visit counters from the outputs), the lockstep walk otherwise.
+  void classify_batch(const PacketHeader* hs, const std::size_t* which,
+                      std::size_t n, AtomId* out) const;
   /// Publishes the walk result into `cell` (first writer wins); returns the
   /// published pointer either way.
   const Behavior* fill_cell(std::atomic<const Behavior*>& cell, AtomId atom,
@@ -264,6 +295,10 @@ class FlatSnapshot {
   std::unique_ptr<HeaderAtomCache> cache_;
   mutable obs::Counter cache_hits_;
   mutable obs::Counter cache_misses_;
+
+  // ---- Compiled match program (layer 3b; immutable after build) ----
+  std::shared_ptr<const MatchProgram> program_;
+  bool program_carried_ = false;
 
   // ---- Delta carry-over accounting (build_delta only; immutable after) ----
   std::uint64_t rows_carried_ = 0;

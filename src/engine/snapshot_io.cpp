@@ -173,7 +173,7 @@ void save_snapshot(const FlatSnapshot& snap, const std::string& path) {
 
   put_u64(payload, snap.tree_.size());
   put_bytes(payload, snap.tree_.data(),
-            snap.tree_.size() * sizeof(FlatSnapshot::FlatTreeNode));
+            snap.tree_.size() * sizeof(FlatTreeNode));
   put_i32(payload, snap.tree_root_);
 
   put_u64(payload, snap.boxes_.size());
@@ -252,7 +252,7 @@ std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
   snap->atom_capacity_ = static_cast<std::size_t>(r.u64());
 
   snap->bdd_nodes_ = r.array<bdd::FlatBddNode>(sizeof(bdd::FlatBddNode));
-  snap->tree_ = r.array<FlatSnapshot::FlatTreeNode>(sizeof(FlatSnapshot::FlatTreeNode));
+  snap->tree_ = r.array<FlatTreeNode>(sizeof(FlatTreeNode));
   snap->tree_root_ = r.i32();
 
   const std::uint64_t box_count = r.u64();
@@ -298,8 +298,8 @@ std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
   const std::size_t nt = snap->tree_.size();
   if (nt == 0 || snap->tree_root_ != 0) fail_corrupt(path, "bad tree root");
   for (std::size_t i = 0; i < nt; ++i) {
-    const FlatSnapshot::FlatTreeNode& t = snap->tree_[i];
-    if (t.right == FlatSnapshot::kLeaf) {
+    const FlatTreeNode& t = snap->tree_[i];
+    if (t.right == kLeaf) {
       if (t.bdd_root >= snap->atom_capacity_)
         fail_corrupt(path, "leaf atom out of range");
     } else {

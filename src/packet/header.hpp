@@ -112,6 +112,23 @@ class PacketHeader {
   /// i/64).  The engine's header cache canonicalizes and hashes these.
   const std::array<std::uint64_t, kWords>& words() const { return words_; }
 
+  // ---- Packed 32-bit word view ----
+  // The match-program compiler coalesces BDD bit-tests per 32-bit word and
+  // its SIMD kernel gathers one 32-bit word per lane per step, so both need
+  // the header as an array of kWords32 contiguous 32-bit words: bit j of
+  // word32(w) is header bit 32*w + j (same LSB-first convention as bit()).
+  // On a little-endian target word32(w) is exactly the w-th 32-bit word of
+  // the in-memory representation, which is what the gather path reads.
+  static constexpr std::uint32_t kWords32 = kWords * 2;
+  std::uint32_t word32(std::uint32_t w) const {
+    return static_cast<std::uint32_t>(words_[w >> 1] >> ((w & 1u) * 32u));
+  }
+  std::array<std::uint32_t, kWords32> words32() const {
+    std::array<std::uint32_t, kWords32> out;
+    for (std::uint32_t w = 0; w < kWords32; ++w) out[w] = word32(w);
+    return out;
+  }
+
   std::string to_string() const;  ///< "src -> dst proto/sport/dport"
 
  private:

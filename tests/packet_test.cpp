@@ -116,6 +116,31 @@ TEST(PacketHeader, EqualityAndMutation) {
   EXPECT_EQ(a, b);
 }
 
+TEST(PacketHeader, Word32ViewRoundTrip) {
+  // The packed 32-bit word view feeds the match-program compiler (per-word
+  // coalescing) and the SIMD gather: bit j of word32(w) must be header bit
+  // 32*w + j, and the array view must agree with per-word reads.
+  Rng rng(11);
+  PacketHeader h;
+  for (std::uint32_t i = 0; i < PacketHeader::kMaxBits; ++i)
+    h.set_bit(i, rng.coin());
+  const auto words = h.words32();
+  ASSERT_EQ(words.size(), PacketHeader::kWords32);
+  for (std::uint32_t w = 0; w < PacketHeader::kWords32; ++w) {
+    EXPECT_EQ(words[w], h.word32(w));
+    for (std::uint32_t j = 0; j < 32; ++j)
+      EXPECT_EQ((h.word32(w) >> j) & 1u, h.bit(32 * w + j) ? 1u : 0u)
+          << "word " << w << " bit " << j;
+  }
+  // Round trip: reassembling the 64-bit backing words from the 32-bit view
+  // reproduces the header exactly.
+  PacketHeader back;
+  for (std::uint32_t w = 0; w < PacketHeader::kWords32; ++w)
+    for (std::uint32_t j = 0; j < 32; ++j)
+      back.set_bit(32 * w + j, (words[w] >> j) & 1u);
+  EXPECT_EQ(back, h);
+}
+
 TEST(PacketHeader, OutOfRangeThrows) {
   PacketHeader h;
   EXPECT_THROW(h.set_field(PacketHeader::kMaxBits - 8, 16, 0), Error);

@@ -1,0 +1,328 @@
+// Tests for the compiled match program (engine/program.hpp): the scalar and
+// AVX2 kernels must be bit-identical to the interpreted lockstep walk on
+// every header — exhaustively across atoms, on random and adversarial
+// headers, and across delta-published snapshots — and the coalescer must
+// collapse same-word BDD chains to single instructions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "classifier/classifier.hpp"
+#include "datasets/datasets.hpp"
+#include "datasets/traces.hpp"
+#include "engine/engine.hpp"
+#include "engine/program.hpp"
+#include "engine/snapshot.hpp"
+#include "packet/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace apc {
+namespace {
+
+using datasets::Dataset;
+using datasets::Scale;
+using engine::FlatSnapshot;
+using engine::KernelKind;
+using engine::MatchProgram;
+using engine::ProgramMode;
+using engine::QueryEngine;
+
+FlatSnapshot::Options program_options(ProgramMode mode) {
+  FlatSnapshot::Options o;
+  o.compile_program = mode;
+  o.header_cache_capacity = 0;  // classify_into goes straight to the kernel
+  o.behavior_table_budget = 0;
+  return o;
+}
+
+/// All-atom representatives + random headers + adversarial corners: the
+/// all-zeros and all-ones headers, and single-bit flips of representatives
+/// (each flip crosses exactly one BDD test, probing every chain boundary).
+std::vector<PacketHeader> differential_headers(const ApClassifier& clf,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  std::vector<PacketHeader> hs = reps.headers;
+  for (std::size_t i = 0; i < 200; ++i) {
+    hs.push_back(PacketHeader::from_five_tuple(
+        static_cast<std::uint32_t>(rng.next()),
+        static_cast<std::uint32_t>(rng.next()),
+        static_cast<std::uint16_t>(rng.next()),
+        static_cast<std::uint16_t>(rng.next()),
+        static_cast<std::uint8_t>(rng.next())));
+  }
+  hs.emplace_back();  // all zeros
+  PacketHeader ones;
+  for (std::uint32_t b = 0; b < HeaderLayout::kBits; ++b) ones.set_bit(b, true);
+  hs.push_back(ones);
+  for (const PacketHeader& rep : reps.headers) {
+    for (std::uint32_t b = 0; b < HeaderLayout::kBits; b += 7) {
+      PacketHeader h = rep;
+      h.set_bit(b, !h.bit(b));
+      hs.push_back(h);
+    }
+  }
+  return hs;
+}
+
+/// Asserts scalar run(), forced-scalar batch, forced-AVX2 batch, and the
+/// interpreted walks all agree on every header.
+void expect_kernels_match(const FlatSnapshot& snap,
+                          const std::vector<PacketHeader>& hs) {
+  const MatchProgram* prog = snap.program();
+  ASSERT_NE(prog, nullptr);
+  std::vector<AtomId> scalar(hs.size()), simd(hs.size());
+  prog->run_batch(hs.data(), nullptr, hs.size(), scalar.data(),
+                  KernelKind::kScalar);
+  prog->run_batch(hs.data(), nullptr, hs.size(), simd.data(), KernelKind::kAvx2);
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    const AtomId oracle = snap.classify_walk(hs[i]);
+    ASSERT_EQ(oracle, prog->run(hs[i])) << "scalar run, header " << i;
+    ASSERT_EQ(oracle, scalar[i]) << "scalar batch, header " << i;
+    ASSERT_EQ(oracle, simd[i]) << "avx2 batch, header " << i;
+  }
+  // The `which` path (the cache-miss list shape): every third header, odd
+  // count, untouched slots must stay untouched.
+  constexpr AtomId kUntouched = 0xFFFFFFFu;
+  std::vector<std::size_t> which;
+  for (std::size_t i = 0; i < hs.size(); i += 3) which.push_back(i);
+  std::vector<AtomId> sel(hs.size(), kUntouched);
+  prog->run_batch(hs.data(), which.data(), which.size(), sel.data(),
+                  KernelKind::kAvx2);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    if (w < which.size() && which[w] == i) {
+      ASSERT_EQ(sel[i], scalar[i]) << "which path, header " << i;
+      ++w;
+    } else {
+      ASSERT_EQ(sel[i], kUntouched) << "slot " << i << " written unexpectedly";
+    }
+  }
+}
+
+TEST(MatchProgram, DifferentialExhaustiveAcrossAtoms) {
+  for (const int which : {0, 1}) {
+    Dataset d = which == 0 ? datasets::internet2_like(Scale::Tiny, 11)
+                           : datasets::stanford_like(Scale::Tiny, 11);
+    auto mgr = Dataset::make_manager();
+    ApClassifier clf(d.net, mgr);
+    const auto snap = FlatSnapshot::build(clf, program_options(ProgramMode::kAlways));
+    ASSERT_GT(snap->program_instructions(), 0u);
+    expect_kernels_match(*snap, differential_headers(clf, 17 + which));
+
+    // classify_into (the production entry point) equals per-header walks.
+    const auto hs = differential_headers(clf, 91 + which);
+    std::vector<AtomId> out(hs.size());
+    snap->classify_into(hs.data(), hs.size(), out.data());
+    for (std::size_t i = 0; i < hs.size(); ++i)
+      ASSERT_EQ(out[i], snap->classify_walk(hs[i]));
+  }
+}
+
+TEST(MatchProgram, ProgramModeKnobControlsCompilation) {
+  Dataset d = datasets::internet2_like(Scale::Tiny, 3);
+  auto mgr = Dataset::make_manager();
+  ApClassifier clf(d.net, mgr);
+
+  const auto never = FlatSnapshot::build(clf, program_options(ProgramMode::kNever));
+  EXPECT_EQ(never->program(), nullptr);
+  EXPECT_EQ(never->kernel_dispatch(), 0);
+  EXPECT_EQ(never->program_bytes(), 0u);
+
+  const auto always = FlatSnapshot::build(clf, program_options(ProgramMode::kAlways));
+  ASSERT_NE(always->program(), nullptr);
+  EXPECT_EQ(always->program_bytes(),
+            always->program_instructions() * sizeof(engine::MatchInsn));
+  EXPECT_GE(always->program_compile_seconds(), 0.0);
+  // Dispatch reports whichever kernel this machine will run — never 0 here.
+  EXPECT_NE(always->kernel_dispatch(), 0);
+  EXPECT_EQ(always->kernel_dispatch(),
+            MatchProgram::avx2_available() ? 2 : 1);
+  // The program is accounted memory.
+  EXPECT_GE(always->memory_bytes(), never->memory_bytes() + always->program_bytes());
+
+  // kAuto on a tiny dataset fits the budget and compiles.
+  const auto aut = FlatSnapshot::build(clf, program_options(ProgramMode::kAuto));
+  EXPECT_NE(aut->program(), nullptr);
+
+  // And both compiled snapshots still agree with the interpreted one.
+  Rng rng(5);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  for (const PacketHeader& h : reps.headers)
+    ASSERT_EQ(always->classify(h), never->classify(h));
+}
+
+TEST(MatchProgram, CoalescesSameWordChainsToOneInstruction) {
+  // One predicate: dst in 10.1.0.0/16.  Its BDD is a 16-node chain over bits
+  // 0..15 — all in header word 0, every fail edge on the shared kFalse — so
+  // the Click-style coalescer must emit exactly ONE mask-and-compare
+  // instruction for the whole tree (both leaves are instruction-free jumps).
+  NetworkModel net;
+  const BoxId b = net.topology.add_box("b");
+  const PortId h1 = net.topology.add_host_port(b, "h1");
+  net.fib(b).add(parse_prefix("10.1.0.0/16"), h1.port);
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  ApClassifier clf(net, mgr);
+
+  const auto snap = FlatSnapshot::build(clf, program_options(ProgramMode::kAlways));
+  ASSERT_NE(snap->program(), nullptr);
+  EXPECT_EQ(snap->program_instructions(), 1u);
+
+  const PacketHeader in = PacketHeader::from_five_tuple(0, parse_ipv4("10.1.2.3"), 0, 0, 6);
+  const PacketHeader out = PacketHeader::from_five_tuple(0, parse_ipv4("10.2.2.3"), 0, 0, 6);
+  EXPECT_EQ(snap->program()->run(in), snap->classify_walk(in));
+  EXPECT_EQ(snap->program()->run(out), snap->classify_walk(out));
+  EXPECT_NE(snap->program()->run(in), snap->program()->run(out));
+}
+
+TEST(MatchProgram, SingleLeafTreeAndBatchedVisitTotals) {
+  // Regression (satellite 1): the single-leaf fast path used to bump the
+  // visit counter once per packet inside the lockstep admit loop; it now
+  // batches one add() per call.  The observable contract: totals are exact.
+  NetworkModel net;
+  const BoxId b = net.topology.add_box("b");
+  const PortId h1 = net.topology.add_host_port(b, "h1");
+  // A default route compiles to the constant-true predicate, whose negation
+  // is unsatisfiable: one live atom, so the tree is a single leaf.
+  net.fib(b).add(parse_prefix("0.0.0.0/0"), h1.port);
+  auto mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+  ApClassifier::Options copts;
+  copts.track_visits = true;
+  ApClassifier clf(net, mgr, copts);
+
+  for (const ProgramMode mode : {ProgramMode::kNever, ProgramMode::kAlways}) {
+    const auto snap = FlatSnapshot::build(clf, program_options(mode));
+    ASSERT_TRUE(snap->tracks_visits());
+    if (mode == ProgramMode::kAlways) {
+      ASSERT_NE(snap->program(), nullptr);
+      // Single-leaf tree: zero instructions, leaf-encoded entry.
+      EXPECT_EQ(snap->program_instructions(), 0u);
+      EXPECT_NE(snap->program()->entry() & MatchProgram::kLeafBit, 0u);
+    }
+    Rng rng(8);
+    std::vector<PacketHeader> hs;
+    for (int i = 0; i < 257; ++i)
+      hs.push_back(PacketHeader::from_five_tuple(
+          static_cast<std::uint32_t>(rng.next()),
+          static_cast<std::uint32_t>(rng.next()), 0, 0, 17));
+    std::vector<AtomId> out(hs.size());
+    snap->classify_into(hs.data(), hs.size(), out.data());
+    for (std::size_t i = 1; i < out.size(); ++i) ASSERT_EQ(out[i], out[0]);
+
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> counts = snap->visit_counts();
+    for (const std::uint64_t c : counts) total += c;
+    EXPECT_EQ(total, hs.size());
+    EXPECT_EQ(counts[out[0]], hs.size());
+  }
+}
+
+TEST(MatchProgram, VisitTotalsExactThroughKernelPath) {
+  // The kernels don't touch visit counters; classify_batch bumps from the
+  // outputs.  Totals must equal the header count on a multi-atom tree too.
+  Dataset d = datasets::internet2_like(Scale::Tiny, 23);
+  auto mgr = Dataset::make_manager();
+  ApClassifier::Options copts;
+  copts.track_visits = true;
+  ApClassifier clf(d.net, mgr, copts);
+  const auto snap = FlatSnapshot::build(clf, program_options(ProgramMode::kAlways));
+  Rng rng(24);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  const auto hs = datasets::uniform_trace(reps, 500, rng);
+  std::vector<AtomId> out(hs.size());
+  snap->classify_into(hs.data(), hs.size(), out.data());
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : snap->visit_counts()) total += c;
+  EXPECT_EQ(total, hs.size());
+}
+
+TEST(MatchProgram, DeltaPublishesCarryOrRecompileCorrectly) {
+  // Delta-published snapshots must (a) share the retiring program when the
+  // frozen arrays are unchanged, (b) recompile when atoms changed, and (c)
+  // stay bit-identical to the interpreted walk either way.
+  Dataset d = datasets::internet2_like(Scale::Tiny, 31);
+  auto mgr = Dataset::make_manager();
+  ApClassifier clf(d.net, mgr);
+  QueryEngine::Options opts;
+  opts.num_threads = 1;
+  opts.compile_program = ProgramMode::kAlways;
+  opts.snapshot_delta = engine::SnapshotDeltaPolicy::kAlways;
+  opts.header_cache_capacity = 0;
+  QueryEngine eng(clf, opts);
+  ASSERT_NE(eng.snapshot()->program(), nullptr);
+
+  // (a) No-op update: identical frozen arrays, program shared by pointer.
+  const MatchProgram* before = eng.snapshot()->program();
+  eng.update([](ApClassifier&) {});
+  const auto carried = eng.snapshot();
+  EXPECT_TRUE(carried->program_carried());
+  EXPECT_EQ(carried->program(), before);
+
+  // (b) A predicate add changes the tree: fresh program, still correct.
+  eng.add_predicate(mgr->equals(HeaderLayout::kDstPort, 16, 8080));
+  const auto recompiled = eng.snapshot();
+  ASSERT_GE(eng.snapshot_delta_publishes().value(), 2u);
+  EXPECT_FALSE(recompiled->program_carried());
+  ASSERT_NE(recompiled->program(), nullptr);
+  EXPECT_NE(recompiled->program(), before);
+
+  // (c) Differential over the new atom universe, all kernels.
+  expect_kernels_match(*recompiled, differential_headers(clf, 37));
+}
+
+TEST(MatchProgram, SurvivesSnapshotPersistRoundTrip) {
+  // load_snapshot goes through init_accelerators, so a warm-restored
+  // snapshot compiles its program and classifies identically.
+  Dataset d = datasets::internet2_like(Scale::Tiny, 41);
+  auto mgr = Dataset::make_manager();
+  ApClassifier clf(d.net, mgr);
+  const auto snap = FlatSnapshot::build(clf, program_options(ProgramMode::kAlways));
+  const std::string path = ::testing::TempDir() + "/apc_program_snap.bin";
+  engine::save_snapshot(*snap, path);
+  const auto loaded = engine::load_snapshot(path, program_options(ProgramMode::kAlways));
+  ASSERT_NE(loaded->program(), nullptr);
+  EXPECT_EQ(loaded->program_instructions(), snap->program_instructions());
+  expect_kernels_match(*loaded, differential_headers(clf, 43));
+}
+
+TEST(MatchProgram, ChurnKernelQueriesAgainstConcurrentRepublish) {
+  // TSan-targeted: kernel-path batch queries racing delta republishes (which
+  // carry or recompile the program) must stay data-race-free and correct —
+  // every answer must be valid for SOME published snapshot, checked against
+  // the snapshot actually used.
+  Dataset d = datasets::internet2_like(Scale::Tiny, 51);
+  auto mgr = Dataset::make_manager();
+  ApClassifier clf(d.net, mgr);
+  QueryEngine::Options opts;
+  opts.num_threads = 2;
+  opts.compile_program = ProgramMode::kAlways;
+  opts.snapshot_delta = engine::SnapshotDeltaPolicy::kAlways;
+  QueryEngine eng(clf, opts);
+
+  Rng rng(52);
+  const auto reps = datasets::atom_representatives(clf.atoms(), rng);
+  const auto hs = datasets::uniform_trace(reps, 128, rng);
+
+  std::atomic<bool> stop{false};
+  std::thread querier([&] {
+    std::vector<AtomId> out(hs.size());
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto s = eng.snapshot();
+      s->classify_into(hs.data(), hs.size(), out.data());
+      for (std::size_t i = 0; i < hs.size(); ++i)
+        ASSERT_EQ(out[i], s->classify_walk(hs[i]));
+    }
+  });
+  for (int i = 0; i < 6; ++i) {
+    eng.update([](ApClassifier&) {});  // carry path
+    eng.add_predicate(
+        mgr->equals(HeaderLayout::kSrcPort, 16, 1000 + i));  // recompile path
+  }
+  stop.store(true, std::memory_order_release);
+  querier.join();
+  EXPECT_NE(eng.snapshot()->program(), nullptr);
+}
+
+}  // namespace
+}  // namespace apc
