@@ -48,9 +48,10 @@ QueryEngine::QueryEngine(ApClassifier& clf, Options opts)
     }
   }
   if (restored)
-    snap_.store(std::move(restored));
+    snap_.store(std::move(restored), /*epoch=*/0, opts_.epoch_pin);
   else
-    snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_));
+    snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_),
+                /*epoch=*/0, opts_.epoch_pin);
   // Discard any delta accumulated before the engine existed: the delta
   // consumed at the next republish must describe changes since THIS
   // snapshot, not since some earlier classifier state.
@@ -106,33 +107,50 @@ std::vector<Behavior> QueryEngine::query_batch(const std::vector<PacketHeader>& 
 
 std::optional<std::vector<AtomId>> QueryEngine::try_classify_batch(
     const std::vector<PacketHeader>& hs) const {
-  BatchTicket ticket(*this);
-  if (!ticket) return std::nullopt;
-  obs::ScopedTimer timer(classify_batch_hist_);
-  batch_size_hist_.record(hs.size());
-  std::vector<AtomId> out(hs.size());
   const std::shared_ptr<const FlatSnapshot> s = snapshot();
-  pool_.parallel_for(hs.size(), opts_.batch_grain,
-                     [&](std::size_t first, std::size_t last) {
-                       s->classify_into(hs.data() + first, last - first,
-                                        out.data() + first);
-                     });
-  queries_answered_.add(hs.size());
-  return out;
+  return try_classify_batch_on(*s, hs.data(), hs.size());
 }
 
 std::optional<std::vector<Behavior>> QueryEngine::try_query_batch(
     const std::vector<PacketHeader>& hs, BoxId ingress) const {
+  const std::shared_ptr<const FlatSnapshot> s = snapshot();
+  return try_query_batch_on(*s, hs.data(), hs.size(), ingress);
+}
+
+std::optional<std::vector<AtomId>> QueryEngine::try_classify_batch_on(
+    const FlatSnapshot& s, const PacketHeader* hs, std::size_t n) const {
+  // The admission permit is an RAII ticket: it is released when `ticket`
+  // leaves scope on EVERY path out of this function — normal return, the
+  // middlebox require() below, or a worker-task exception rethrown by the
+  // pool's Group::wait().  A leaked permit would permanently shrink the
+  // admission window (pending_batches_ never drains back to zero), so the
+  // fault-injection suite pins this down (AdmissionPermitRecovery).
+  BatchTicket ticket(*this);
+  if (!ticket) return std::nullopt;
+  obs::ScopedTimer timer(classify_batch_hist_);
+  batch_size_hist_.record(n);
+  std::vector<AtomId> out(n);
+  pool_.parallel_for(n, opts_.batch_grain,
+                     [&](std::size_t first, std::size_t last) {
+                       s.classify_into(hs + first, last - first,
+                                       out.data() + first);
+                     });
+  queries_answered_.add(n);
+  return out;
+}
+
+std::optional<std::vector<Behavior>> QueryEngine::try_query_batch_on(
+    const FlatSnapshot& s, const PacketHeader* hs, std::size_t n,
+    BoxId ingress) const {
   BatchTicket ticket(*this);
   if (!ticket) return std::nullopt;
   obs::ScopedTimer timer(query_batch_hist_);
-  batch_size_hist_.record(hs.size());
-  std::vector<Behavior> out(hs.size());
-  const std::shared_ptr<const FlatSnapshot> s = snapshot();
-  require(!s->has_middleboxes(),
+  batch_size_hist_.record(n);
+  std::vector<Behavior> out(n);
+  require(!s.has_middleboxes(),
           "QueryEngine::query_batch: middlebox networks need live tree "
           "re-search; use ApClassifier::query/query_probabilistic");
-  pool_.parallel_for(hs.size(), opts_.batch_grain,
+  pool_.parallel_for(n, opts_.batch_grain,
                      [&](std::size_t first, std::size_t last) {
                        // Batched stage 1 (cache probe + lockstep walk), then
                        // the table-read stage 2 per header.
@@ -140,13 +158,13 @@ std::optional<std::vector<Behavior>> QueryEngine::try_query_batch(
                        std::size_t i = first;
                        while (i < last) {
                          const std::size_t m = std::min<std::size_t>(last - i, atoms.size());
-                         s->classify_into(hs.data() + i, m, atoms.data());
+                         s.classify_into(hs + i, m, atoms.data());
                          for (std::size_t k = 0; k < m; ++k)
-                           out[i + k] = s->behavior_of(atoms[k], ingress);
+                           out[i + k] = s.behavior_of(atoms[k], ingress);
                          i += m;
                        }
                      });
-  queries_answered_.add(hs.size());
+  queries_answered_.add(n);
   return out;
 }
 
@@ -176,12 +194,19 @@ void QueryEngine::republish_locked() {
       use_delta = changed <= opts_.delta_max_dirty_fraction * live;
     }
   }
+  // Epoch tag for this publish: a pending writer override (the cluster's
+  // coordinated bump) or the previous epoch + 1.  Consumed exactly once.
+  const std::uint64_t epoch =
+      next_epoch_ ? *next_epoch_ : snap_.epoch() + 1;
+  next_epoch_.reset();
   if (use_delta) {
     snap_.store(FlatSnapshot::build_delta(clf_, snapshot_options(opts_), &pool_,
-                                          *prev, delta));
+                                          *prev, delta),
+                epoch, opts_.epoch_pin);
     snapshot_delta_publishes_.add();
   } else {
-    snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_));
+    snap_.store(FlatSnapshot::build(clf_, snapshot_options(opts_), &pool_),
+                epoch, opts_.epoch_pin);
   }
   publish_count_.fetch_add(1, std::memory_order_relaxed);
   last_publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
@@ -214,6 +239,9 @@ void QueryEngine::register_metrics(obs::MetricsRegistry& reg,
   reg.register_counter(prefix + ".queries_answered", &queries_answered_);
   reg.register_fn(prefix + ".publish_count",
                   [this] { return static_cast<double>(publish_count()); }, "count");
+  reg.register_fn(prefix + ".snapshot_epoch",
+                  [this] { return static_cast<double>(snapshot_epoch()); },
+                  "count");
   reg.register_fn(prefix + ".snapshot_age_seconds",
                   [this] { return snapshot_age_seconds(); }, "seconds");
   reg.register_fn(prefix + ".worker_threads",

@@ -4,7 +4,12 @@ namespace apc::engine {
 
 namespace {
 
-std::size_t round_up_pow2(std::size_t v) {
+/// Rounds `v` up to a power of two, saturating at `hi` (itself a power of
+/// two).  The unclamped version spun forever for v > 2^63 (the shift
+/// overflows to 0, so `p < v` never terminates) — any request at or above
+/// the cap deterministically gets the cap instead.
+std::size_t round_up_pow2_clamped(std::size_t v, std::size_t hi) {
+  if (v >= hi) return hi;
   std::size_t p = 1;
   while (p < v) p <<= 1;
   return p;
@@ -15,15 +20,21 @@ std::size_t round_up_pow2(std::size_t v) {
 HeaderAtomCache::HeaderAtomCache(std::size_t capacity, std::size_t shards,
                                  const Mask& tested_bits)
     : mask_(tested_bits) {
-  const std::size_t slots = round_up_pow2(capacity < 64 ? 64 : capacity);
+  // Deterministic sizing (see the constructor comment in the header):
+  //   slots  = clamp(pow2_round_up(capacity), kMinSlots, kMaxSlots)
+  //   shards = clamp(pow2_round_up(requested or auto), 1, slots / kMinSlots)
+  // Both results are powers of two and slots_per_shard >= kMinSlots always
+  // holds, so the low/high hash-bit split in slot_for() stays exact.
+  const std::size_t slots = round_up_pow2_clamped(
+      capacity < kMinSlots ? kMinSlots : capacity, kMaxSlots);
   if (shards == 0) {
     shards = slots / 256 ? slots / 256 : 1;  // auto: one shard per 256 slots
     if (shards > 64) shards = 64;
   }
-  shards = round_up_pow2(shards);
-  // Keep at least 64 slots per shard; slots and 64 are powers of two, so the
-  // clamp stays a power of two.
-  if (shards > slots / 64) shards = slots / 64;
+  // An explicit request is honored after power-of-two rounding, up to the
+  // invariant ceiling of slots / kMinSlots — never silently above it, and
+  // never a spin/overflow for absurd requests.
+  shards = round_up_pow2_clamped(shards, slots / kMinSlots);
   shard_count_ = shards;
   slots_per_shard_ = slots / shards;
   shards_.reserve(shard_count_);

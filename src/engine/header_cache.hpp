@@ -47,10 +47,22 @@ class HeaderAtomCache {
   /// A canonicalized (masked) header key as stored in a slot.
   using KeyWords = std::array<std::uint64_t, PacketHeader::kWords>;
 
-  /// `capacity` is rounded up to a power of two (minimum 64 slots) and
-  /// split into `shards` (also rounded to a power of two; 0 = one shard per
-  /// 256 slots, capped at 64) separately allocated slot arrays.  The shard
-  /// is chosen by the high hash bits, the slot by the low bits.
+  /// Total-slot floor/ceiling of the sizing rule below.  kMaxSlots bounds
+  /// the slot array at 2^20 entries (64 MiB of slots) so absurd capacity
+  /// requests (including values above 2^63, which used to spin the
+  /// power-of-two rounding forever) degrade to a deterministic clamp
+  /// instead of an overflow or an unbounded allocation.
+  static constexpr std::size_t kMinSlots = 64;
+  static constexpr std::size_t kMaxSlots = std::size_t{1} << 20;
+
+  /// Sizing invariant (deterministic for every input):
+  ///   slots  = pow2_round_up(capacity) clamped to [kMinSlots, kMaxSlots];
+  ///   shards = pow2_round_up(shards)   clamped to [1, slots / kMinSlots]
+  ///            (0 = auto: one shard per 256 slots, at most 64).
+  /// Every shard therefore keeps >= kMinSlots slots, both counts are powers
+  /// of two, and an explicit `shards` request above the ceiling is clamped
+  /// — check shard_count() when the exact value matters.  The shard is
+  /// chosen by the high hash bits, the slot by the low bits.
   HeaderAtomCache(std::size_t capacity, std::size_t shards, const Mask& tested_bits);
 
   HeaderAtomCache(const HeaderAtomCache&) = delete;

@@ -1,0 +1,88 @@
+#include "io/line_parse.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace apc::io {
+
+void parse_fail(std::size_t line, const std::string& msg) {
+  throw Error(ErrorCode::kParse, "line " + std::to_string(line) + ": " + msg);
+}
+
+bool valid_utf8(const std::string& s) {
+  const auto* p = reinterpret_cast<const unsigned char*>(s.data());
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < n;) {
+    const unsigned char c = p[i];
+    std::size_t len;
+    std::uint32_t cp;
+    if (c < 0x80) {
+      ++i;
+      continue;
+    } else if ((c & 0xE0) == 0xC0) {
+      len = 2;
+      cp = c & 0x1F;
+    } else if ((c & 0xF0) == 0xE0) {
+      len = 3;
+      cp = c & 0x0F;
+    } else if ((c & 0xF8) == 0xF0) {
+      len = 4;
+      cp = c & 0x07;
+    } else {
+      return false;
+    }
+    if (i + len > n) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      if ((p[i + k] & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (p[i + k] & 0x3F);
+    }
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000))
+      return false;  // overlong encoding
+    if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+    i += len;
+  }
+  return true;
+}
+
+void check_line(const std::string& line, std::size_t lineno) {
+  if (line.size() > kMaxLineBytes)
+    parse_fail(lineno,
+               "line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+  if (!valid_utf8(line)) parse_fail(lineno, "invalid UTF-8 (binary data?)");
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::uint32_t parse_uint(const std::string& s, std::size_t line, const char* what,
+                         std::uint64_t max) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (s.empty() || ec != std::errc{} || ptr != s.data() + s.size())
+    parse_fail(line, std::string("bad ") + what + ": " + s);
+  if (v > max)
+    parse_fail(line, std::string(what) + " out of range (max " +
+                         std::to_string(max) + "): " + s);
+  return static_cast<std::uint32_t>(v);
+}
+
+std::uint64_t parse_hex64(const std::string& s, std::size_t line, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (s.empty() || s.size() > 16 || ec != std::errc{} ||
+      ptr != s.data() + s.size())
+    parse_fail(line, std::string("bad ") + what + ": " + s);
+  return v;
+}
+
+}  // namespace apc::io

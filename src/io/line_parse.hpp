@@ -1,0 +1,47 @@
+// Hardened helpers for line-oriented text protocols and file formats.
+//
+// Extracted from network_io.cpp so the TCP serving layer (src/server/) and
+// the network-file reader parse with one set of rules: a 64 KiB line cap
+// (anything longer is a binary blob or garbage, not a directive), structural
+// UTF-8 validation, '#'-comment tokenization, and exception-free bounded
+// integer parsing that rejects trailing garbage ("7abc") and out-of-range
+// values instead of silently truncating.
+//
+// Every failure is a typed apc::Error(kParse) carrying a line number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace apc::io {
+
+/// Maximum accepted length of one input line, in bytes.
+inline constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/// Throws apc::Error(kParse, "line <line>: <msg>").
+[[noreturn]] void parse_fail(std::size_t line, const std::string& msg);
+
+/// Structural UTF-8 scan (RFC 3629: no overlongs, no surrogates,
+/// <= U+10FFFF).  Inputs are ASCII by convention; this admits UTF-8 names
+/// but rejects raw binary — the classic "loaded the wrong file" failure.
+bool valid_utf8(const std::string& s);
+
+/// Enforces the line cap and UTF-8 validity; throws kParse otherwise.
+void check_line(const std::string& line, std::size_t lineno);
+
+/// Whitespace-splits `line`; a token starting with '#' ends the line.
+std::vector<std::string> tokenize(const std::string& line);
+
+/// Exception-free unsigned parse: the whole token must be digits and the
+/// value must fit `max`.  Throws kParse with the line number otherwise.
+std::uint32_t parse_uint(const std::string& s, std::size_t line, const char* what,
+                         std::uint64_t max = 0xFFFFFFFFull);
+
+/// Same contract for a full-width hexadecimal token (no "0x" prefix, 1-16
+/// hex digits) — the wire form of packet-header words.
+std::uint64_t parse_hex64(const std::string& s, std::size_t line, const char* what);
+
+}  // namespace apc::io

@@ -1,89 +1,22 @@
 #include "io/network_io.hpp"
 
-#include <charconv>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "io/line_parse.hpp"
 #include "packet/ipv4.hpp"
 
 namespace apc::io {
 
 namespace {
 
-// A line longer than this is a binary blob or garbage, not a directive;
-// bounding it keeps a malformed file from ballooning token buffers.
-constexpr std::size_t kMaxLineBytes = 64 * 1024;
+// Line cap, UTF-8 validation, tokenization, and bounded integer parsing are
+// shared with the TCP serving protocol — see io/line_parse.hpp.
 
 [[noreturn]] void fail(std::size_t line, const std::string& msg) {
   throw Error(ErrorCode::kParse,
               "network file line " + std::to_string(line) + ": " + msg);
-}
-
-/// Structural UTF-8 scan (RFC 3629: no overlongs, no surrogates, <= U+10FFFF).
-/// Network files are ASCII by convention; this admits UTF-8 names but
-/// rejects raw binary — the classic "loaded the wrong file" failure.
-bool valid_utf8(const std::string& s) {
-  const auto* p = reinterpret_cast<const unsigned char*>(s.data());
-  const std::size_t n = s.size();
-  for (std::size_t i = 0; i < n;) {
-    const unsigned char c = p[i];
-    std::size_t len;
-    std::uint32_t cp;
-    if (c < 0x80) {
-      ++i;
-      continue;
-    } else if ((c & 0xE0) == 0xC0) {
-      len = 2;
-      cp = c & 0x1F;
-    } else if ((c & 0xF0) == 0xE0) {
-      len = 3;
-      cp = c & 0x0F;
-    } else if ((c & 0xF8) == 0xF0) {
-      len = 4;
-      cp = c & 0x07;
-    } else {
-      return false;
-    }
-    if (i + len > n) return false;
-    for (std::size_t k = 1; k < len; ++k) {
-      if ((p[i + k] & 0xC0) != 0x80) return false;
-      cp = (cp << 6) | (p[i + k] & 0x3F);
-    }
-    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
-        (len == 4 && cp < 0x10000))
-      return false;  // overlong encoding
-    if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
-    i += len;
-  }
-  return true;
-}
-
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream is(line);
-  std::string tok;
-  while (is >> tok) {
-    if (tok[0] == '#') break;
-    out.push_back(tok);
-  }
-  return out;
-}
-
-/// Exception-free unsigned parse: the whole token must be digits and the
-/// value must fit `max`.  (The previous std::stoul version accepted "7abc"
-/// prefixes via exceptions and silently truncated out-of-range values when
-/// callers narrowed the result.)
-std::uint32_t parse_uint(const std::string& s, std::size_t line, const char* what,
-                         std::uint64_t max = 0xFFFFFFFFull) {
-  std::uint64_t v = 0;
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  if (s.empty() || ec != std::errc{} || ptr != s.data() + s.size())
-    fail(line, std::string("bad ") + what + ": " + s);
-  if (v > max)
-    fail(line, std::string(what) + " out of range (max " + std::to_string(max) +
-                   "): " + s);
-  return static_cast<std::uint32_t>(v);
 }
 
 PortRange parse_range(const std::string& s, std::size_t line) {
@@ -115,9 +48,7 @@ NetworkModel read_network(std::istream& in) {
   bool saw_directive = false;
   while (std::getline(in, line)) {
     ++lineno;
-    if (line.size() > kMaxLineBytes)
-      fail(lineno, "line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
-    if (!valid_utf8(line)) fail(lineno, "invalid UTF-8 (binary data?)");
+    check_line(line, lineno);
     const auto tok = tokenize(line);
     if (tok.empty()) continue;
     saw_directive = true;

@@ -1,0 +1,295 @@
+#include "server/cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "io/line_parse.hpp"
+#include "util/stats.hpp"
+
+namespace apc::server {
+
+namespace {
+
+/// WAL record: "<seq> <A|R> fib <box> <prefix> <port> <prio>".  The global
+/// sequence number lets recovery merge the per-shard files back into the
+/// original total order.
+std::string make_record(std::uint64_t seq, bool add, const RuleSpec& spec) {
+  RuleSpec canon = spec;
+  if (canon.rule.priority < 0)
+    canon.rule.priority = canon.rule.effective_priority();
+  return std::to_string(seq) + ' ' + format_rule(add, canon);
+}
+
+struct ReplayRecord {
+  std::uint64_t seq = 0;
+  bool add = false;
+  RuleSpec spec;
+};
+
+ReplayRecord parse_record(const std::string& rec, std::size_t recno) {
+  const std::size_t sp = rec.find(' ');
+  if (sp == std::string::npos) io::parse_fail(recno, "WAL record missing sequence");
+  ReplayRecord out;
+  std::uint64_t seq = 0;
+  const std::string seq_tok = rec.substr(0, sp);
+  // Sequence numbers are 64-bit; parse_uint is 32-bit-bounded, so parse by
+  // hand with the same strictness (digits only, no overflow past 2^63).
+  if (seq_tok.empty()) io::parse_fail(recno, "empty sequence");
+  for (const char c : seq_tok) {
+    if (c < '0' || c > '9') io::parse_fail(recno, "bad sequence '" + seq_tok + "'");
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out.seq = seq;
+  Request req;
+  if (!parse_request(rec.substr(sp + 1), recno, req) ||
+      (req.kind != RequestKind::kAddRule && req.kind != RequestKind::kRemoveRule))
+    io::parse_fail(recno, "WAL record is not a rule update");
+  out.add = req.kind == RequestKind::kAddRule;
+  out.spec = req.rule;
+  return out;
+}
+
+}  // namespace
+
+void ShardedCluster::LatencyReservoir::record(double v) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (us.size() < kCap) {
+    us.push_back(v);
+  } else {
+    us[next] = v;
+    next = (next + 1) % kCap;
+  }
+}
+
+std::vector<double> ShardedCluster::LatencyReservoir::samples() const {
+  std::lock_guard<std::mutex> lock(mu);
+  return us;
+}
+
+ShardedCluster::ShardedCluster(const NetworkModel& net, Options opts)
+    : opts_(std::move(opts)) {
+  require(opts_.shards > 0, "ShardedCluster: zero shards");
+  // The consistency protocol depends on retiring snapshots staying
+  // resolvable by epoch while a publication walks the shards.
+  opts_.engine.epoch_pin = true;
+  opts_.engine.snapshot_path.clear();  // see Options::engine
+  shards_.resize(opts_.shards);
+
+  // Open the per-shard WALs first (serially: cheap, and recovery reports
+  // compose deterministically), collecting surviving records.
+  std::vector<std::string> raw;
+  if (!opts_.wal_dir.empty()) {
+    for (std::size_t i = 0; i < opts_.shards; ++i) {
+      shards_[i] = std::make_unique<Shard>();
+      std::vector<std::string> recs;
+      shards_[i]->wal = std::make_unique<io::Wal>(
+          opts_.wal_dir + "/shard" + std::to_string(i) + ".wal", opts_.wal, &recs);
+      raw.insert(raw.end(), recs.begin(), recs.end());
+    }
+  } else {
+    for (std::size_t i = 0; i < opts_.shards; ++i)
+      shards_[i] = std::make_unique<Shard>();
+  }
+  std::vector<ReplayRecord> replay;
+  replay.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i)
+    replay.push_back(parse_record(raw[i], i + 1));
+  std::sort(replay.begin(), replay.end(),
+            [](const ReplayRecord& a, const ReplayRecord& b) { return a.seq < b.seq; });
+  for (const ReplayRecord& r : replay) next_seq_ = std::max(next_seq_, r.seq + 1);
+
+  // Build the replicas in parallel — each shard's BDD manager, classifier,
+  // WAL replay, and initial snapshot are independent of every other
+  // shard's.  Replay happens on the classifier BEFORE the engine exists, so
+  // the initial publish (epoch 0) already reflects the whole journal.
+  std::vector<std::thread> builders;
+  std::vector<std::exception_ptr> errors(opts_.shards);
+  builders.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    builders.emplace_back([&, i] {
+      try {
+        Shard& sh = *shards_[i];
+        sh.mgr = std::make_shared<bdd::BddManager>(HeaderLayout::kBits);
+        sh.clf = std::make_unique<ApClassifier>(net, sh.mgr, opts_.classifier);
+        for (const ReplayRecord& r : replay) {
+          if (r.add)
+            sh.clf->insert_fib_rule(r.spec.box, r.spec.rule);
+          else
+            sh.clf->remove_fib_rule(r.spec.box, r.spec.rule);
+        }
+        sh.engine = std::make_unique<engine::QueryEngine>(*sh.clf, opts_.engine);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : builders) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  updates_applied_.store(replay.size(), std::memory_order_relaxed);
+}
+
+ShardedCluster::~ShardedCluster() = default;
+
+ShardedCluster::PinnedView ShardedCluster::pin() const {
+  // Loop until one epoch is resolvable on every shard.  At any instant the
+  // shards hold epochs {E, E+1} for the cluster epoch E, and epoch_pin
+  // keeps a shard's E snapshot alive after it publishes E+1 — so the only
+  // way a round fails is a full publication completing mid-scan, which
+  // just means the next round pins the newer epoch.
+  PinnedView view;
+  for (;;) {
+    view.epoch = epoch();
+    view.snaps.clear();
+    view.snaps.reserve(shards_.size());
+    bool ok = true;
+    for (const auto& sh : shards_) {
+      auto s = sh->engine->snapshot_at(view.epoch);
+      if (!s) {
+        ok = false;
+        break;
+      }
+      view.snaps.push_back(std::move(s));
+    }
+    if (ok) return view;
+    std::this_thread::yield();
+  }
+}
+
+ShardedCluster::BatchResult ShardedCluster::run_batch(
+    const std::vector<BatchItem>& items) const {
+  const PinnedView view = pin();
+  BatchResult out;
+  out.epoch = view.epoch;
+  out.lines.resize(items.size());
+
+  // Group item indices by executing shard, then sub-group queries by
+  // ingress (the engine's two-stage batch path walks one ingress per call).
+  std::vector<std::vector<std::size_t>> classify_ix(shards_.size());
+  std::vector<std::vector<std::size_t>> query_ix(shards_.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::size_t s = items[i].is_query ? shard_of(items[i].ingress) : i % shards_.size();
+    (items[i].is_query ? query_ix : classify_ix)[s].push_back(i);
+  }
+
+  std::vector<PacketHeader> hs;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const engine::QueryEngine& eng = *shards_[s]->engine;
+    const engine::FlatSnapshot& snap = *view.snaps[s];
+    const auto shard_t0 = std::chrono::steady_clock::now();
+    bool touched = false;
+    if (!classify_ix[s].empty()) {
+      touched = true;
+      hs.clear();
+      for (const std::size_t i : classify_ix[s]) hs.push_back(items[i].header);
+      auto atoms = eng.try_classify_batch_on(snap, hs.data(), hs.size());
+      if (!atoms)
+        throw Error(ErrorCode::kUnavailable,
+                    "cluster: shard " + std::to_string(s) + " shed the batch");
+      for (std::size_t k = 0; k < classify_ix[s].size(); ++k)
+        out.lines[classify_ix[s][k]] = "A " + std::to_string((*atoms)[k]);
+    }
+    // Queries on this shard, one engine call per distinct ingress.
+    auto& qix = query_ix[s];
+    std::sort(qix.begin(), qix.end(), [&](std::size_t a, std::size_t b) {
+      return items[a].ingress != items[b].ingress ? items[a].ingress < items[b].ingress
+                                                  : a < b;
+    });
+    std::size_t start = 0;
+    while (start < qix.size()) {
+      touched = true;
+      std::size_t end = start;
+      const BoxId ingress = items[qix[start]].ingress;
+      while (end < qix.size() && items[qix[end]].ingress == ingress) ++end;
+      hs.clear();
+      for (std::size_t k = start; k < end; ++k) hs.push_back(items[qix[k]].header);
+      auto behaviors = eng.try_query_batch_on(snap, hs.data(), hs.size(), ingress);
+      if (!behaviors)
+        throw Error(ErrorCode::kUnavailable,
+                    "cluster: shard " + std::to_string(s) + " shed the batch");
+      for (std::size_t k = start; k < end; ++k)
+        out.lines[qix[k]] = format_behavior_summary((*behaviors)[k - start]);
+      start = end;
+    }
+    if (touched) {
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - shard_t0)
+                            .count();
+      shards_[s]->batch_us.record(us);
+    }
+  }
+  return out;
+}
+
+std::uint64_t ShardedCluster::apply_update(bool add, const RuleSpec& spec) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const std::uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  // Journal before mutate (WAL discipline): the owner shard's log gets the
+  // record with the global sequence number, fsynced per WalOptions.
+  if (!opts_.wal_dir.empty())
+    shards_[shard_of(spec.box)]->wal->append(make_record(next_seq_, add, spec));
+  ++next_seq_;
+  // Tag then mutate, shard by shard.  A reader that lands mid-walk sees a
+  // mix of old-epoch and new-epoch shards; pin() resolves the OLD epoch
+  // until the last shard publishes and epoch_ advances below.
+  for (auto& sh : shards_) {
+    sh->engine->set_next_publish_epoch(next);
+    if (add)
+      sh->engine->insert_fib_rule(spec.box, spec.rule);
+    else
+      sh->engine->remove_fib_rule(spec.box, spec.rule);
+  }
+  epoch_.store(next, std::memory_order_release);
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  return next;
+}
+
+std::uint64_t ShardedCluster::add_rule(const RuleSpec& spec) {
+  return apply_update(true, spec);
+}
+
+std::uint64_t ShardedCluster::remove_rule(const RuleSpec& spec) {
+  return apply_update(false, spec);
+}
+
+obs::MetricsSnapshot ShardedCluster::stats() const {
+  // Under the update lock: shard engine registries include classifier
+  // callback rows that must not race a mutation.
+  std::lock_guard<std::mutex> lock(update_mu_);
+  obs::MetricsRegistry reg;
+  reg.register_fn("cluster.epoch",
+                  [this] { return static_cast<double>(epoch()); }, "count");
+  reg.register_fn("cluster.shards",
+                  [this] { return static_cast<double>(shard_count()); }, "count");
+  reg.register_fn("cluster.updates_applied",
+                  [this] { return static_cast<double>(updates_applied()); },
+                  "count");
+  obs::MetricsSnapshot out = reg.snapshot();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "shard" + std::to_string(i);
+    // Cluster-level service-time rows from the raw reservoir.  An idle
+    // shard has an empty sample set; percentile_or makes that a 0 row
+    // instead of an exception that would take the whole STATS reply down.
+    const std::vector<double> us = shards_[i]->batch_us.samples();
+    out.rows.push_back({prefix + ".batch_us.p50", percentile_or(us, 50.0), "us"});
+    out.rows.push_back({prefix + ".batch_us.p99", percentile_or(us, 99.0), "us"});
+    out.rows.push_back(
+        {prefix + ".batch_us.count", static_cast<double>(us.size()), "count"});
+    if (shards_[i]->wal) {
+      out.rows.push_back({prefix + ".wal_records",
+                          static_cast<double>(shards_[i]->wal->records_appended().value()),
+                          "count"});
+      out.rows.push_back({prefix + ".wal_bytes",
+                          static_cast<double>(shards_[i]->wal->size_bytes()),
+                          "bytes"});
+    }
+    obs::MetricsRegistry shard_reg;
+    shards_[i]->engine->register_metrics(shard_reg, prefix + ".engine");
+    const obs::MetricsSnapshot shard_rows = shard_reg.snapshot();
+    out.rows.insert(out.rows.end(), shard_rows.rows.begin(), shard_rows.rows.end());
+  }
+  return out;
+}
+
+}  // namespace apc::server

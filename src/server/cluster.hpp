@@ -1,0 +1,154 @@
+// ShardedCluster — N replicated QueryEngine shards behind one
+// epoch-consistent publication protocol (see docs/architecture.md,
+// "Serving layer & sharding").
+//
+// Sharding model.  Every shard holds a FULL replica of the classifier
+// (BddManager + ApClassifier + QueryEngine); queries are routed to
+// shard_of(ingress) = ingress % shards, so each shard's snapshot caches,
+// behavior-table rows, and visit counters specialize to its share of the
+// ingress boxes while correctness never depends on the routing (any shard
+// could answer any query).  Rule updates apply to every replica; the WAL is
+// partitioned by the rule's OWNER shard (shard_of(box)) with a global
+// sequence number in each record, so recovery merge-sorts the per-shard
+// files back into the original update order.
+//
+// Epoch-consistent publication.  The cluster epoch E means: every shard has
+// published a snapshot tagged E.  An update picks E+1, tags every shard's
+// next publish with it (QueryEngine::set_next_publish_epoch), applies the
+// mutation shard by shard, and only after the LAST shard has published does
+// the cluster-level epoch_ advance.  Readers never consult epoch_ directly
+// to pick snapshots — pin() loops until it holds one snapshot per shard all
+// tagged with the same epoch, so a batch fanned across shards is answered
+// from one network-wide frozen state even while a publication is mid-flight
+// (the per-engine epoch_pin option keeps the E snapshot alive on shards
+// that already published E+1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "classifier/classifier.hpp"
+#include "engine/engine.hpp"
+#include "io/wal.hpp"
+#include "obs/metrics.hpp"
+#include "server/protocol.hpp"
+
+namespace apc::server {
+
+class ShardedCluster {
+ public:
+  struct Options {
+    /// Replica count; queries route by ingress % shards.
+    std::size_t shards = 4;
+    /// Per-shard engine knobs.  epoch_pin is forced on (the consistency
+    /// protocol requires it) and snapshot_path is cleared — the WAL is the
+    /// cluster's durability story; a warm-restored snapshot could predate
+    /// the replayed log and serve stale answers.
+    engine::QueryEngine::Options engine;
+    /// Per-shard classifier knobs.
+    ApClassifier::Options classifier;
+    /// Directory for the per-shard WALs ("shard<i>.wal"); empty = no
+    /// durability (updates live only in memory).
+    std::string wal_dir;
+    io::WalOptions wal;
+  };
+
+  /// Builds `opts.shards` replicas of `net` (in parallel, one thread per
+  /// shard) and replays any existing WALs in global sequence order.
+  ShardedCluster(const NetworkModel& net, Options opts);
+  ~ShardedCluster();
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(BoxId ingress) const { return ingress % shards_.size(); }
+  /// The highest epoch every shard has published (never decreases).
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// One snapshot per shard, all tagged with the same epoch.
+  struct PinnedView {
+    std::uint64_t epoch = 0;
+    std::vector<std::shared_ptr<const engine::FlatSnapshot>> snaps;
+  };
+  /// Acquires an epoch-consistent view: retries until every shard yields a
+  /// snapshot tagged with one common epoch.  Never blocks updates.
+  PinnedView pin() const;
+
+  /// One buffered C/Q line awaiting GO.
+  struct BatchItem {
+    bool is_query = false;  ///< false = classify (C), true = query (Q)
+    PacketHeader header;
+    BoxId ingress = 0;  ///< queries only; also the routing key
+  };
+  struct BatchResult {
+    std::uint64_t epoch = 0;           ///< the pinned epoch
+    std::vector<std::string> lines;    ///< one answer line per item, in order
+  };
+  /// Executes a mixed batch against ONE pinned epoch: items are grouped by
+  /// shard, fanned out via the engines' admitted batch paths, and answers
+  /// return in input order ("A <atom>" / format_behavior_summary lines).
+  /// Throws apc::Error(kUnavailable) when any shard sheds the batch.
+  BatchResult run_batch(const std::vector<BatchItem>& items) const;
+
+  /// Applies a FIB update to every replica under one cluster-wide epoch
+  /// bump, journaling it to the owner shard's WAL first.  Returns the new
+  /// cluster epoch.
+  std::uint64_t add_rule(const RuleSpec& spec);
+  std::uint64_t remove_rule(const RuleSpec& spec);
+
+  /// Read access for differential tests.
+  const engine::QueryEngine& shard(std::size_t i) const { return *shards_[i]->engine; }
+
+  /// Aggregated metric snapshot: cluster rows (epoch, shards,
+  /// updates_applied) plus every shard's engine inventory under
+  /// "shard<i>.".  Materialized under the update lock so callback rows
+  /// never race a mutation; idle shards (zero queries) report zeroed
+  /// latency rows rather than failing (util::percentile_or).
+  obs::MetricsSnapshot stats() const;
+
+  /// Updates applied (add + remove) since construction.
+  std::uint64_t updates_applied() const {
+    return updates_applied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Bounded ring of recent per-batch service times (us) for one shard.
+  /// stats() folds it through util::percentile_or, so a shard that served
+  /// nothing reports 0 — not an exception from percentile-of-empty.
+  struct LatencyReservoir {
+    static constexpr std::size_t kCap = 4096;
+    mutable std::mutex mu;
+    std::vector<double> us;
+    std::size_t next = 0;
+    void record(double v);
+    std::vector<double> samples() const;
+  };
+
+  struct Shard {
+    std::shared_ptr<bdd::BddManager> mgr;
+    std::unique_ptr<ApClassifier> clf;
+    std::unique_ptr<engine::QueryEngine> engine;
+    std::unique_ptr<io::Wal> wal;
+    LatencyReservoir batch_us;
+  };
+
+  std::uint64_t apply_update(bool add, const RuleSpec& spec);
+  void replay_wals(const NetworkModel& net);
+
+  Options opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Serializes add_rule/remove_rule (the publication protocol assumes one
+  /// writer walks the shards at a time).
+  mutable std::mutex update_mu_;
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Global update sequence embedded in WAL records (guarded by update_mu_).
+  std::uint64_t next_seq_ = 1;
+  std::atomic<std::uint64_t> updates_applied_{0};
+};
+
+}  // namespace apc::server

@@ -1,0 +1,155 @@
+#include "server/protocol.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "io/line_parse.hpp"
+
+namespace apc::server {
+
+namespace {
+
+using io::parse_fail;
+using io::parse_hex64;
+using io::parse_uint;
+
+/// Fills `h` from five 64-bit wire words (bit i of the header is bit i%64
+/// of word i/64 — the exact inverse of format_classify's words() dump).
+void header_from_words(const std::array<std::uint64_t, PacketHeader::kWords>& w,
+                       PacketHeader& h) {
+  for (std::uint32_t i = 0; i < PacketHeader::kWords; ++i)
+    for (std::uint32_t j = 0; j < 64; ++j)
+      h.set_bit(i * 64 + j, (w[i] >> j) & 1);
+}
+
+/// Parses the 5 hex header words at tokens[first..first+5).
+PacketHeader parse_header(const std::vector<std::string>& toks, std::size_t first,
+                          std::size_t lineno) {
+  if (toks.size() != first + PacketHeader::kWords)
+    parse_fail(lineno, "expected 5 header words");
+  std::array<std::uint64_t, PacketHeader::kWords> w;
+  for (std::uint32_t i = 0; i < PacketHeader::kWords; ++i)
+    w[i] = parse_hex64(toks[first + i], lineno, "header word");
+  PacketHeader h;
+  header_from_words(w, h);
+  return h;
+}
+
+/// Parses "fib <box> <prefix> <port> [prio]" at tokens[1..].
+RuleSpec parse_rule(const std::vector<std::string>& toks, std::size_t lineno) {
+  if (toks.size() < 5 || toks.size() > 6) parse_fail(lineno, "expected: fib <box> <prefix> <port> [prio]");
+  if (toks[1] != "fib") parse_fail(lineno, "unknown rule table '" + toks[1] + "' (only 'fib')");
+  RuleSpec spec;
+  spec.box = parse_uint(toks[2], lineno, "box id");
+  try {
+    spec.rule.dst = parse_prefix(toks[3]);
+  } catch (const Error& e) {
+    parse_fail(lineno, std::string("bad prefix: ") + e.what());
+  }
+  spec.rule.egress_port = parse_uint(toks[4], lineno, "egress port");
+  if (toks.size() == 6)
+    spec.rule.priority = static_cast<std::int32_t>(
+        parse_uint(toks[5], lineno, "priority", 0x7FFFFFFFull));
+  return spec;
+}
+
+std::string format_words(const PacketHeader& h) {
+  char buf[20];
+  std::string out;
+  for (std::uint32_t i = 0; i < PacketHeader::kWords; ++i) {
+    std::snprintf(buf, sizeof buf, " %" PRIx64, h.words()[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, std::size_t lineno, Request& out) {
+  io::check_line(line, lineno);
+  const std::vector<std::string> toks = io::tokenize(line);
+  if (toks.empty()) return false;  // blank / comment-only: nothing to do
+  const std::string& op = toks[0];
+  if (op == "C") {
+    out.kind = RequestKind::kClassify;
+    out.header = parse_header(toks, 1, lineno);
+  } else if (op == "Q") {
+    if (toks.size() < 2) parse_fail(lineno, "Q needs an ingress box id");
+    out.kind = RequestKind::kQuery;
+    out.ingress = parse_uint(toks[1], lineno, "ingress box id");
+    out.header = parse_header(toks, 2, lineno);
+  } else if (op == "GO") {
+    if (toks.size() != 1) parse_fail(lineno, "GO takes no arguments");
+    out.kind = RequestKind::kGo;
+  } else if (op == "A" || op == "R") {
+    out.kind = op == "A" ? RequestKind::kAddRule : RequestKind::kRemoveRule;
+    out.rule = parse_rule(toks, lineno);
+  } else if (op == "STATS") {
+    if (toks.size() != 1) parse_fail(lineno, "STATS takes no arguments");
+    out.kind = RequestKind::kStats;
+  } else if (op == "EPOCH") {
+    if (toks.size() != 1) parse_fail(lineno, "EPOCH takes no arguments");
+    out.kind = RequestKind::kEpoch;
+  } else {
+    parse_fail(lineno, "unknown directive '" + op + "'");
+  }
+  return true;
+}
+
+std::string format_classify(const PacketHeader& h) { return "C" + format_words(h); }
+
+std::string format_query(BoxId ingress, const PacketHeader& h) {
+  return "Q " + std::to_string(ingress) + format_words(h);
+}
+
+std::string format_rule(bool add, const RuleSpec& spec) {
+  std::string out = add ? "A fib " : "R fib ";
+  out += std::to_string(spec.box);
+  out += ' ';
+  out += format_prefix(spec.rule.dst);
+  out += ' ';
+  out += std::to_string(spec.rule.egress_port);
+  if (spec.rule.priority >= 0) {
+    out += ' ';
+    out += std::to_string(spec.rule.priority);
+  }
+  return out;
+}
+
+std::string format_behavior_summary(const Behavior& b) {
+  std::string out = "B ";
+  out += std::to_string(b.edges.size());
+  out += ' ';
+  out += std::to_string(b.deliveries.size());
+  out += ' ';
+  out += std::to_string(b.drops.size());
+  out += ' ';
+  out += b.loop_detected ? '1' : '0';
+  // Stable content digest so two clients comparing answer lines detect a
+  // *different* behavior, not just a different shape: fold every hop and
+  // delivery into one 64-bit FNV-1a value.
+  std::uint64_t x = 1469598103934665603ull;
+  const auto mix = [&x](std::uint64_t v) {
+    x ^= v;
+    x *= 1099511628211ull;
+  };
+  for (const auto& e : b.edges) {
+    mix(e.box);
+    mix(e.out_port);
+    mix(e.to ? *e.to + 1 : 0);
+  }
+  for (const auto& d : b.deliveries) {
+    mix(d.box);
+    mix(d.port);
+  }
+  for (const auto& d : b.drops) {
+    mix(d.box);
+    mix(static_cast<std::uint64_t>(d.reason));
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof buf, " %" PRIx64, x);
+  out += buf;
+  return out;
+}
+
+}  // namespace apc::server

@@ -1,0 +1,246 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "io/line_parse.hpp"
+
+namespace apc::server {
+
+namespace {
+
+[[noreturn]] void io_fail(const char* what) {
+  throw Error(ErrorCode::kIo,
+              std::string("TcpServer: ") + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpServer::TcpServer(ShardedCluster& cluster, Options opts)
+    : cluster_(cluster), opts_(opts) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) io_fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.listen_port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    io_fail("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    io_fail("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    io_fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false))
+    return;  // another stop() won the CAS and owns the teardown
+  // Wake the acceptor (shutdown makes the blocked accept return) and join
+  // it BEFORE touching listen_fd_ — the acceptor reads the plain int every
+  // loop iteration, so it must only be mutated after the join barrier.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Shut down every live connection so its blocking read returns, then
+  // join.  Sessions remove themselves only at stop; the list is small.
+  std::list<Session> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (Session& s : sessions)
+    if (s.fd >= 0) ::shutdown(s.fd, SHUT_RDWR);
+  for (Session& s : sessions) {
+    if (s.thread.joinable()) s.thread.join();
+    if (s.fd >= 0) ::close(s.fd);
+  }
+}
+
+void TcpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    // Reap sessions whose thread already exited so a long-lived server
+    // doesn't accumulate one joinable thread + fd per past connection.
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (it->done.load(std::memory_order_acquire)) {
+        it->thread.join();
+        ::close(it->fd);
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    Session& s = sessions_.emplace_back();
+    s.fd = fd;
+    s.thread = std::thread([this, fd, &s] {
+      serve_connection(fd);
+      s.done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+bool TcpServer::send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a client that died mid-reply must surface as an error
+    // return on THIS thread, not a process-wide SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpServer::handle_line(int fd, const std::string& line, std::size_t lineno,
+                            std::vector<ShardedCluster::BatchItem>& batch) {
+  Request req;
+  try {
+    if (!parse_request(line, lineno, req)) return true;  // blank/comment
+  } catch (const Error& e) {
+    // A parse error is the CLIENT's problem on this line only: report it
+    // and keep both the connection and the pending batch intact.
+    return send_all(fd, std::string("400 ") + e.what() + "\n");
+  }
+  try {
+    switch (req.kind) {
+      case RequestKind::kClassify:
+      case RequestKind::kQuery: {
+        if (batch.size() >= opts_.max_batch_items)
+          return send_all(fd, "400 batch exceeds max_batch_items; GO first\n");
+        ShardedCluster::BatchItem item;
+        item.is_query = req.kind == RequestKind::kQuery;
+        item.header = req.header;
+        item.ingress = req.ingress;
+        batch.push_back(item);
+        return true;  // buffered silently; the 201 covers the whole batch
+      }
+      case RequestKind::kGo: {
+        std::vector<ShardedCluster::BatchItem> items;
+        items.swap(batch);  // the batch is consumed even when shedding
+        const ShardedCluster::BatchResult res = cluster_.run_batch(items);
+        std::string reply = "201 " + std::to_string(res.epoch) + ' ' +
+                            std::to_string(res.lines.size()) + "\n";
+        for (const std::string& l : res.lines) {
+          reply += l;
+          reply += '\n';
+        }
+        return send_all(fd, reply);
+      }
+      case RequestKind::kAddRule:
+      case RequestKind::kRemoveRule: {
+        const std::uint64_t epoch = req.kind == RequestKind::kAddRule
+                                        ? cluster_.add_rule(req.rule)
+                                        : cluster_.remove_rule(req.rule);
+        return send_all(fd, "200 " + std::to_string(epoch) + "\n");
+      }
+      case RequestKind::kStats: {
+        const obs::MetricsSnapshot snap = cluster_.stats();
+        std::string reply = "202 " + std::to_string(snap.rows.size()) + "\n";
+        char buf[48];
+        for (const auto& row : snap.rows) {
+          std::snprintf(buf, sizeof buf, " %.10g\n", row.value);
+          reply += row.name;
+          reply += buf;
+        }
+        return send_all(fd, reply);
+      }
+      case RequestKind::kEpoch:
+        return send_all(fd, "200 " + std::to_string(cluster_.epoch()) + "\n");
+    }
+    return true;
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kUnavailable)
+      return send_all(fd, std::string("503 ") + e.what() + "\n");
+    return send_all(fd, std::string("500 ") + e.what() + "\n");
+  } catch (const std::exception& e) {
+    return send_all(fd, std::string("500 ") + e.what() + "\n");
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  std::vector<ShardedCluster::BatchItem> batch;
+  std::string buffer;
+  std::size_t lineno = 0;
+  char chunk[4096];
+  for (;;) {
+    // Split out complete lines first so a flood of pipelined directives is
+    // served without waiting for more input.
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      start = nl + 1;
+      ++lineno;
+      if (!handle_line(fd, line, lineno, batch)) {
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+    // The partial-line cap applies to the UNTERMINATED tail too: a client
+    // streaming an endless line must not grow the buffer unboundedly, and
+    // there is no clean place to resynchronize once the cap is blown.
+    if (buffer.size() > io::kMaxLineBytes) {
+      send_all(fd, "400 line exceeds " + std::to_string(io::kMaxLineBytes) +
+                       " byte cap\n");
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // Orderly or abrupt close: whatever the client batched but never
+      // executed is discarded with the connection.  The fd itself is
+      // closed by the reaper/stop() after joining this thread.
+      return;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace apc::server

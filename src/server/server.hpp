@@ -1,0 +1,94 @@
+// TcpServer — a line-protocol front end for a ShardedCluster (see
+// protocol.hpp for the grammar and docs/architecture.md, "Serving layer &
+// sharding").
+//
+// Threading: one acceptor thread plus one thread per connection — the
+// serving fan-out the paper's controller needs is per-*batch* (each GO fans
+// its items across the shard engines' pools), so connection handling stays
+// deliberately simple and blocking.  A connection buffers C/Q lines until
+// GO, executes them against ONE pinned cluster epoch, and streams the
+// answers back in order.  Update (A/R) and introspection (STATS/EPOCH)
+// lines execute immediately, so one connection can interleave queries and
+// updates.
+//
+// Robustness contract (exercised by tests/server_test.cpp):
+//  * A malformed line costs a "400" reply — never the connection, never the
+//    pending batch.
+//  * A line exceeding io::kMaxLineBytes — even arriving in many partial
+//    reads — gets "400" and a close: past the cap it is a binary blob or an
+//    attack, and resynchronizing on the next '\n' of garbage is guessing.
+//  * A client that dies mid-batch (abrupt close) has its pending batch
+//    discarded; nothing it buffered is executed and the server keeps
+//    serving everyone else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <thread>
+
+#include "server/cluster.hpp"
+
+namespace apc::server {
+
+class TcpServer {
+ public:
+  struct Options {
+    /// Loopback listen port; 0 = ephemeral (read the bound one off port()).
+    std::uint16_t listen_port = 0;
+    /// Cap on buffered C/Q items per connection; the line after the cap is
+    /// refused with "400" (the batch is kept, GO still executes it).
+    std::size_t max_batch_items = 1u << 16;
+  };
+
+  /// Binds and starts serving immediately.  The cluster must outlive the
+  /// server.  Throws apc::Error(kIo) when the socket can't be bound.
+  TcpServer(ShardedCluster& cluster, Options opts);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound loopback port (resolved when Options::listen_port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, shuts every connection down, and joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+    /// Set by the connection thread on exit; the acceptor reaps (joins and
+    /// closes) done sessions.  The thread itself only shutdown()s its fd —
+    /// close() happens exactly once, after join, so a recycled descriptor
+    /// number can never be double-closed.
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Handles one complete line; returns false when the connection must
+  /// close (oversized line).
+  bool handle_line(int fd, const std::string& line, std::size_t lineno,
+                   std::vector<ShardedCluster::BatchItem>& batch);
+  static bool send_all(int fd, const std::string& data);
+
+  ShardedCluster& cluster_;
+  Options opts_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread acceptor_;
+  std::mutex sessions_mu_;
+  std::list<Session> sessions_;
+  std::atomic<std::uint64_t> connections_accepted_{0};
+};
+
+}  // namespace apc::server

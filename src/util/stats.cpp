@@ -35,6 +35,12 @@ double percentile(std::vector<double> xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+double percentile_or(std::vector<double> xs, double q, double fallback) {
+  require(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+  if (xs.empty()) return fallback;
+  return percentile(std::move(xs), q);
+}
+
 std::vector<std::pair<double, double>> cdf(std::vector<double> xs, std::size_t points) {
   std::vector<std::pair<double, double>> out;
   if (xs.empty() || points == 0) return out;

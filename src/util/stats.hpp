@@ -12,7 +12,14 @@ double minimum(const std::vector<double>& xs);
 double maximum(const std::vector<double>& xs);
 
 /// Linear-interpolated percentile; q in [0, 100].  Sorts a copy.
+/// Requires a non-empty sample (throws apc::Error otherwise) — callers
+/// aggregating samples that may legitimately be empty (e.g. a cluster shard
+/// that has served zero queries) must use percentile_or().
 double percentile(std::vector<double> xs, double q);
+
+/// percentile() that tolerates an empty sample: returns `fallback` (0 by
+/// default) instead of throwing.  Still validates q.
+double percentile_or(std::vector<double> xs, double q, double fallback = 0.0);
 
 /// Empirical CDF sampled at `points` evenly spread quantiles:
 /// returns (value, cumulative fraction) pairs suitable for plotting

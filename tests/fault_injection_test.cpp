@@ -181,6 +181,59 @@ TEST_F(FaultInjection, SnapshotLoadFaultFallsBackToBuild) {
   EXPECT_EQ(eng.classify(h), clf.classify(h));
 }
 
+// Admission-permit leak check: a batch that dies on a worker-task fault
+// must still return its admission permit (the RAII BatchTicket releases on
+// the exception path), or the admission window shrinks permanently and a
+// recovered engine rejects load it should serve.
+TEST_F(FaultInjection, AdmissionPermitReleasedWhenBatchFaults) {
+  const auto data = datasets::internet2_like(datasets::Scale::Tiny, 5);
+  auto mgr = datasets::Dataset::make_manager();
+  ApClassifier clf(data.net, mgr);
+
+  engine::QueryEngine::Options opts;
+  opts.num_threads = 2;
+  opts.batch_grain = 8;
+  opts.max_pending_batches = 2;
+  engine::QueryEngine eng(clf, opts);
+  std::vector<PacketHeader> batch(64);
+
+  // Several consecutive faulted batches: each must throw kInternal (the
+  // injected task fault, rethrown from the pool group's wait) and each must
+  // drain pending_batches back to zero.
+  for (int round = 0; round < 3; ++round) {
+    FaultPlan plan;
+    plan.kind = FaultPlan::Kind::kThrow;
+    FaultInjector::instance().arm("taskpool.task", plan);
+    try {
+      eng.classify_batch(batch);
+      FAIL() << "expected kInternal from the injected task fault";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInternal);
+    }
+    FaultInjector::instance().disarm_all();
+    EXPECT_EQ(eng.pending_batches(), 0u) << "leaked permit in round " << round;
+  }
+
+  // Recovery: with permits intact, serial batches are admitted forever —
+  // batches_rejected must NOT keep growing after the faults stop.
+  const std::uint64_t rejected_after_faults = eng.batches_rejected().value();
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(eng.classify_batch(batch).size(), batch.size());
+  EXPECT_EQ(eng.batches_rejected().value(), rejected_after_faults)
+      << "admission window shrank: permits were leaked by the faulted batches";
+  EXPECT_EQ(eng.pending_batches(), 0u);
+
+  // The epoch-pinned cluster entry point shares the same RAII discipline.
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kThrow;
+  FaultInjector::instance().arm("taskpool.task", plan);
+  const auto snap = eng.snapshot();
+  EXPECT_THROW(eng.try_classify_batch_on(*snap, batch.data(), batch.size()), Error);
+  FaultInjector::instance().disarm_all();
+  EXPECT_EQ(eng.pending_batches(), 0u);
+  ASSERT_TRUE(eng.try_classify_batch_on(*snap, batch.data(), batch.size()).has_value());
+}
+
 TEST_F(FaultInjection, SkipAndCountShapeTheFiringWindow) {
   const std::uint64_t before = util::injected_fault_count();
   FaultPlan plan;

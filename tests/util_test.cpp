@@ -234,6 +234,19 @@ TEST(Stats, Percentile) {
   EXPECT_THROW(percentile({}, 50), Error);
 }
 
+TEST(Stats, PercentileOrToleratesEmpty) {
+  // The serving path aggregates per-shard latency samples; a shard that
+  // served nothing must report 0 (or the caller's fallback), not throw.
+  EXPECT_DOUBLE_EQ(percentile_or({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_or({}, 99, -1.0), -1.0);
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(percentile_or(xs, 50), percentile(xs, 50), 1e-12);
+  // q validation stays strict even for the empty sample.
+  EXPECT_THROW(percentile_or({}, 101), Error);
+  EXPECT_THROW(percentile_or(xs, -1), Error);
+}
+
 TEST(Stats, CdfMonotone) {
   std::vector<double> xs{5, 3, 8, 1, 9, 2};
   const auto curve = cdf(xs, 6);
