@@ -52,14 +52,13 @@ Dataset internet2_like(Scale s, std::uint64_t seed) {
   return d;
 }
 
-Dataset stanford_like(Scale s, std::uint64_t seed) {
-  Dataset d;
-  d.name = std::string("stanford-like[") + scale_name(s) + "]";
-  d.net.topology = campus_topology();
+namespace {
 
-  FibGenConfig fc;
+/// Shared Stanford-like generator tuning (stanford_like and stanford_scaled
+/// must stay in lockstep scale for scale).
+void stanford_configs(Scale s, std::uint64_t seed, FibGenConfig& fc,
+                      AclGenConfig& ac) {
   fc.seed = seed;
-  AclGenConfig ac;
   ac.seed = seed + 1;
   switch (s) {
     case Scale::Tiny:
@@ -94,8 +93,51 @@ Dataset stanford_like(Scale s, std::uint64_t seed) {
       ac.rules_per_acl = 66;       // 1,584 ACL rules (paper: 1,584)
       break;
   }
+}
+
+}  // namespace
+
+Dataset stanford_like(Scale s, std::uint64_t seed) {
+  Dataset d;
+  d.name = std::string("stanford-like[") + scale_name(s) + "]";
+  d.net.topology = campus_topology();
+
+  FibGenConfig fc;
+  AclGenConfig ac;
+  stanford_configs(s, seed, fc, ac);
   d.fib_stats = generate_fibs(d.net, fc);
   d.acl_stats = generate_acls(d.net, ac);
+  return d;
+}
+
+Dataset stanford_scaled(std::size_t copies, Scale s, std::uint64_t seed) {
+  require(copies >= 1 && copies <= 200,
+          "stanford_scaled: copies must be in [1, 200]");
+  Dataset d;
+  d.name = std::string("stanford-scaled[") + scale_name(s) + " x" +
+           std::to_string(copies) + "]";
+  for (std::size_t i = 0; i < copies; ++i) {
+    NetworkModel island;
+    island.topology = campus_topology();
+    FibGenConfig fc;
+    AclGenConfig ac;
+    // Decorrelate islands: own seed stream AND own /8 — identical prefixes
+    // would be compressed into shared atoms, silently shrinking the
+    // problem the harness exists to grow.
+    stanford_configs(s, seed + i * 977, fc, ac);
+    fc.base_addr = static_cast<std::uint32_t>(10 + i) << 24;
+    const FibGenStats fs = generate_fibs(island, fc);
+    const AclGenStats as = generate_acls(island, ac);
+    d.fib_stats.base_prefixes += fs.base_prefixes;
+    d.fib_stats.sub_prefixes += fs.sub_prefixes;
+    d.fib_stats.total_rules += fs.total_rules;
+    d.acl_stats.acls_placed += as.acls_placed;
+    d.acl_stats.total_rules += as.total_rules;
+    if (i == 0)
+      d.net = std::move(island);
+    else
+      d.net.append(island, "#" + std::to_string(i));
+  }
   return d;
 }
 

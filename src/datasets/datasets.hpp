@@ -37,6 +37,15 @@ Dataset internet2_like(Scale s, std::uint64_t seed = 7);
 /// 757,170 rules, 1,584 ACL rules, 507 predicates at Full scale).
 Dataset stanford_like(Scale s, std::uint64_t seed = 11);
 
+/// Stanford x N replication — the million-rule scale harness.  `copies`
+/// disjoint campus islands (NetworkModel::append) with per-island address
+/// blocks ((10+i).0.0.0/8) and per-island generator seeds, so predicates and
+/// atoms grow with N instead of collapsing into shared equivalence classes.
+/// Full scale: ~757k FIB rules per island — 2 copies pass 1.5M rules, 7 pass
+/// 5M.  At most 200 copies (the address carve stays below multicast space).
+Dataset stanford_scaled(std::size_t copies, Scale s = Scale::Full,
+                        std::uint64_t seed = 11);
+
 /// k-ary fat-tree data center (the paper's introduction motivates data
 /// centers seeing "hundreds of thousands of new flows per second"): edge
 /// switches own the server prefixes, shortest paths provide the up/down

@@ -37,7 +37,7 @@ FibGenStats generate_fibs(NetworkModel& net, const FibGenConfig& cfg) {
 
   // Base prefixes: sequential /base_len blocks carved from 10.0.0.0/8.
   const std::uint32_t block = 1u << (32 - cfg.base_prefix_len);
-  std::uint32_t next_addr = 10u << 24;
+  std::uint32_t next_addr = cfg.base_addr;
   FibGenStats stats;
   for (const Owner& o : owners) {
     for (std::uint32_t i = 0; i < cfg.prefixes_per_port; ++i) {

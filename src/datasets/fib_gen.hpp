@@ -35,6 +35,11 @@ struct FibGenConfig {
   /// creates a distinct network-wide behavior class, so the atom count ends
   /// up slightly above the predicate count — matching the real datasets.
   double hole_fraction = 0.0;
+  /// First address of the sequential base-prefix carve.  Scaled datasets
+  /// (stanford_scaled) give every replicated island its own /8 block here —
+  /// identical prefixes across islands would compress into the same atoms
+  /// and defeat the point of scaling.
+  std::uint32_t base_addr = 10u << 24;
   std::uint64_t seed = 1;
 };
 

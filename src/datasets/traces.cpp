@@ -99,6 +99,45 @@ WeightedTrace zipf_trace(const AtomReps& reps, std::size_t atom_capacity,
   return out;
 }
 
+std::vector<PacketHeader> rule_trace(const NetworkModel& net, std::size_t n,
+                                     Rng& rng) {
+  // Sample with replacement from a bounded pool of FIB prefixes — at
+  // millions of rules the pool is a cheap stand-in for "all of them" and
+  // the trace distribution is indistinguishable.
+  constexpr std::size_t kMaxPool = 1u << 16;
+  std::vector<Ipv4Prefix> pool;
+  std::size_t seen = 0;
+  for (const Fib& f : net.fibs) {
+    for (const auto& r : f.rules) {
+      ++seen;
+      if (pool.size() < kMaxPool) {
+        pool.push_back(r.dst);
+      } else {  // reservoir: every rule keeps a pool-size/seen chance
+        const std::size_t j = static_cast<std::size_t>(rng.uniform(seen));
+        if (j < kMaxPool) pool[j] = r.dst;
+      }
+    }
+  }
+  require(!pool.empty(), "rule_trace: network has no FIB rules");
+
+  std::vector<PacketHeader> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ipv4Prefix& p = pool[rng.uniform(pool.size())];
+    const std::uint32_t host_bits = 32u - p.len;
+    const std::uint32_t within =
+        host_bits == 0 ? 0
+                       : static_cast<std::uint32_t>(rng.uniform(1ull << host_bits));
+    PacketHeader h;
+    h.set_dst_ip(p.addr | within);
+    h.set_src_ip(static_cast<std::uint32_t>(rng.uniform(1ull << 32)));
+    h.set_dst_port(static_cast<std::uint16_t>(rng.uniform(1u << 16)));
+    h.set_proto(rng.uniform01() < 0.5 ? 6 : 17);  // TCP/UDP mix
+    out.push_back(h);
+  }
+  return out;
+}
+
 std::vector<Ipv4Prefix> add_multicast_groups(NetworkModel& net, std::size_t groups,
                                              Rng& rng) {
   const Topology& topo = net.topology;

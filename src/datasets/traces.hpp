@@ -46,6 +46,14 @@ WeightedTrace pareto_trace(const AtomReps& reps, std::size_t atom_capacity,
 WeightedTrace zipf_trace(const AtomReps& reps, std::size_t atom_capacity,
                          std::size_t n, Rng& rng, double s = 1.0);
 
+/// `n` headers whose destination addresses land inside the network's own
+/// FIB prefixes (a random rule, then a random address under it), with
+/// random source/port/protocol bits.  A representative stage-1 load that
+/// needs only the NetworkModel — the scale bench uses it at rule counts
+/// where per-atom representative generation is the wrong tool.
+std::vector<PacketHeader> rule_trace(const NetworkModel& net, std::size_t n,
+                                     Rng& rng);
+
 /// Event times of a Poisson process with `rate` events/sec over `duration`
 /// seconds.
 std::vector<double> poisson_arrivals(double rate, double duration, Rng& rng);

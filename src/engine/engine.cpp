@@ -4,6 +4,8 @@
 #include <array>
 #include <chrono>
 
+#include "util/stats.hpp"
+
 namespace apc::engine {
 
 namespace {
@@ -28,6 +30,8 @@ FlatSnapshot::Options snapshot_options(const QueryEngine::Options& o) {
   so.header_cache_capacity = o.header_cache_capacity;
   so.header_cache_shards = o.header_cache_shards;
   so.compile_program = o.compile_program;
+  so.mmap_load = o.snapshot_mmap;
+  so.prefault = o.snapshot_prefault;
   return so;
 }
 }  // namespace
@@ -274,6 +278,17 @@ void QueryEngine::register_metrics(obs::MetricsRegistry& reg,
                   "seconds");
   reg.register_fn(prefix + ".snapshot.memory_bytes",
                   [this] { return static_cast<double>(snapshot()->memory_bytes()); },
+                  "bytes");
+  // Owned vs mapped split: mapped bytes are shared page cache (a warm-
+  // restored arena), not private heap — capacity planning needs them apart.
+  reg.register_fn(prefix + ".snapshot.owned_bytes",
+                  [this] { return static_cast<double>(snapshot()->owned_bytes()); },
+                  "bytes");
+  reg.register_fn(prefix + ".snapshot.mapped_bytes",
+                  [this] { return static_cast<double>(snapshot()->mapped_bytes()); },
+                  "bytes");
+  reg.register_fn(prefix + ".peak_rss_bytes",
+                  [] { return static_cast<double>(util::peak_rss_bytes()); },
                   "bytes");
   // Compiled match program rows (0s when the program is off / over budget).
   reg.register_fn(

@@ -95,6 +95,16 @@ class QueryEngine {
     /// and tolerated (serving continues).  See snapshot.hpp and
     /// docs/architecture.md, "Fault tolerance & durability".
     std::string snapshot_path;
+    /// Warm restore via mmap (README knob `snapshot_mmap`): map a v2
+    /// snapshot file read-only instead of parsing it into the heap, so
+    /// restore cost is page faults, not bytes, and the frozen arena is
+    /// shared page cache across processes.  Falls back to an owned read
+    /// when mmap is compiled out (APC_FORCE_NO_MMAP) or the file is v1.
+    bool snapshot_mmap = true;
+    /// How much of a mapped snapshot the restore prefaults (madvise
+    /// WILLNEED): kHot = tree + match program, kAll = whole arena, kNone =
+    /// pure demand paging.  Irrelevant for owned storage.
+    PrefaultPolicy snapshot_prefault = PrefaultPolicy::kHot;
     /// Republication strategy: seed each new snapshot's behavior table and
     /// header cache from the retiring one (FlatSnapshot::build_delta) or
     /// start cold.  Delta publication is bit-equivalent to a full build for

@@ -54,7 +54,7 @@ void MatchProgram::run_batch_avx2(const PacketHeader* hs,
   static_assert(std::is_trivially_copyable_v<PacketHeader>);
   require(n <= std::size_t{0x7FFFFFFF} / PacketHeader::kWords32,
           "run_batch_avx2: batch too large for 32-bit gather indices");
-  const int* prog = reinterpret_cast<const int*>(insns_.data());
+  const int* prog = reinterpret_cast<const int*>(code_);
   const int* hdr = reinterpret_cast<const int*>(hs);
 
   constexpr int kGroupLanes = 8;

@@ -28,13 +28,13 @@ inline AtomId run_one(const MatchInsn* prog, std::uint32_t entry,
 }  // namespace
 
 AtomId MatchProgram::run(const PacketHeader& h) const {
-  return run_one(insns_.data(), entry_, h);
+  return run_one(code_, entry_, h);
 }
 
 void MatchProgram::run_batch_scalar(const PacketHeader* hs,
                                     const std::size_t* which, std::size_t n,
                                     AtomId* out) const {
-  const MatchInsn* prog = insns_.data();
+  const MatchInsn* prog = code_;
   if (which == nullptr) {
     for (std::size_t i = 0; i < n; ++i) out[i] = run_one(prog, entry_, hs[i]);
     return;

@@ -21,10 +21,10 @@ std::uint32_t pack_jump(std::uint32_t jump, std::uint32_t word) {
 }  // namespace
 
 std::shared_ptr<const MatchProgram> MatchProgram::compile(
-    const std::vector<bdd::FlatBddNode>& bdd_nodes,
-    const std::vector<FlatTreeNode>& tree, std::int32_t root,
+    const bdd::FlatBddNode* bdd_nodes, std::size_t bdd_count,
+    const FlatTreeNode* tree, std::size_t tree_count, std::int32_t root,
     std::size_t max_bytes) {
-  if (tree.empty() || root < 0) return nullptr;
+  if (tree_count == 0 || root < 0) return nullptr;
   const std::size_t cap =
       max_bytes == 0 ? kMaxInstructions
                      : std::min(kMaxInstructions, max_bytes / sizeof(MatchInsn));
@@ -36,15 +36,15 @@ std::shared_ptr<const MatchProgram> MatchProgram::compile(
   // guarantees every continuation's entry jump is already known.  Leaves
   // need no instruction at all: their entry IS a leaf-encoded jump.
   std::vector<MatchInsn> code;
-  code.reserve(tree.size() + bdd_nodes.size());
-  std::vector<std::uint32_t> entry(tree.size(), kLeafBit);
+  code.reserve(tree_count + bdd_count);
+  std::vector<std::uint32_t> entry(tree_count, kLeafBit);
   // Per-tree-node memo: BDD ref -> emitted pc.  Valid only while the two
   // terminal continuations are fixed, i.e. within one tree node.
   std::unordered_map<std::uint32_t, std::uint32_t> memo;
   bool overflow = false;
 
   std::uint32_t true_cont = 0, false_cont = 0;
-  const bdd::FlatBddNode* bdd = bdd_nodes.data();
+  const bdd::FlatBddNode* bdd = bdd_nodes;
 
   // Emits the program for the BDD rooted at `r`, returning its entry jump
   // (pc, or a leaf/continuation jump when `r` folds away).  Recursion depth
@@ -121,7 +121,7 @@ std::shared_ptr<const MatchProgram> MatchProgram::compile(
     return pc;
   };
 
-  for (std::int32_t idx = static_cast<std::int32_t>(tree.size()) - 1; idx >= 0;
+  for (std::int32_t idx = static_cast<std::int32_t>(tree_count) - 1; idx >= 0;
        --idx) {
     const FlatTreeNode& t = tree[idx];
     if (t.right == kLeaf) {
@@ -174,7 +174,22 @@ std::shared_ptr<const MatchProgram> MatchProgram::compile(
     prog->insns_.push_back(insn);
   }
   prog->entry_ = relabel(entry[root]);
+  prog->code_ = prog->insns_.data();
+  prog->code_count_ = prog->insns_.size();
   prog->compile_seconds_ = sw.seconds();
+  return prog;
+}
+
+std::shared_ptr<const MatchProgram> MatchProgram::adopt(
+    const MatchInsn* code, std::size_t count, std::uint32_t entry,
+    std::shared_ptr<const void> keepalive, double compile_seconds) {
+  require(keepalive != nullptr, "MatchProgram::adopt: keepalive required");
+  auto prog = std::shared_ptr<MatchProgram>(new MatchProgram());
+  prog->code_ = code;
+  prog->code_count_ = count;
+  prog->keepalive_ = std::move(keepalive);
+  prog->entry_ = entry;
+  prog->compile_seconds_ = compile_seconds;
   return prog;
 }
 

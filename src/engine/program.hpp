@@ -122,9 +122,19 @@ class MatchProgram {
   /// only) — the caller keeps the interpreted walk.  Pure function of its
   /// arguments; the result holds no references to them.
   static std::shared_ptr<const MatchProgram> compile(
-      const std::vector<bdd::FlatBddNode>& bdd_nodes,
-      const std::vector<FlatTreeNode>& tree, std::int32_t root,
+      const bdd::FlatBddNode* bdd_nodes, std::size_t bdd_count,
+      const FlatTreeNode* tree, std::size_t tree_count, std::int32_t root,
       std::size_t max_bytes = 0);
+
+  /// Wraps a program already materialized elsewhere — the snapshot arena's
+  /// `program` section — without copying.  `keepalive` (typically the
+  /// shared_ptr<const Arena>) pins the storage for the program's lifetime,
+  /// so a mapped snapshot file stays mapped while any reader still runs its
+  /// program.  The caller vouches for the code: snapshot_io validates every
+  /// instruction's jump targets and word indices before adopting.
+  static std::shared_ptr<const MatchProgram> adopt(
+      const MatchInsn* code, std::size_t count, std::uint32_t entry,
+      std::shared_ptr<const void> keepalive, double compile_seconds = 0.0);
 
   /// Classifies one header (scalar kernel).
   AtomId run(const PacketHeader& h) const;
@@ -150,12 +160,16 @@ class MatchProgram {
     return avx2_available() ? KernelKind::kAvx2 : KernelKind::kScalar;
   }
 
-  std::size_t instruction_count() const { return insns_.size(); }
-  std::size_t bytes() const { return insns_.size() * sizeof(MatchInsn); }
+  std::size_t instruction_count() const { return code_count_; }
+  std::size_t bytes() const { return code_count_ * sizeof(MatchInsn); }
   double compile_seconds() const { return compile_seconds_; }
   /// Entry jump value (leaf-encoded for a single-leaf tree).
   std::uint32_t entry() const { return entry_; }
-  const MatchInsn* instructions() const { return insns_.data(); }
+  const MatchInsn* instructions() const { return code_; }
+  /// True when the instructions live on this program's own heap (compiled);
+  /// false when adopted from external storage (an arena owns the bytes, and
+  /// memory accounting must not double-count them).
+  bool owns_code() const { return keepalive_ == nullptr; }
 
  private:
   MatchProgram() = default;
@@ -167,7 +181,13 @@ class MatchProgram {
   void run_batch_avx2(const PacketHeader* hs, const std::size_t* which,
                       std::size_t n, AtomId* out) const;
 
+  // Instruction storage is always read through (code_, code_count_): a
+  // compiled program points it at its own insns_ vector; an adopted program
+  // points into external storage pinned by keepalive_.
   std::vector<MatchInsn> insns_;
+  const MatchInsn* code_ = nullptr;
+  std::size_t code_count_ = 0;
+  std::shared_ptr<const void> keepalive_;
   std::uint32_t entry_ = kLeafBit;  ///< empty program: atom 0 leaf
   double compile_seconds_ = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "engine/snapshot.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 
@@ -23,8 +24,16 @@ constexpr std::size_t kBehaviorBytesEstimate =
 
 }  // namespace
 
-std::shared_ptr<FlatSnapshot> FlatSnapshot::build_core(const ApClassifier& clf) {
-  auto snap = std::shared_ptr<FlatSnapshot>(new FlatSnapshot());
+BitsRef FlatSnapshot::CoreData::intern_bits(const FlatBitset& b) {
+  BitsRef r;
+  r.word_off = words.size();
+  r.nbits = b.size();
+  words.insert(words.end(), b.words().begin(), b.words().end());
+  return r;
+}
+
+FlatSnapshot::CoreData FlatSnapshot::freeze_core(const ApClassifier& clf) {
+  CoreData core;
   const ApTree& tree = clf.tree();
   const PredicateRegistry& reg = clf.registry();
   require(!tree.empty(), "FlatSnapshot: empty tree");
@@ -67,30 +76,30 @@ std::shared_ptr<FlatSnapshot> FlatSnapshot::build_core(const ApClassifier& clf) 
     };
     std::vector<WorkItem> work;
     work.push_back({tree.root(), -1});
-    snap->tree_.reserve(tree.node_count());
+    core.tree.reserve(tree.node_count());
     while (!work.empty()) {
       const WorkItem w = work.back();
       work.pop_back();
-      const std::int32_t dst = static_cast<std::int32_t>(snap->tree_.size());
-      if (w.fix >= 0) snap->tree_[w.fix].right = dst;
+      const std::int32_t dst = static_cast<std::int32_t>(core.tree.size());
+      if (w.fix >= 0) core.tree[w.fix].right = dst;
       const ApTree::Node& n = tree.node(w.src);
       FlatTreeNode f;
       if (n.is_leaf()) {
         f.bdd_root = n.atom;
         f.right = kLeaf;
-        snap->tree_.push_back(f);
+        core.tree.push_back(f);
       } else {
         f.bdd_root = dense_roots[pred_slot.at(static_cast<PredId>(n.pred))];
         f.right = 0;  // patched when the false branch is emitted
-        snap->tree_.push_back(f);
+        core.tree.push_back(f);
         // Pop order: left (true branch) is emitted immediately after dst so
         // the implicit left-child-is-next invariant holds; the right child
-        // is emitted after the whole left subtree and patches tree_[dst].
+        // is emitted after the whole left subtree and patches tree[dst].
         work.push_back({n.right, dst});
         work.push_back({n.left, -1});
       }
     }
-    snap->tree_root_ = 0;
+    core.tree_root = 0;
   }
 
   // Reorder the BDD nodes DFS-contiguous in tree order (hi edge first): the
@@ -101,68 +110,208 @@ std::shared_ptr<FlatSnapshot> FlatSnapshot::build_core(const ApClassifier& clf) 
     std::vector<std::uint32_t> remap(flat_nodes.size(), kUnmapped);
     remap[bdd::kFalse] = bdd::kFalse;
     remap[bdd::kTrue] = bdd::kTrue;
-    snap->bdd_nodes_.reserve(flat_nodes.size());
-    snap->bdd_nodes_.push_back(flat_nodes[bdd::kFalse]);
-    snap->bdd_nodes_.push_back(flat_nodes[bdd::kTrue]);
+    core.bdd_nodes.reserve(flat_nodes.size());
+    core.bdd_nodes.push_back(flat_nodes[bdd::kFalse]);
+    core.bdd_nodes.push_back(flat_nodes[bdd::kTrue]);
     std::vector<std::uint32_t> stack;
-    for (const FlatTreeNode& t : snap->tree_) {
+    for (const FlatTreeNode& t : core.tree) {
       if (t.right == kLeaf) continue;
       stack.push_back(t.bdd_root);
       while (!stack.empty()) {
         const std::uint32_t r = stack.back();
         stack.pop_back();
         if (r <= bdd::kTrue || remap[r] != kUnmapped) continue;
-        remap[r] = static_cast<std::uint32_t>(snap->bdd_nodes_.size());
-        snap->bdd_nodes_.push_back(flat_nodes[r]);
+        remap[r] = static_cast<std::uint32_t>(core.bdd_nodes.size());
+        core.bdd_nodes.push_back(flat_nodes[r]);
         stack.push_back(flat_nodes[r].lo);  // popped second
         stack.push_back(flat_nodes[r].hi);  // popped first: hi path is hot
       }
     }
-    for (std::size_t i = 2; i < snap->bdd_nodes_.size(); ++i) {
-      snap->bdd_nodes_[i].lo = remap[snap->bdd_nodes_[i].lo];
-      snap->bdd_nodes_[i].hi = remap[snap->bdd_nodes_[i].hi];
+    for (std::size_t i = 2; i < core.bdd_nodes.size(); ++i) {
+      core.bdd_nodes[i].lo = remap[core.bdd_nodes[i].lo];
+      core.bdd_nodes[i].hi = remap[core.bdd_nodes[i].hi];
     }
-    for (FlatTreeNode& t : snap->tree_)
+    for (FlatTreeNode& t : core.tree)
       if (t.right != kLeaf) t.bdd_root = remap[t.bdd_root];
   }
 
-  // Freeze stage 2: per-box port entries with copies of the R(p) bitsets.
-  // Deleted predicates keep an empty bitset — test() is then false for
-  // every atom, exactly pred_contains()'s answer.
+  // Freeze stage 2 flattened: per-box contiguous runs of port entries and
+  // input-ACL slots, with every R(p) bitset interned into the shared word
+  // pool.  Deleted predicates keep an empty BitsRef — test() is then false
+  // for every atom, exactly pred_contains()'s answer.
   const CompiledNetwork& cn = clf.compiled();
   const Topology& topo = clf.network().topology;
-  snap->boxes_.resize(topo.box_count());
+  core.boxes.resize(topo.box_count());
   for (BoxId b = 0; b < topo.box_count(); ++b) {
-    FlatBox& fb = snap->boxes_[b];
+    ArenaBox& fb = core.boxes[b];
+    fb.port_begin = static_cast<std::uint32_t>(core.ports.size());
     for (const auto& entry : cn.port_preds[b]) {
-      FlatPortEntry e;
+      ArenaPortEntry e;
       e.port = entry.port;
       const Port& p = topo.box(b).ports[entry.port];
       if (p.kind == Port::Kind::Link) {
         e.peer_box = static_cast<std::int32_t>(p.peer->box);
         e.peer_port = p.peer->port;
       }
-      if (!reg.is_deleted(entry.pred)) e.fwd_atoms = reg.atoms_of(entry.pred);
+      if (!reg.is_deleted(entry.pred))
+        e.fwd_atoms = core.intern_bits(reg.atoms_of(entry.pred));
       if (entry.out_acl != kNoPred) {
-        e.has_out_acl = true;
+        e.has_out_acl = 1;
         if (!reg.is_deleted(entry.out_acl))
-          e.out_acl_atoms = reg.atoms_of(entry.out_acl);
+          e.out_acl_atoms = core.intern_bits(reg.atoms_of(entry.out_acl));
       }
-      fb.ports.push_back(std::move(e));
+      core.ports.push_back(e);
     }
-    fb.in_acls.resize(cn.in_acl_by_port[b].size());
+    fb.port_count = static_cast<std::uint32_t>(core.ports.size()) - fb.port_begin;
+    fb.acl_begin = static_cast<std::uint32_t>(core.in_acls.size());
     for (std::size_t port = 0; port < cn.in_acl_by_port[b].size(); ++port) {
+      ArenaInAcl a;
       const PredId acl = cn.in_acl_by_port[b][port];
-      if (acl == kNoPred) continue;
-      fb.in_acls[port].present = true;
-      if (!reg.is_deleted(acl)) fb.in_acls[port].atoms = reg.atoms_of(acl);
+      if (acl != kNoPred) {
+        a.present = 1;
+        if (!reg.is_deleted(acl)) a.atoms = core.intern_bits(reg.atoms_of(acl));
+      }
+      core.in_acls.push_back(a);
+    }
+    fb.acl_count = static_cast<std::uint32_t>(core.in_acls.size()) - fb.acl_begin;
+  }
+
+  core.atom_capacity = clf.atoms().capacity();
+  core.has_middleboxes = clf.has_middleboxes();
+  core.tracks_visits = clf.options().track_visits;
+  return core;
+}
+
+std::shared_ptr<FlatSnapshot> FlatSnapshot::from_core(CoreData&& core,
+                                                      const Options& opts,
+                                                      const MatchProgram* carried) {
+  // The match program must be compiled (or carried) BEFORE arena assembly so
+  // its instructions land inside the single allocation — that is what lets
+  // save_snapshot write one contiguous image and a mapped load skip the
+  // recompile entirely.
+  std::shared_ptr<const MatchProgram> compiled;
+  const MatchInsn* prog_code = nullptr;
+  std::size_t prog_count = 0;
+  std::uint32_t prog_entry = 0;
+  double compile_seconds = 0.0;
+  bool have_program = false;
+  if (carried != nullptr) {
+    prog_code = carried->instructions();
+    prog_count = carried->instruction_count();
+    prog_entry = carried->entry();
+    have_program = true;
+  } else if (opts.compile_program != ProgramMode::kNever) {
+    const std::size_t max_bytes = opts.compile_program == ProgramMode::kAuto
+                                      ? MatchProgram::kAutoProgramBytes
+                                      : 0;
+    compiled = MatchProgram::compile(core.bdd_nodes.data(), core.bdd_nodes.size(),
+                                     core.tree.data(), core.tree.size(),
+                                     core.tree_root, max_bytes);
+    if (compiled) {  // nullptr (over budget) keeps the interpreted walk
+      prog_code = compiled->instructions();
+      prog_count = compiled->instruction_count();
+      prog_entry = compiled->entry();
+      compile_seconds = compiled->compile_seconds();
+      have_program = true;
     }
   }
 
-  snap->atom_capacity_ = clf.atoms().capacity();
-  snap->has_middleboxes_ = clf.has_middleboxes();
-  if (clf.options().track_visits) snap->visits_.reset(snap->atom_capacity_);
+  ArenaBuilder b;
+  const ArenaRef bdd_ref = b.reserve<bdd::FlatBddNode>(core.bdd_nodes.size());
+  const ArenaRef tree_ref = b.reserve<FlatTreeNode>(core.tree.size());
+  const ArenaRef boxes_ref = b.reserve<ArenaBox>(core.boxes.size());
+  const ArenaRef ports_ref = b.reserve<ArenaPortEntry>(core.ports.size());
+  const ArenaRef acls_ref = b.reserve<ArenaInAcl>(core.in_acls.size());
+  const ArenaRef words_ref = b.reserve<std::uint64_t>(core.words.size());
+  const ArenaRef prog_ref = b.reserve<MatchInsn>(prog_count);
+  b.allocate();
+
+  const auto copy = [&](auto& ref, const auto* src, std::size_t elem) {
+    if (ref.count != 0)
+      std::memcpy(b.section<std::byte>(ref), src, ref.count * elem);
+  };
+  copy(bdd_ref, core.bdd_nodes.data(), sizeof(bdd::FlatBddNode));
+  copy(tree_ref, core.tree.data(), sizeof(FlatTreeNode));
+  copy(boxes_ref, core.boxes.data(), sizeof(ArenaBox));
+  copy(ports_ref, core.ports.data(), sizeof(ArenaPortEntry));
+  copy(acls_ref, core.in_acls.data(), sizeof(ArenaInAcl));
+  copy(words_ref, core.words.data(), sizeof(std::uint64_t));
+  copy(prog_ref, prog_code, sizeof(MatchInsn));
+
+  ArenaHeader& h = b.header();
+  h.flags = (core.has_middleboxes ? ArenaHeader::kHasMiddleboxes : 0u) |
+            (core.tracks_visits ? ArenaHeader::kTracksVisits : 0u) |
+            (have_program ? ArenaHeader::kHasProgram : 0u);
+  h.atom_capacity = core.atom_capacity;
+  h.tree_root = core.tree_root;
+  h.program_entry = prog_entry;
+  // The union of header bits any frozen BDD node tests — the header-cache
+  // canonicalization mask, persisted so a mapped load never re-derives it.
+  for (std::size_t i = 2; i < core.bdd_nodes.size(); ++i) {
+    const std::uint32_t v = core.bdd_nodes[i].var;
+    h.tested_bits[v >> 6] |= std::uint64_t{1} << (v & 63);
+  }
+  h.bdd_nodes = bdd_ref;
+  h.tree = tree_ref;
+  h.boxes = boxes_ref;
+  h.ports = ports_ref;
+  h.in_acls = acls_ref;
+  h.words = words_ref;
+  h.program = prog_ref;
+
+  auto snap = std::shared_ptr<FlatSnapshot>(new FlatSnapshot());
+  snap->adopt_arena(b.finish(), opts, compile_seconds, carried != nullptr);
   return snap;
+}
+
+std::shared_ptr<FlatSnapshot> FlatSnapshot::from_arena(
+    std::shared_ptr<const Arena> arena, const Options& opts) {
+  auto snap = std::shared_ptr<FlatSnapshot>(new FlatSnapshot());
+  snap->adopt_arena(std::move(arena), opts, 0.0, false);
+  // A loaded arena without a program section (built under kNever, or over
+  // the auto budget) still honors the caller's options: compile now, off
+  // the arena's frozen arrays (load-path parity with v1).
+  if (!snap->program_ && opts.compile_program != ProgramMode::kNever) {
+    const std::size_t max_bytes = opts.compile_program == ProgramMode::kAuto
+                                      ? MatchProgram::kAutoProgramBytes
+                                      : 0;
+    snap->program_ =
+        MatchProgram::compile(snap->bdd_nodes_, snap->bdd_count_, snap->tree_,
+                              snap->tree_count_, snap->tree_root_, max_bytes);
+  }
+  return snap;
+}
+
+void FlatSnapshot::adopt_arena(std::shared_ptr<const Arena> arena,
+                               const Options& opts, double compile_seconds,
+                               bool carried) {
+  arena_ = std::move(arena);
+  const ArenaHeader& h = arena_->header();
+  bdd_nodes_ = arena_->ptr<bdd::FlatBddNode>(h.bdd_nodes);
+  bdd_count_ = static_cast<std::size_t>(h.bdd_nodes.count);
+  tree_ = arena_->ptr<FlatTreeNode>(h.tree);
+  tree_count_ = static_cast<std::size_t>(h.tree.count);
+  tree_root_ = h.tree_root;
+  boxes_ = arena_->ptr<ArenaBox>(h.boxes);
+  box_count_ = static_cast<std::size_t>(h.boxes.count);
+  ports_ = arena_->ptr<ArenaPortEntry>(h.ports);
+  in_acls_ = arena_->ptr<ArenaInAcl>(h.in_acls);
+  words_ = arena_->ptr<std::uint64_t>(h.words);
+  atom_capacity_ = static_cast<std::size_t>(h.atom_capacity);
+  has_middleboxes_ = (h.flags & ArenaHeader::kHasMiddleboxes) != 0;
+  if ((h.flags & ArenaHeader::kTracksVisits) != 0) visits_.reset(atom_capacity_);
+
+  if ((h.flags & ArenaHeader::kHasProgram) != 0 &&
+      opts.compile_program != ProgramMode::kNever) {
+    // Zero-copy adoption: the program runs straight out of the arena (and
+    // keeps it alive — a mapped file stays mapped while any reader runs).
+    program_ = MatchProgram::adopt(arena_->ptr<MatchInsn>(h.program),
+                                   static_cast<std::size_t>(h.program.count),
+                                   h.program_entry, arena_, compile_seconds);
+    program_carried_ = carried;
+  }
+
+  init_accelerators(opts);
 }
 
 void FlatSnapshot::maybe_precompute(const ApClassifier& clf, const Options& opts,
@@ -173,7 +322,7 @@ void FlatSnapshot::maybe_precompute(const ApClassifier& clf, const Options& opts
   // precompute cells nobody is expected to read.
   if (table_mode_ != BehaviorTableMode::kLazy || has_middleboxes_) return;
   const std::vector<AtomId> alive = clf.atoms().alive_ids();
-  const std::size_t boxes = boxes_.size();
+  const std::size_t boxes = box_count_;
   const std::size_t estimate =
       table_cells_ * sizeof(std::atomic<const Behavior*>) +
       alive.size() * boxes * kBehaviorBytesEstimate;
@@ -202,28 +351,29 @@ void FlatSnapshot::maybe_precompute(const ApClassifier& clf, const Options& opts
 std::shared_ptr<const FlatSnapshot> FlatSnapshot::build(const ApClassifier& clf,
                                                         const Options& opts,
                                                         util::TaskPool* pool) {
-  auto snap = build_core(clf);
-  snap->init_accelerators(opts);
+  auto snap = from_core(freeze_core(clf), opts, nullptr);
   snap->maybe_precompute(clf, opts, pool);
   return snap;
 }
 
 bool FlatSnapshot::same_stage2_shape(const FlatSnapshot& prev) const {
-  if (boxes_.size() != prev.boxes_.size()) return false;
-  for (std::size_t b = 0; b < boxes_.size(); ++b) {
-    const FlatBox& nb = boxes_[b];
-    const FlatBox& pb = prev.boxes_[b];
-    if (nb.ports.size() != pb.ports.size()) return false;
-    if (nb.in_acls.size() != pb.in_acls.size()) return false;
-    for (std::size_t i = 0; i < nb.ports.size(); ++i) {
-      const FlatPortEntry& ne = nb.ports[i];
-      const FlatPortEntry& pe = pb.ports[i];
+  if (box_count_ != prev.box_count_) return false;
+  for (std::size_t b = 0; b < box_count_; ++b) {
+    const ArenaBox& nb = boxes_[b];
+    const ArenaBox& pb = prev.boxes_[b];
+    if (nb.port_count != pb.port_count) return false;
+    if (nb.acl_count != pb.acl_count) return false;
+    for (std::uint32_t i = 0; i < nb.port_count; ++i) {
+      const ArenaPortEntry& ne = ports_[nb.port_begin + i];
+      const ArenaPortEntry& pe = prev.ports_[pb.port_begin + i];
       if (ne.port != pe.port || ne.peer_box != pe.peer_box ||
           ne.peer_port != pe.peer_port || ne.has_out_acl != pe.has_out_acl)
         return false;
     }
-    for (std::size_t i = 0; i < nb.in_acls.size(); ++i)
-      if (nb.in_acls[i].present != pb.in_acls[i].present) return false;
+    for (std::uint32_t i = 0; i < nb.acl_count; ++i)
+      if (in_acls_[nb.acl_begin + i].present !=
+          prev.in_acls_[pb.acl_begin + i].present)
+        return false;
   }
   return true;
 }
@@ -231,24 +381,24 @@ bool FlatSnapshot::same_stage2_shape(const FlatSnapshot& prev) const {
 std::shared_ptr<const FlatSnapshot> FlatSnapshot::build_delta(
     const ApClassifier& clf, const Options& opts, util::TaskPool* pool,
     const FlatSnapshot& prev, const AtomDelta& delta) {
-  auto snap = build_core(clf);
+  CoreData core = freeze_core(clf);
 
   // Compiled program carry: the program is a pure function of the frozen
-  // (tree_, bdd_nodes_) arrays, and a MatchProgram holds no pointers into
-  // its snapshot, so when both arrays are bytewise identical the retiring
-  // snapshot's program is shared instead of recompiled.  Checked before
-  // init_accelerators so a carried program skips the compile entirely
-  // (init_program no-ops when program_ is already set).
-  if (prev.program_ && snap->tree_.size() == prev.tree_.size() &&
-      snap->bdd_nodes_.size() == prev.bdd_nodes_.size() &&
-      std::memcmp(snap->tree_.data(), prev.tree_.data(),
-                  snap->tree_.size() * sizeof(FlatTreeNode)) == 0 &&
-      std::memcmp(snap->bdd_nodes_.data(), prev.bdd_nodes_.data(),
-                  snap->bdd_nodes_.size() * sizeof(bdd::FlatBddNode)) == 0) {
-    snap->program_ = prev.program_;
-    snap->program_carried_ = true;
+  // (tree, bdd_nodes) arrays, so when both are bytewise identical the
+  // retiring snapshot's program is copied into the new arena instead of
+  // recompiled (the copy — a memcpy of the instruction bytes — keeps the
+  // new arena self-contained, so saving it still persists the program and
+  // the retiring snapshot's storage can be unmapped).
+  const MatchProgram* carried = nullptr;
+  if (prev.program_ && core.tree.size() == prev.tree_count_ &&
+      core.bdd_nodes.size() == prev.bdd_count_ &&
+      std::memcmp(core.tree.data(), prev.tree_,
+                  core.tree.size() * sizeof(FlatTreeNode)) == 0 &&
+      std::memcmp(core.bdd_nodes.data(), prev.bdd_nodes_,
+                  core.bdd_nodes.size() * sizeof(bdd::FlatBddNode)) == 0) {
+    carried = prev.program_.get();
   }
-  snap->init_accelerators(opts);
+  auto snap = from_core(std::move(core), opts, carried);
 
   if (delta.valid) {
     // Atoms whose behavior rows may have changed: killed atoms are gone,
@@ -275,7 +425,7 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build_delta(
         prev.table_mode_ != BehaviorTableMode::kDisabled &&
         snap->has_middleboxes_ == prev.has_middleboxes_ &&
         snap->same_stage2_shape(prev)) {
-      const std::size_t boxes = snap->boxes_.size();
+      const std::size_t boxes = snap->box_count_;
       for (const AtomId a : clf.atoms().alive_ids()) {
         if (a >= prev.atom_capacity_ || row_dirty[a]) continue;
         for (std::size_t b = 0; b < boxes; ++b) {
@@ -323,19 +473,19 @@ std::shared_ptr<const FlatSnapshot> FlatSnapshot::build_delta(
 
 void FlatSnapshot::init_accelerators(const Options& opts) {
   // Header -> atom cache (layer 2), keyed on the bits any predicate tests.
+  // The mask was computed at assembly time and travels in the arena header,
+  // so a mapped load does not touch the BDD section to rebuild it.
   if (opts.header_cache_capacity > 0) {
     HeaderAtomCache::Mask mask{};
-    for (std::size_t i = 2; i < bdd_nodes_.size(); ++i) {
-      const std::uint32_t v = bdd_nodes_[i].var;
-      mask[v >> 6] |= std::uint64_t{1} << (v & 63);
-    }
+    const ArenaHeader& h = arena_->header();
+    std::copy(std::begin(h.tested_bits), std::end(h.tested_bits), mask.begin());
     cache_ = std::make_unique<HeaderAtomCache>(opts.header_cache_capacity,
                                                opts.header_cache_shards, mask);
   }
 
   // Behavior table (layer 1): the cell-pointer array must fit the budget or
   // the table is off; cells start empty (kLazy).
-  const std::size_t cells = atom_capacity_ * boxes_.size();
+  const std::size_t cells = atom_capacity_ * box_count_;
   const std::size_t cell_bytes = cells * sizeof(std::atomic<const Behavior*>);
   if (opts.behavior_table_budget > 0 && cells > 0 &&
       cell_bytes <= opts.behavior_table_budget) {
@@ -346,22 +496,6 @@ void FlatSnapshot::init_accelerators(const Options& opts) {
     table_heap_bytes_.store(cell_bytes, std::memory_order_relaxed);
     table_mode_ = BehaviorTableMode::kLazy;
   }
-
-  init_program(opts);
-}
-
-void FlatSnapshot::init_program(const Options& opts) {
-  if (opts.compile_program == ProgramMode::kNever) {
-    program_.reset();
-    program_carried_ = false;
-    return;
-  }
-  if (program_) return;  // delta-carried from the previous snapshot
-  const std::size_t max_bytes = opts.compile_program == ProgramMode::kAuto
-                                    ? MatchProgram::kAutoProgramBytes
-                                    : 0;
-  // nullptr (over budget) keeps the interpreted lockstep walk.
-  program_ = MatchProgram::compile(bdd_nodes_, tree_, tree_root_, max_bytes);
 }
 
 FlatSnapshot::~FlatSnapshot() {
@@ -402,8 +536,8 @@ AtomId FlatSnapshot::classify_walk(const PacketHeader& h) const {
 
 AtomId FlatSnapshot::classify_counted(const PacketHeader& h,
                                       std::size_t& evals) const {
-  const bdd::FlatBddNode* nodes = bdd_nodes_.data();
-  const FlatTreeNode* tree = tree_.data();
+  const bdd::FlatBddNode* nodes = bdd_nodes_;
+  const FlatTreeNode* tree = tree_;
   std::size_t count = 0;
   std::int32_t idx = tree_root_;
   while (tree[idx].right != kLeaf) {
@@ -424,8 +558,8 @@ AtomId FlatSnapshot::classify_counted(const PacketHeader& h,
 void FlatSnapshot::classify_lockstep(const PacketHeader* hs,
                                      const std::size_t* which, std::size_t n,
                                      AtomId* out) const {
-  const bdd::FlatBddNode* nodes = bdd_nodes_.data();
-  const FlatTreeNode* tree = tree_.data();
+  const bdd::FlatBddNode* nodes = bdd_nodes_;
+  const FlatTreeNode* tree = tree_;
 
   // Single-leaf tree: every header lands on the same atom, no walk needed.
   // One batched counter add instead of n contended per-packet bumps.
@@ -556,9 +690,9 @@ const Behavior* FlatSnapshot::fill_cell(std::atomic<const Behavior*>& cell,
 }
 
 Behavior FlatSnapshot::behavior_of(AtomId atom, BoxId ingress) const {
-  require(ingress < boxes_.size(), "FlatSnapshot::behavior_of: bad ingress");
+  require(ingress < box_count_, "FlatSnapshot::behavior_of: bad ingress");
   if (table_mode_ != BehaviorTableMode::kDisabled && atom < atom_capacity_) {
-    std::atomic<const Behavior*>& cell = table_[atom * boxes_.size() + ingress];
+    std::atomic<const Behavior*>& cell = table_[atom * box_count_ + ingress];
     const Behavior* b = cell.load(std::memory_order_acquire);
     if (b == nullptr) b = fill_cell(cell, atom, ingress);
     return *b;
@@ -570,7 +704,7 @@ Behavior FlatSnapshot::behavior_of(AtomId atom, BoxId ingress) const {
 // behaviors are byte-identical: same stack discipline, same push order, same
 // visited-loop semantics, same drop reasons.
 Behavior FlatSnapshot::behavior_walk(AtomId atom, BoxId ingress) const {
-  require(ingress < boxes_.size(), "FlatSnapshot::behavior_walk: bad ingress");
+  require(ingress < box_count_, "FlatSnapshot::behavior_walk: bad ingress");
   Behavior out;
 
   struct Visit {
@@ -583,7 +717,7 @@ Behavior FlatSnapshot::behavior_walk(AtomId atom, BoxId ingress) const {
 
   std::uint64_t visited_mask = 0;
   std::vector<bool> visited_vec;
-  if (boxes_.size() > 64) visited_vec.assign(boxes_.size(), false);
+  if (box_count_ > 64) visited_vec.assign(box_count_, false);
   const auto test_and_set_visited = [&](BoxId b) {
     if (visited_vec.empty()) {
       const std::uint64_t bit = std::uint64_t{1} << b;
@@ -604,11 +738,11 @@ Behavior FlatSnapshot::behavior_walk(AtomId atom, BoxId ingress) const {
       out.loop_detected = true;
       continue;
     }
-    const FlatBox& fb = boxes_[v.box];
+    const ArenaBox& fb = boxes_[v.box];
 
-    if (v.in_port != kNoInPort && v.in_port < fb.in_acls.size()) {
-      const FlatInAcl& acl = fb.in_acls[v.in_port];
-      if (acl.present && !acl.atoms.test(atom)) {
+    if (v.in_port != kNoInPort && v.in_port < fb.acl_count) {
+      const ArenaInAcl& acl = in_acls_[fb.acl_begin + v.in_port];
+      if (acl.present != 0 && !bits_test(acl.atoms, atom)) {
         out.drops.push_back({v.box, Drop::Reason::InputAcl});
         continue;
       }
@@ -616,9 +750,10 @@ Behavior FlatSnapshot::behavior_walk(AtomId atom, BoxId ingress) const {
 
     bool forwarded = false;
     bool acl_blocked = false;
-    for (const FlatPortEntry& e : fb.ports) {
-      if (!e.fwd_atoms.test(atom)) continue;
-      if (e.has_out_acl && !e.out_acl_atoms.test(atom)) {
+    for (std::uint32_t k = 0; k < fb.port_count; ++k) {
+      const ArenaPortEntry& e = ports_[fb.port_begin + k];
+      if (!bits_test(e.fwd_atoms, atom)) continue;
+      if (e.has_out_acl != 0 && !bits_test(e.out_acl_atoms, atom)) {
         acl_blocked = true;
         continue;
       }
@@ -646,25 +781,21 @@ Behavior FlatSnapshot::query(const PacketHeader& h, BoxId ingress) const {
   return behavior_of(classify(h), ingress);
 }
 
-std::size_t FlatSnapshot::memory_bytes() const {
-  std::size_t bytes = bdd_nodes_.capacity() * sizeof(bdd::FlatBddNode) +
-                      tree_.capacity() * sizeof(FlatTreeNode);
-  for (const FlatBox& fb : boxes_) {
-    bytes += fb.ports.capacity() * sizeof(FlatPortEntry) +
-             fb.in_acls.capacity() * sizeof(FlatInAcl);
-    for (const FlatPortEntry& e : fb.ports)
-      bytes += e.fwd_atoms.memory_bytes() + e.out_acl_atoms.memory_bytes();
-    for (const FlatInAcl& a : fb.in_acls) bytes += a.atoms.memory_bytes();
-  }
+std::size_t FlatSnapshot::owned_bytes() const {
+  std::size_t bytes = arena_ && !arena_->mapped() ? arena_->size() : 0;
   bytes += visits_.size() * sizeof(std::atomic<std::uint64_t>);
   // Table cell array + every published Behavior's heap (tracked by
   // fill_cell), plus the header cache's slot arrays.
   bytes += table_heap_bytes_.load(std::memory_order_relaxed);
   if (cache_) bytes += cache_->memory_bytes();
-  // The compiled program counts even when delta-shared: it is live memory
-  // this snapshot keeps reachable.
-  if (program_) bytes += program_->bytes();
+  // A load-time-compiled program lives on its own heap; an adopted program
+  // runs out of the arena and is already counted there.
+  if (program_ && program_->owns_code()) bytes += program_->bytes();
   return bytes;
+}
+
+std::size_t FlatSnapshot::mapped_bytes() const {
+  return arena_ && arena_->mapped() ? arena_->size() : 0;
 }
 
 }  // namespace apc::engine

@@ -30,6 +30,17 @@
 //      advances several headers through the tree in lockstep with software
 //      prefetch, hiding the dependent-load DRAM latency of cold walks.
 //
+// Storage: everything frozen lives in ONE relocatable Arena (engine/
+// arena.hpp) — BDD array, tree, stage-2 records, bitset word pool, compiled
+// match program, atom metadata — addressed by offsets from the arena base.
+// The arena is either an owned 64-byte-aligned heap buffer (built in
+// memory) or a read-only mmap of a v2 snapshot file (warm restore: page
+// faults instead of a parse).  Runtime accelerator state (behavior-table
+// cells, header cache, visit counters) stays on the heap: it is mutable,
+// per-process, and intentionally not persisted.  The snapshot and its
+// adopted MatchProgram each hold a shared_ptr to the arena, so RCU
+// retirement of a mapped snapshot munmaps only after the last reader left.
+//
 // Classification stays a pure array walk: no BddManager, no ref-count
 // traffic, no locks — safe from any number of threads.  Mutable members are
 // the per-atom stats block, the cache slots, and the lazily published table
@@ -47,6 +58,7 @@
 
 #include "bdd/bdd.hpp"
 #include "classifier/classifier.hpp"
+#include "engine/arena.hpp"
 #include "engine/header_cache.hpp"
 #include "engine/program.hpp"
 #include "obs/metrics.hpp"
@@ -55,6 +67,14 @@
 #include "util/visit_counters.hpp"
 
 namespace apc::engine {
+
+/// How much of a mapped snapshot load_snapshot() asks the kernel to fault
+/// in ahead of first use (madvise WILLNEED).  Irrelevant for owned storage.
+enum class PrefaultPolicy : std::uint8_t {
+  kNone,  ///< demand paging only
+  kHot,   ///< tree + match program (the per-query hot sections)
+  kAll,   ///< the whole arena
+};
 
 class FlatSnapshot {
  public:
@@ -78,6 +98,13 @@ class FlatSnapshot {
     /// lockstep walk (the program-less behavior).  Cache misses in
     /// classify()/classify_into() route through the program when present.
     ProgramMode compile_program = ProgramMode::kAuto;
+    /// load_snapshot() only: mmap a v2 snapshot file instead of reading it
+    /// into an owned buffer (README knob `snapshot_mmap`).  Ignored — with
+    /// an automatic owned-read fallback — when mmap support is compiled out
+    /// (APC_FORCE_NO_MMAP) or the file is v1.
+    bool mmap_load = true;
+    /// load_snapshot() only: prefault policy for mapped arenas.
+    PrefaultPolicy prefault = PrefaultPolicy::kHot;
   };
 
   enum class BehaviorTableMode : std::uint8_t { kDisabled, kLazy, kPrecomputed };
@@ -154,14 +181,23 @@ class FlatSnapshot {
   /// the snapshot is retired.
   std::vector<std::uint64_t> visit_counts() const { return visits_.to_vector(); }
 
-  std::size_t bdd_node_count() const { return bdd_nodes_.size(); }
-  std::size_t tree_node_count() const { return tree_.size(); }
+  std::size_t bdd_node_count() const { return bdd_count_; }
+  std::size_t tree_node_count() const { return tree_count_; }
   std::size_t atom_capacity() const { return atom_capacity_; }
-  std::size_t box_count() const { return boxes_.size(); }
-  /// Approximate heap footprint of the frozen arrays, the visit-counter
-  /// block, the behavior table (cells + published behaviors), and the
-  /// header cache.
-  std::size_t memory_bytes() const;
+  std::size_t box_count() const { return box_count_; }
+
+  /// Where the frozen arena lives: an owned heap buffer (built in process
+  /// or loaded without mmap) or a read-only file mapping.
+  Arena::Storage storage() const { return arena_->storage(); }
+  /// Heap bytes this snapshot owns: the arena when owned, the visit
+  /// counters, the behavior table (cells + published behaviors), the header
+  /// cache, and a load-time-compiled program.
+  std::size_t owned_bytes() const;
+  /// Bytes of the mapped snapshot file (0 for owned storage).  Shared page
+  /// cache, not private RSS — reported separately for exactly that reason.
+  std::size_t mapped_bytes() const;
+  /// Total footprint: owned_bytes() + mapped_bytes().
+  std::size_t memory_bytes() const { return owned_bytes() + mapped_bytes(); }
 
   BehaviorTableMode behavior_table_mode() const { return table_mode_; }
   /// Cells published so far (== all live cells after an eager build;
@@ -197,35 +233,68 @@ class FlatSnapshot {
   int kernel_dispatch() const {
     return program_ ? static_cast<int>(program_->dispatch_kernel()) : 0;
   }
-  /// True when build_delta() shared the previous snapshot's program instead
-  /// of recompiling (frozen tree+BDD arrays were unchanged).
+  /// True when build_delta() reused the previous snapshot's program instead
+  /// of recompiling (frozen tree+BDD arrays were unchanged; the instruction
+  /// bytes are still copied into this snapshot's own arena).
   bool program_carried() const { return program_carried_; }
 
  private:
   FlatSnapshot() = default;
 
   friend void save_snapshot(const FlatSnapshot& snap, const std::string& path);
+  friend void save_snapshot_v1(const FlatSnapshot& snap, const std::string& path);
   friend std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
                                                            const Options& opts);
 
-  /// Freezes the classifier's tree, predicates, and stage-2 state into the
-  /// core arrays (no accelerators) — shared by build() and build_delta().
+  /// The frozen core as plain vectors — the intermediate between "walk the
+  /// classifier" (freeze_core) or "parse a v1 file" (load_snapshot) and the
+  /// single-arena form (from_core).  Never outlives the build.
+  struct CoreData {
+    std::vector<bdd::FlatBddNode> bdd_nodes;
+    std::vector<FlatTreeNode> tree;
+    std::int32_t tree_root = 0;
+    std::vector<ArenaBox> boxes;
+    std::vector<ArenaPortEntry> ports;
+    std::vector<ArenaInAcl> in_acls;
+    std::vector<std::uint64_t> words;  ///< shared bitset pool
+    std::size_t atom_capacity = 0;
+    bool has_middleboxes = false;
+    bool tracks_visits = false;
+
+    /// Appends a bitset to the word pool and returns its ref.
+    BitsRef intern_bits(const FlatBitset& b);
+  };
+
+  /// Freezes the classifier's tree, predicates, and stage-2 state into
+  /// CoreData (no accelerators) — shared by build() and build_delta().
   /// Only tree nodes reachable from the root are frozen; garbage left
   /// behind by incremental deletes (which may reference deleted predicates)
   /// is never consulted.
-  static std::shared_ptr<FlatSnapshot> build_core(const ApClassifier& clf);
+  static CoreData freeze_core(const ApClassifier& clf);
+
+  /// Assembles CoreData (plus an optional carried program) into one owned
+  /// arena, compiles the match program per `opts` when not carried, and
+  /// returns the snapshot with accelerators initialized.
+  static std::shared_ptr<FlatSnapshot> from_core(CoreData&& core,
+                                                 const Options& opts,
+                                                 const MatchProgram* carried);
+
+  /// Wraps an existing (validated) arena — the mmap / owned-read load path.
+  /// Adopts the arena's program section when present, else compiles per
+  /// `opts`.
+  static std::shared_ptr<FlatSnapshot> from_arena(
+      std::shared_ptr<const Arena> arena, const Options& opts);
+
+  /// Resolves the member views against arena_'s header and initializes the
+  /// runtime accelerators (cache, table, program) — tail of both paths.
+  void adopt_arena(std::shared_ptr<const Arena> arena, const Options& opts,
+                   double compile_seconds, bool carried);
 
   /// Builds the header cache and the behavior-table cell array from the
   /// frozen core arrays per `opts` (table mode becomes kLazy when the cell
   /// array fits the budget; build() upgrades to kPrecomputed after an eager
-  /// fill).  Shared between build() and load_snapshot().
+  /// fill).
   void init_accelerators(const Options& opts);
-
-  /// Compiles the frozen tree+BDD arrays into the match program per
-  /// `opts.compile_program` (no-op for kNever; kAuto keeps program_ null
-  /// when the program would exceed kAutoProgramBytes).  Called by
-  /// init_accelerators, so the load path compiles too.
-  void init_program(const Options& opts);
 
   /// Upgrades a lazy table to an eager precompute when the estimated full
   /// footprint fits the budget.  Cells already published (delta carry-over)
@@ -236,25 +305,6 @@ class FlatSnapshot {
   /// True when `prev` froze an identical stage-2 shape (same boxes, ports,
   /// peers, ACL placement) — the carry-over precondition for behavior rows.
   bool same_stage2_shape(const FlatSnapshot& prev) const;
-
-  // The 8-byte DFS-preorder tree node (FlatTreeNode) and its kLeaf marker
-  // live in engine/program.hpp now, shared with the match-program compiler.
-
-  /// Copied per-port stage-2 entry.  Bitsets of deleted predicates are left
-  /// empty, which reproduces pred_contains() == false for every atom.
-  struct FlatPortEntry {
-    std::uint32_t port = 0;
-    std::int32_t peer_box = -1;  ///< -1: host port (delivery terminates)
-    std::uint32_t peer_port = 0;
-    FlatBitset fwd_atoms;        ///< copy of the forwarding R(p)
-    bool has_out_acl = false;
-    FlatBitset out_acl_atoms;
-  };
-
-  struct FlatInAcl {
-    bool present = false;
-    FlatBitset atoms;
-  };
 
   /// Lockstep tree walk over `n` headers; `which`, when non-null, selects
   /// the header/output indices to process (the cache-miss list).
@@ -269,15 +319,23 @@ class FlatSnapshot {
   const Behavior* fill_cell(std::atomic<const Behavior*>& cell, AtomId atom,
                             BoxId ingress) const;
 
-  std::vector<bdd::FlatBddNode> bdd_nodes_;
-  std::vector<FlatTreeNode> tree_;
-  std::int32_t tree_root_ = -1;
+  bool bits_test(const BitsRef& b, std::size_t i) const {
+    return b.test(words_, i);
+  }
 
-  struct FlatBox {
-    std::vector<FlatPortEntry> ports;
-    std::vector<FlatInAcl> in_acls;  ///< indexed by in-port
-  };
-  std::vector<FlatBox> boxes_;
+  // ---- The frozen core: views into arena_ (relocatable offsets resolved
+  // once in adopt_arena; immutable afterwards) ----
+  std::shared_ptr<const Arena> arena_;
+  const bdd::FlatBddNode* bdd_nodes_ = nullptr;
+  std::size_t bdd_count_ = 0;
+  const FlatTreeNode* tree_ = nullptr;
+  std::size_t tree_count_ = 0;
+  std::int32_t tree_root_ = -1;
+  const ArenaBox* boxes_ = nullptr;
+  std::size_t box_count_ = 0;
+  const ArenaPortEntry* ports_ = nullptr;
+  const ArenaInAcl* in_acls_ = nullptr;
+  const std::uint64_t* words_ = nullptr;
 
   std::size_t atom_capacity_ = 0;
   bool has_middleboxes_ = false;
@@ -285,7 +343,7 @@ class FlatSnapshot {
 
   // ---- Behavior table (layer 1) ----
   BehaviorTableMode table_mode_ = BehaviorTableMode::kDisabled;
-  std::size_t table_cells_ = 0;  ///< atom_capacity_ * boxes_.size() when on
+  std::size_t table_cells_ = 0;  ///< atom_capacity_ * box_count_ when on
   std::unique_ptr<std::atomic<const Behavior*>[]> table_;
   mutable obs::Counter table_fills_;
   mutable std::atomic<std::size_t> table_heap_bytes_{0};
@@ -306,21 +364,33 @@ class FlatSnapshot {
 };
 
 // ---- Durable snapshot persistence (snapshot_io.cpp) ----
-// See docs/architecture.md, "Fault tolerance & durability".
+// See docs/architecture.md, "Fault tolerance & durability" and "Snapshot
+// memory layout & warm restore".
 
-/// Atomically writes the snapshot's frozen core (BDD array, tree, stage-2
-/// state) to `path`: serialize to `path + ".tmp"`, fsync, rename over the
-/// target, fsync the directory.  The file carries magic/version/endianness
-/// and a CRC32C, so a restarted process can warm-restore and serve before
-/// any rebuild.  Throws apc::Error(kIo) on filesystem failure.  Runtime
-/// accelerator state (header cache contents, lazily filled behavior cells,
-/// visit counters) is intentionally not persisted — it regenerates.
+/// Atomically writes the snapshot to `path` in the v2 format: a 4 KiB file
+/// header (magic/version/endianness, arena length, CRC32C) followed by the
+/// arena bytes verbatim — ONE contiguous image, page-aligned in the file so
+/// load_snapshot can mmap it.  Serialize to `path + ".tmp"`, fsync, rename
+/// over the target, fsync the directory (fault site `snapshot.save.dirsync`),
+/// so a crash at any point leaves either the old file or the new one.
+/// Throws apc::Error(kIo) on filesystem failure.  Runtime accelerator state
+/// (header cache contents, lazily filled behavior cells, visit counters) is
+/// intentionally not persisted — it regenerates.
 void save_snapshot(const FlatSnapshot& snap, const std::string& path);
 
-/// Loads a snapshot saved by save_snapshot().  Every header field, the
-/// checksum, and all structural invariants (index bounds, DFS-forward tree
-/// edges, strictly increasing BDD variable order) are validated; a file
-/// failing any check is rejected with apc::Error(kCorruptData) — never UB.
+/// Writes the legacy v1 format (field-by-field serialization, no arena).
+/// Kept for compatibility tests and as the bench's cold-load baseline;
+/// load_snapshot still reads both.
+void save_snapshot_v1(const FlatSnapshot& snap, const std::string& path);
+
+/// Loads a snapshot saved by save_snapshot() (v2) or save_snapshot_v1().
+/// Every header field, the checksum, and all structural invariants (section
+/// bounds, index bounds, DFS-forward tree edges, strictly increasing BDD
+/// variable order, program jump targets) are validated; a file failing any
+/// check is rejected with apc::Error(kCorruptData) — never UB.  A v2 file is
+/// mmap'd when `opts.mmap_load` allows (the arena then IS the file; warm
+/// restore costs page faults, not a parse) and read into an owned arena
+/// otherwise; a v1 file always takes the owned parse-and-assemble path.
 /// The behavior table starts lazy (or disabled, per `opts`) and the header
 /// cache starts cold.  Throws kIo when the file cannot be read.
 std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,

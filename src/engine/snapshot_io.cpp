@@ -1,5 +1,25 @@
 // Durable FlatSnapshot persistence — see snapshot.hpp for the contract and
-// docs/architecture.md ("Fault tolerance & durability") for the file layout:
+// docs/architecture.md ("Snapshot memory layout & warm restore") for the
+// formats.
+//
+// v2 (written by save_snapshot):
+//
+//   +------------------------------------------------------------------+
+//   | magic "APCSNAP2" (8B) | version u32 | endian u32                  |
+//   | arena_len u64 | crc32c(arena) u32 (masked) | zero pad to 4096     |
+//   +------------------------------------------------------------------+
+//   | arena bytes, verbatim (ArenaHeader + sections; page-aligned here) |
+//   +------------------------------------------------------------------+
+//
+//   The arena IS the in-memory format (engine/arena.hpp), so a save is one
+//   contiguous image and a load can mmap the file: the 4 KiB header pad
+//   page-aligns the arena in the file, CRC + structural validation run over
+//   the mapping, and the snapshot then reads straight out of the page
+//   cache — warm restore costs page faults, not a parse.  When mmap is
+//   unavailable (APC_FORCE_NO_MMAP) or disabled (Options::mmap_load) the
+//   same bytes are read into an owned aligned buffer instead.
+//
+// v1 (written by save_snapshot_v1, still loaded transparently):
 //
 //   +-----------------------------------------------------------+
 //   | magic "APCSNAP1" (8B) | version u32 | endian u32           |
@@ -11,13 +31,19 @@
 //
 // Saves are atomic (tmp + fsync + rename + directory fsync): a reader never
 // observes a half-written snapshot, and a crash mid-save leaves the previous
-// file intact.  Loads trust nothing: header fields, the checksum, and every
-// structural invariant are validated before the arrays are adopted, so a
-// corrupt or adversarial file yields apc::Error(kCorruptData), never UB.
+// file intact.  The directory fsync is what makes the RENAME durable — on a
+// power cut before the directory entry reaches disk, an fsync'd-but-not-
+// linked file silently vanishes — so it propagates real errors and carries
+// its own fault-injection site (`snapshot.save.dirsync`).  Loads trust
+// nothing: header fields, the checksum, and every structural invariant are
+// validated before the arrays are adopted, so a corrupt or adversarial file
+// yields apc::Error(kCorruptData), never UB.
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "engine/snapshot.hpp"
@@ -28,10 +54,16 @@ namespace apc::engine {
 
 namespace {
 
-constexpr char kMagic[8] = {'A', 'P', 'C', 'S', 'N', 'A', 'P', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr char kMagicV1[8] = {'A', 'P', 'C', 'S', 'N', 'A', 'P', '1'};
+constexpr char kMagicV2[8] = {'A', 'P', 'C', 'S', 'N', 'A', 'P', '2'};
+constexpr std::uint32_t kVersion1 = 1;
+constexpr std::uint32_t kVersion2 = 2;
 constexpr std::uint32_t kEndianSentinel = 0x01020304u;
-constexpr std::size_t kFileHeaderBytes = sizeof(kMagic) + 4 + 4 + 8 + 4;
+constexpr std::size_t kV1HeaderBytes = sizeof(kMagicV1) + 4 + 4 + 8 + 4;
+/// v2 file header size: one page, so the arena starts page-aligned in the
+/// file (an mmap offset must be page-aligned, and the arena's 64-byte
+/// section alignment then holds in memory too).
+constexpr std::size_t kV2HeaderBytes = 4096;
 
 static_assert(sizeof(bdd::FlatBddNode) == 12, "FlatBddNode layout is serialized raw");
 
@@ -45,7 +77,7 @@ static_assert(sizeof(bdd::FlatBddNode) == 12, "FlatBddNode layout is serialized 
               "snapshot " + path + ": " + what);
 }
 
-// ---- serialization primitives ----
+// ---- serialization primitives (v1 + the v2 file header) ----
 
 void put_bytes(std::string& out, const void* p, std::size_t n) {
   if (n != 0) out.append(static_cast<const char*>(p), n);
@@ -55,10 +87,10 @@ void put_u32(std::string& out, std::uint32_t v) { put_bytes(out, &v, 4); }
 void put_i32(std::string& out, std::int32_t v) { put_bytes(out, &v, 4); }
 void put_u64(std::string& out, std::uint64_t v) { put_bytes(out, &v, 8); }
 
-void put_bitset(std::string& out, const FlatBitset& b) {
-  put_u64(out, b.size());
-  put_u64(out, b.words().size());
-  put_bytes(out, b.words().data(), b.words().size() * sizeof(std::uint64_t));
+void put_bits(std::string& out, const BitsRef& r, const std::uint64_t* pool) {
+  put_u64(out, r.nbits);
+  put_u64(out, r.word_count());
+  put_bytes(out, pool + r.word_off, r.word_count() * sizeof(std::uint64_t));
 }
 
 /// Bounds-checked cursor over the untrusted payload.
@@ -125,90 +157,53 @@ void write_all_fd(int fd, const char* p, std::size_t n, const std::string& what)
   if (short_write) fail_io(what + " (short write)", 5 /* EIO */);
 }
 
-std::string read_file(const std::string& path) {
-  if (const int err = util::fault_errno("snapshot.load.read"))
-    fail_io("snapshot: read " + path, err);
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) fail_io("snapshot: open " + path, errno);
-  std::string out;
-  char buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
+void read_exact_fd(int fd, std::size_t offset, void* out, std::size_t n,
+                   const std::string& path) {
+  char* p = static_cast<char*>(out);
+  while (n > 0) {
+    const ssize_t r = ::pread(fd, p, n, static_cast<off_t>(offset));
+    if (r < 0) {
       if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      fail_io("snapshot: read " + path, err);
+      fail_io("snapshot: read " + path, errno);
     }
-    if (n == 0) break;
-    out.append(buf, static_cast<std::size_t>(n));
+    if (r == 0) fail_corrupt(path, "file shorter than payload");
+    p += r;
+    offset += static_cast<std::size_t>(r);
+    n -= static_cast<std::size_t>(r);
   }
-  ::close(fd);
-  return out;
 }
 
-void fsync_parent_dir(const std::string& path) {
+/// Fsyncs the directory containing `path`, making a just-renamed file's
+/// directory entry durable.  A filesystem that refuses to open or fsync a
+/// directory (EINVAL/EACCES on some network mounts) is tolerated — there is
+/// nothing more a process can do there — but a real write-back failure
+/// (EIO) propagates, and the fault site lets the chaos tests prove callers
+/// surface it.
+void fsync_parent_dir(const std::string& path, const char* site) {
+  if (const int err = util::fault_errno(site))
+    fail_io(std::string("snapshot: fsync parent dir of ") + path, err);
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
   const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_CLOEXEC);
-  if (dfd < 0) return;  // best effort: not all filesystems allow dir fsync
-  ::fsync(dfd);
+  if (dfd < 0) return;  // not all filesystems allow opening a dir for fsync
+  if (::fsync(dfd) != 0 && errno != EINVAL && errno != EROFS) {
+    const int err = errno;
+    ::close(dfd);
+    fail_io("snapshot: fsync dir " + dir, err);
+  }
   ::close(dfd);
 }
 
-}  // namespace
-
-void save_snapshot(const FlatSnapshot& snap, const std::string& path) {
-  require(!path.empty(), ErrorCode::kInvalidArgument, "save_snapshot: empty path");
-
-  // ---- serialize the frozen core ----
-  std::string payload;
-  put_u8(payload, snap.has_middleboxes_ ? 1 : 0);
-  put_u8(payload, snap.tracks_visits() ? 1 : 0);
-  put_u64(payload, snap.atom_capacity_);
-
-  put_u64(payload, snap.bdd_nodes_.size());
-  put_bytes(payload, snap.bdd_nodes_.data(),
-            snap.bdd_nodes_.size() * sizeof(bdd::FlatBddNode));
-
-  put_u64(payload, snap.tree_.size());
-  put_bytes(payload, snap.tree_.data(),
-            snap.tree_.size() * sizeof(FlatTreeNode));
-  put_i32(payload, snap.tree_root_);
-
-  put_u64(payload, snap.boxes_.size());
-  for (const FlatSnapshot::FlatBox& fb : snap.boxes_) {
-    put_u64(payload, fb.ports.size());
-    for (const FlatSnapshot::FlatPortEntry& e : fb.ports) {
-      put_u32(payload, e.port);
-      put_i32(payload, e.peer_box);
-      put_u32(payload, e.peer_port);
-      put_u8(payload, e.has_out_acl ? 1 : 0);
-      put_bitset(payload, e.fwd_atoms);
-      put_bitset(payload, e.out_acl_atoms);
-    }
-    put_u64(payload, fb.in_acls.size());
-    for (const FlatSnapshot::FlatInAcl& a : fb.in_acls) {
-      put_u8(payload, a.present ? 1 : 0);
-      put_bitset(payload, a.atoms);
-    }
-  }
-
-  std::string file;
-  file.reserve(kFileHeaderBytes + payload.size());
-  put_bytes(file, kMagic, sizeof(kMagic));
-  put_u32(file, kVersion);
-  put_u32(file, kEndianSentinel);
-  put_u64(file, payload.size());
-  put_u32(file, util::crc32c_mask(util::crc32c(payload.data(), payload.size())));
-  file += payload;
-
-  // ---- atomic write: tmp + fsync + rename + dir fsync ----
+/// Atomically replaces `path` with the concatenation of `parts`:
+/// tmp + fsync + rename + directory fsync.
+void atomic_write_file(const std::string& path,
+                       std::initializer_list<std::pair<const char*, std::size_t>> parts) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) fail_io("snapshot: open " + tmp, errno);
   try {
-    write_all_fd(fd, file.data(), file.size(), "snapshot: write " + tmp);
+    for (const auto& [p, n] : parts)
+      write_all_fd(fd, p, n, "snapshot: write " + tmp);
     if (const int err = util::fault_errno("snapshot.save.fsync"))
       fail_io("snapshot: fsync " + tmp, err);
     if (::fsync(fd) != 0) fail_io("snapshot: fsync " + tmp, errno);
@@ -226,81 +221,38 @@ void save_snapshot(const FlatSnapshot& snap, const std::string& path) {
     ::unlink(tmp.c_str());
     fail_io("snapshot: rename " + tmp + " -> " + path, err);
   }
-  fsync_parent_dir(path);
+  fsync_parent_dir(path, "snapshot.save.dirsync");
 }
 
-std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
-                                                  const FlatSnapshot::Options& opts) {
-  const std::string file = read_file(path);
-  if (file.size() < kFileHeaderBytes) fail_corrupt(path, "file shorter than header");
-  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0)
-    fail_corrupt(path, "bad magic");
+// ---- structural validation (shared by the v1 parse and the v2 arena) ----
 
-  Reader hdr{file.data() + sizeof(kMagic), file.size() - sizeof(kMagic), path};
-  const std::uint32_t version = hdr.u32();
-  if (version != kVersion) fail_corrupt(path, "unsupported version");
-  if (hdr.u32() != kEndianSentinel) fail_corrupt(path, "endianness mismatch");
-  const std::uint64_t payload_len = hdr.u64();
-  const std::uint32_t stored_crc = util::crc32c_unmask(hdr.u32());
-  if (payload_len != hdr.left) fail_corrupt(path, "payload length mismatch");
-  if (util::crc32c(hdr.p, hdr.left) != stored_crc) fail_corrupt(path, "checksum mismatch");
-
-  Reader r{hdr.p, hdr.left, path};
-  auto snap = std::shared_ptr<FlatSnapshot>(new FlatSnapshot());
-  snap->has_middleboxes_ = r.u8() != 0;
-  const bool tracks_visits = r.u8() != 0;
-  snap->atom_capacity_ = static_cast<std::size_t>(r.u64());
-
-  snap->bdd_nodes_ = r.array<bdd::FlatBddNode>(sizeof(bdd::FlatBddNode));
-  snap->tree_ = r.array<FlatTreeNode>(sizeof(FlatTreeNode));
-  snap->tree_root_ = r.i32();
-
-  const std::uint64_t box_count = r.u64();
-  if (box_count > r.left) fail_corrupt(path, "box count exceeds payload");
-  snap->boxes_.resize(static_cast<std::size_t>(box_count));
-  for (FlatSnapshot::FlatBox& fb : snap->boxes_) {
-    const std::uint64_t ports = r.u64();
-    if (ports > r.left) fail_corrupt(path, "port count exceeds payload");
-    fb.ports.resize(static_cast<std::size_t>(ports));
-    for (FlatSnapshot::FlatPortEntry& e : fb.ports) {
-      e.port = r.u32();
-      e.peer_box = r.i32();
-      e.peer_port = r.u32();
-      e.has_out_acl = r.u8() != 0;
-      e.fwd_atoms = r.bitset();
-      e.out_acl_atoms = r.bitset();
-    }
-    const std::uint64_t acls = r.u64();
-    if (acls > r.left) fail_corrupt(path, "ACL count exceeds payload");
-    fb.in_acls.resize(static_cast<std::size_t>(acls));
-    for (FlatSnapshot::FlatInAcl& a : fb.in_acls) {
-      a.present = r.u8() != 0;
-      a.atoms = r.bitset();
-    }
-  }
-  if (r.left != 0) fail_corrupt(path, "trailing bytes after payload");
-
-  // ---- structural validation: adversarial indices must not walk out of
-  // bounds or loop forever ----
-  const std::size_t nb = snap->bdd_nodes_.size();
+/// Validates the frozen core arrays so adversarial indices can never walk
+/// out of bounds or loop forever.  `nwords` is the bitset word-pool size
+/// every BitsRef must stay inside.
+void validate_frozen(const bdd::FlatBddNode* bdd, std::size_t nb,
+                     const FlatTreeNode* tree, std::size_t nt, std::int32_t root,
+                     std::size_t atom_capacity, const ArenaBox* boxes,
+                     std::size_t nboxes, const ArenaPortEntry* ports,
+                     std::size_t nports, const ArenaInAcl* acls,
+                     std::size_t nacls, std::size_t nwords,
+                     const std::string& path) {
   if (nb < 2) fail_corrupt(path, "missing BDD terminals");
   for (std::size_t i = 2; i < nb; ++i) {
-    const bdd::FlatBddNode& n = snap->bdd_nodes_[i];
+    const bdd::FlatBddNode& n = bdd[i];
     if (n.lo >= nb || n.hi >= nb) fail_corrupt(path, "BDD child out of range");
     if (n.var >= PacketHeader::kMaxBits) fail_corrupt(path, "BDD variable out of range");
     // ROBDD invariant: variables strictly increase toward the terminals —
     // also the termination guarantee for the eval walk.
-    if (n.lo > bdd::kTrue && snap->bdd_nodes_[n.lo].var <= n.var)
+    if (n.lo > bdd::kTrue && bdd[n.lo].var <= n.var)
       fail_corrupt(path, "BDD variable order violated");
-    if (n.hi > bdd::kTrue && snap->bdd_nodes_[n.hi].var <= n.var)
+    if (n.hi > bdd::kTrue && bdd[n.hi].var <= n.var)
       fail_corrupt(path, "BDD variable order violated");
   }
-  const std::size_t nt = snap->tree_.size();
-  if (nt == 0 || snap->tree_root_ != 0) fail_corrupt(path, "bad tree root");
+  if (nt == 0 || root != 0) fail_corrupt(path, "bad tree root");
   for (std::size_t i = 0; i < nt; ++i) {
-    const FlatTreeNode& t = snap->tree_[i];
+    const FlatTreeNode& t = tree[i];
     if (t.right == kLeaf) {
-      if (t.bdd_root >= snap->atom_capacity_)
+      if (t.bdd_root >= atom_capacity)
         fail_corrupt(path, "leaf atom out of range");
     } else {
       if (t.bdd_root >= nb) fail_corrupt(path, "tree predicate out of range");
@@ -311,17 +263,310 @@ std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
         fail_corrupt(path, "tree edge not DFS-forward");
     }
   }
-  for (const FlatSnapshot::FlatBox& fb : snap->boxes_) {
-    for (const FlatSnapshot::FlatPortEntry& e : fb.ports) {
-      if (e.peer_box >= static_cast<std::int32_t>(snap->boxes_.size()) ||
-          e.peer_box < -1)
-        fail_corrupt(path, "peer box out of range");
+  const auto bits_ok = [&](const BitsRef& r) {
+    if (r.nbits == 0) return true;
+    const std::uint64_t wc = r.word_count();
+    return r.word_off <= nwords && wc <= nwords - r.word_off;
+  };
+  for (std::size_t b = 0; b < nboxes; ++b) {
+    const ArenaBox& fb = boxes[b];
+    if (std::uint64_t{fb.port_begin} + fb.port_count > nports)
+      fail_corrupt(path, "box port range out of bounds");
+    if (std::uint64_t{fb.acl_begin} + fb.acl_count > nacls)
+      fail_corrupt(path, "box ACL range out of bounds");
+  }
+  for (std::size_t i = 0; i < nports; ++i) {
+    const ArenaPortEntry& e = ports[i];
+    if (e.peer_box >= static_cast<std::int32_t>(nboxes) || e.peer_box < -1)
+      fail_corrupt(path, "peer box out of range");
+    if (!bits_ok(e.fwd_atoms) || !bits_ok(e.out_acl_atoms))
+      fail_corrupt(path, "port bitset out of bounds");
+  }
+  for (std::size_t i = 0; i < nacls; ++i)
+    if (!bits_ok(acls[i].atoms)) fail_corrupt(path, "ACL bitset out of bounds");
+}
+
+/// Validates a whole arena: header sanity, section bounds, the shared
+/// structural checks, and — v2-only — the match program's jump targets and
+/// word indices (the kernels index headers and code with NO runtime checks,
+/// so every encoded target must be proven in range here).
+void validate_arena(const Arena& a, const std::string& path) {
+  if (a.size() < sizeof(ArenaHeader)) fail_corrupt(path, "arena shorter than header");
+  const ArenaHeader& h = a.header();
+  if (std::memcmp(h.magic, ArenaHeader::kMagic, sizeof(h.magic)) != 0)
+    fail_corrupt(path, "bad arena magic");
+  if (h.layout_version != ArenaHeader::kLayoutVersion)
+    fail_corrupt(path, "unsupported arena layout version");
+  if (h.arena_bytes != a.size()) fail_corrupt(path, "arena length mismatch");
+  constexpr std::uint32_t kKnownFlags = ArenaHeader::kHasMiddleboxes |
+                                        ArenaHeader::kTracksVisits |
+                                        ArenaHeader::kHasProgram;
+  if ((h.flags & ~kKnownFlags) != 0) fail_corrupt(path, "unknown arena flags");
+  if (!a.ref_ok<bdd::FlatBddNode>(h.bdd_nodes) || !a.ref_ok<FlatTreeNode>(h.tree) ||
+      !a.ref_ok<ArenaBox>(h.boxes) || !a.ref_ok<ArenaPortEntry>(h.ports) ||
+      !a.ref_ok<ArenaInAcl>(h.in_acls) || !a.ref_ok<std::uint64_t>(h.words) ||
+      !a.ref_ok<MatchInsn>(h.program))
+    fail_corrupt(path, "arena section out of bounds");
+
+  validate_frozen(a.ptr<bdd::FlatBddNode>(h.bdd_nodes), h.bdd_nodes.count,
+                  a.ptr<FlatTreeNode>(h.tree), h.tree.count, h.tree_root,
+                  h.atom_capacity, a.ptr<ArenaBox>(h.boxes), h.boxes.count,
+                  a.ptr<ArenaPortEntry>(h.ports), h.ports.count,
+                  a.ptr<ArenaInAcl>(h.in_acls), h.in_acls.count, h.words.count,
+                  path);
+
+  if ((h.flags & ArenaHeader::kHasProgram) != 0) {
+    const MatchInsn* code = a.ptr<MatchInsn>(h.program);
+    const std::uint64_t n = h.program.count;
+    const auto jump_ok = [&](std::uint32_t j) {
+      const std::uint32_t word =
+          (j >> MatchProgram::kWordShift) & MatchProgram::kWordFieldMask;
+      if (word >= PacketHeader::kWords32) return false;
+      const std::uint32_t target = j & MatchProgram::kTargetMask;
+      return (j & MatchProgram::kLeafBit) != 0 ? target < h.atom_capacity
+                                               : target < n;
+    };
+    // The entry carries no word index when leaf-encoded; a non-leaf entry
+    // must land inside the code.
+    if ((h.program_entry & MatchProgram::kLeafBit) != 0) {
+      if ((h.program_entry & MatchProgram::kTargetMask) >= h.atom_capacity)
+        fail_corrupt(path, "program entry atom out of range");
+    } else if ((h.program_entry & MatchProgram::kTargetMask) >= n) {
+      fail_corrupt(path, "program entry out of range");
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!jump_ok(code[i].on_match) || !jump_ok(code[i].on_fail))
+        fail_corrupt(path, "program jump out of range");
+    }
+  } else if (h.program.count != 0) {
+    fail_corrupt(path, "program section without program flag");
+  }
+}
+
+}  // namespace
+
+void save_snapshot(const FlatSnapshot& snap, const std::string& path) {
+  require(!path.empty(), ErrorCode::kInvalidArgument, "save_snapshot: empty path");
+  const Arena& arena = *snap.arena_;
+
+  std::string head;
+  head.reserve(kV2HeaderBytes);
+  put_bytes(head, kMagicV2, sizeof(kMagicV2));
+  put_u32(head, kVersion2);
+  put_u32(head, kEndianSentinel);
+  put_u64(head, arena.size());
+  put_u32(head, util::crc32c_mask(util::crc32c(
+                    reinterpret_cast<const char*>(arena.base()), arena.size())));
+  head.resize(kV2HeaderBytes, '\0');  // pad: the arena starts page-aligned
+
+  atomic_write_file(
+      path, {{head.data(), head.size()},
+             {reinterpret_cast<const char*>(arena.base()), arena.size()}});
+}
+
+void save_snapshot_v1(const FlatSnapshot& snap, const std::string& path) {
+  require(!path.empty(), ErrorCode::kInvalidArgument, "save_snapshot_v1: empty path");
+
+  // ---- serialize the frozen core, field by field ----
+  std::string payload;
+  put_u8(payload, snap.has_middleboxes_ ? 1 : 0);
+  put_u8(payload, snap.tracks_visits() ? 1 : 0);
+  put_u64(payload, snap.atom_capacity_);
+
+  put_u64(payload, snap.bdd_count_);
+  put_bytes(payload, snap.bdd_nodes_, snap.bdd_count_ * sizeof(bdd::FlatBddNode));
+
+  put_u64(payload, snap.tree_count_);
+  put_bytes(payload, snap.tree_, snap.tree_count_ * sizeof(FlatTreeNode));
+  put_i32(payload, snap.tree_root_);
+
+  put_u64(payload, snap.box_count_);
+  for (std::size_t b = 0; b < snap.box_count_; ++b) {
+    const ArenaBox& fb = snap.boxes_[b];
+    put_u64(payload, fb.port_count);
+    for (std::uint32_t i = 0; i < fb.port_count; ++i) {
+      const ArenaPortEntry& e = snap.ports_[fb.port_begin + i];
+      put_u32(payload, e.port);
+      put_i32(payload, e.peer_box);
+      put_u32(payload, e.peer_port);
+      put_u8(payload, e.has_out_acl != 0 ? 1 : 0);
+      put_bits(payload, e.fwd_atoms, snap.words_);
+      put_bits(payload, e.out_acl_atoms, snap.words_);
+    }
+    put_u64(payload, fb.acl_count);
+    for (std::uint32_t i = 0; i < fb.acl_count; ++i) {
+      const ArenaInAcl& a = snap.in_acls_[fb.acl_begin + i];
+      put_u8(payload, a.present != 0 ? 1 : 0);
+      put_bits(payload, a.atoms, snap.words_);
     }
   }
 
-  if (tracks_visits) snap->visits_.reset(snap->atom_capacity_);
-  snap->init_accelerators(opts);
-  return snap;
+  std::string file;
+  file.reserve(kV1HeaderBytes + payload.size());
+  put_bytes(file, kMagicV1, sizeof(kMagicV1));
+  put_u32(file, kVersion1);
+  put_u32(file, kEndianSentinel);
+  put_u64(file, payload.size());
+  put_u32(file, util::crc32c_mask(util::crc32c(payload.data(), payload.size())));
+  file += payload;
+
+  atomic_write_file(path, {{file.data(), file.size()}});
+}
+
+std::shared_ptr<const FlatSnapshot> load_snapshot(const std::string& path,
+                                                  const FlatSnapshot::Options& opts) {
+  if (const int err = util::fault_errno("snapshot.load.read"))
+    fail_io("snapshot: read " + path, err);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail_io("snapshot: open " + path, errno);
+
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) fail_io("snapshot: stat " + path, errno);
+  const std::size_t file_size = static_cast<std::size_t>(st.st_size);
+
+  char magic[8] = {};
+  if (file_size < sizeof(magic)) fail_corrupt(path, "file shorter than header");
+  read_exact_fd(fd, 0, magic, sizeof(magic), path);
+
+  // ---------------- v2: arena image, mmap or owned read ----------------
+  if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+    if (file_size < kV2HeaderBytes) fail_corrupt(path, "file shorter than header");
+    std::string head(kV2HeaderBytes, '\0');
+    read_exact_fd(fd, 0, head.data(), head.size(), path);
+    Reader hdr{head.data() + sizeof(magic), head.size() - sizeof(magic), path};
+    if (hdr.u32() != kVersion2) fail_corrupt(path, "unsupported version");
+    if (hdr.u32() != kEndianSentinel) fail_corrupt(path, "endianness mismatch");
+    const std::uint64_t arena_len = hdr.u64();
+    const std::uint32_t stored_crc = util::crc32c_unmask(hdr.u32());
+    // Everything between the fixed fields and the page boundary must be
+    // zero: the pad is not CRC-covered, so any flipped bit there is caught
+    // here instead of silently accepted.
+    for (std::size_t i = 0; i < hdr.left; ++i)
+      if (hdr.p[i] != '\0') fail_corrupt(path, "nonzero header padding");
+    if (arena_len < sizeof(ArenaHeader) || arena_len % Arena::kAlign != 0)
+      fail_corrupt(path, "bad arena length");
+    if (file_size != kV2HeaderBytes + arena_len)
+      fail_corrupt(path, "file length does not match arena length");
+
+    std::shared_ptr<const Arena> arena;
+    if (opts.mmap_load && Arena::mmap_supported()) {
+      try {
+        arena = Arena::map_file(fd, kV2HeaderBytes, arena_len);
+      } catch (const Error&) {
+        arena = nullptr;  // e.g. a filesystem that refuses mmap: owned read
+      }
+    }
+    if (arena != nullptr) {
+      // Ask for readahead before the CRC touches every page in order, and
+      // (kHot) keep the per-query-hot sections warm explicitly.
+      switch (opts.prefault) {
+        case PrefaultPolicy::kNone:
+          break;
+        case PrefaultPolicy::kAll:
+          arena->prefault_all();
+          break;
+        case PrefaultPolicy::kHot:
+          if (arena->size() >= sizeof(ArenaHeader)) {
+            const ArenaHeader& h = arena->header();
+            arena->prefault(h.tree, sizeof(FlatTreeNode));
+            arena->prefault(h.program, sizeof(MatchInsn));
+          }
+          break;
+      }
+    } else {
+      // Owned fallback: same bytes, same validation, heap storage.
+      const std::size_t alloc = (arena_len + Arena::kAlign - 1) &
+                                ~(std::size_t{Arena::kAlign} - 1);
+      void* buf = std::aligned_alloc(Arena::kAlign, alloc);
+      if (buf == nullptr)
+        throw Error(ErrorCode::kResourceExhausted, "snapshot: arena allocation");
+      try {
+        read_exact_fd(fd, kV2HeaderBytes, buf, arena_len, path);
+      } catch (...) {
+        std::free(buf);
+        throw;
+      }
+      arena = Arena::adopt_owned(buf, arena_len);
+    }
+
+    if (util::crc32c(reinterpret_cast<const char*>(arena->base()),
+                     arena->size()) != stored_crc)
+      fail_corrupt(path, "checksum mismatch");
+    validate_arena(*arena, path);
+    return FlatSnapshot::from_arena(std::move(arena), opts);
+  }
+
+  // ---------------- v1: parse into CoreData, assemble an arena ----------
+  if (std::memcmp(magic, kMagicV1, sizeof(magic)) != 0)
+    fail_corrupt(path, "bad magic");
+  if (file_size < kV1HeaderBytes) fail_corrupt(path, "file shorter than header");
+  std::string file(file_size, '\0');
+  read_exact_fd(fd, 0, file.data(), file.size(), path);
+
+  Reader hdr{file.data() + sizeof(magic), file.size() - sizeof(magic), path};
+  const std::uint32_t version = hdr.u32();
+  if (version != kVersion1) fail_corrupt(path, "unsupported version");
+  if (hdr.u32() != kEndianSentinel) fail_corrupt(path, "endianness mismatch");
+  const std::uint64_t payload_len = hdr.u64();
+  const std::uint32_t stored_crc = util::crc32c_unmask(hdr.u32());
+  if (payload_len != hdr.left) fail_corrupt(path, "payload length mismatch");
+  if (util::crc32c(hdr.p, hdr.left) != stored_crc) fail_corrupt(path, "checksum mismatch");
+
+  Reader r{hdr.p, hdr.left, path};
+  FlatSnapshot::CoreData core;
+  core.has_middleboxes = r.u8() != 0;
+  core.tracks_visits = r.u8() != 0;
+  core.atom_capacity = static_cast<std::size_t>(r.u64());
+
+  core.bdd_nodes = r.array<bdd::FlatBddNode>(sizeof(bdd::FlatBddNode));
+  core.tree = r.array<FlatTreeNode>(sizeof(FlatTreeNode));
+  core.tree_root = r.i32();
+
+  const std::uint64_t box_count = r.u64();
+  if (box_count > r.left) fail_corrupt(path, "box count exceeds payload");
+  core.boxes.resize(static_cast<std::size_t>(box_count));
+  for (ArenaBox& fb : core.boxes) {
+    const std::uint64_t ports = r.u64();
+    if (ports > r.left) fail_corrupt(path, "port count exceeds payload");
+    fb.port_begin = static_cast<std::uint32_t>(core.ports.size());
+    fb.port_count = static_cast<std::uint32_t>(ports);
+    for (std::uint64_t i = 0; i < ports; ++i) {
+      ArenaPortEntry e;
+      e.port = r.u32();
+      e.peer_box = r.i32();
+      e.peer_port = r.u32();
+      e.has_out_acl = r.u8() != 0 ? 1 : 0;
+      e.fwd_atoms = core.intern_bits(r.bitset());
+      e.out_acl_atoms = core.intern_bits(r.bitset());
+      core.ports.push_back(e);
+    }
+    const std::uint64_t acls = r.u64();
+    if (acls > r.left) fail_corrupt(path, "ACL count exceeds payload");
+    fb.acl_begin = static_cast<std::uint32_t>(core.in_acls.size());
+    fb.acl_count = static_cast<std::uint32_t>(acls);
+    for (std::uint64_t i = 0; i < acls; ++i) {
+      ArenaInAcl a;
+      a.present = r.u8() != 0 ? 1 : 0;
+      a.atoms = core.intern_bits(r.bitset());
+      core.in_acls.push_back(a);
+    }
+  }
+  if (r.left != 0) fail_corrupt(path, "trailing bytes after payload");
+
+  // Structural validation BEFORE from_core: the program compiler and the
+  // walks index these arrays unchecked.
+  validate_frozen(core.bdd_nodes.data(), core.bdd_nodes.size(), core.tree.data(),
+                  core.tree.size(), core.tree_root, core.atom_capacity,
+                  core.boxes.data(), core.boxes.size(), core.ports.data(),
+                  core.ports.size(), core.in_acls.data(), core.in_acls.size(),
+                  core.words.size(), path);
+
+  return FlatSnapshot::from_core(std::move(core), opts, nullptr);
 }
 
 }  // namespace apc::engine

@@ -53,6 +53,28 @@ std::string read_file(int fd, const std::string& path) {
   }
 }
 
+/// Fsyncs the directory containing `path`.  O_CREAT makes the file durable
+/// only once its directory entry is — a log created, fsynced, and lost to a
+/// power cut before the directory block hits disk silently vanishes, taking
+/// every acked record with it.  Called once, at fresh-log creation (an
+/// existing log's entry is already durable).  Filesystems that refuse
+/// directory fsync (EINVAL on some network mounts) are tolerated; real
+/// write-back errors propagate.
+void fsync_parent_dir(const std::string& path) {
+  if (const int err = util::fault_errno("wal.create.dirsync"))
+    fail_io("wal: fsync parent dir of " + path, err);
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (dfd < 0) return;  // not all filesystems allow opening a dir for fsync
+  if (::fsync(dfd) != 0 && errno != EINVAL && errno != EROFS) {
+    const int err = errno;
+    ::close(dfd);
+    fail_io("wal: fsync dir " + dir, err);
+  }
+  ::close(dfd);
+}
+
 }  // namespace
 
 const char* fsync_policy_name(FsyncPolicy p) {
@@ -104,10 +126,12 @@ Wal::Wal(const std::string& path, WalOptions opts, std::vector<std::string>* rec
       if (::ftruncate(fd_, 0) != 0) fail_io("wal: truncate " + path, errno);
       if (::lseek(fd_, 0, SEEK_SET) < 0) fail_io("wal: seek " + path, errno);
     }
-    // Fresh log: write and persist the file header.
+    // Fresh log: write and persist the file header, then the directory
+    // entry — without the dirsync the whole log can vanish on power loss.
     write_all(hdr.data(), hdr.size());
     offset_ = kHeaderBytes;
     do_fsync("wal.append.fsync");
+    fsync_parent_dir(path);
   } else {
     // A file header is all-or-nothing: it is written+fsynced before any
     // record, so a damaged one means this is not (or no longer) a WAL.

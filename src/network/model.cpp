@@ -2,6 +2,21 @@
 
 namespace apc {
 
+BoxId NetworkModel::append(const NetworkModel& other, const std::string& name_suffix) {
+  require(this != &other, "NetworkModel::append: cannot append a model to itself");
+  ensure_fibs();  // size to the pre-append box count before concatenating
+  const BoxId off = topology.append(other.topology, name_suffix);
+  fibs.insert(fibs.end(), other.fibs.begin(), other.fibs.end());
+  fibs.resize(topology.box_count());
+  for (const auto& [box, groups] : other.multicast) multicast[box + off] = groups;
+  for (const auto& [box, table] : other.flow_tables) flow_tables[box + off] = table;
+  for (const auto& [key, acl] : other.input_acls)
+    input_acls[{key.first + off, key.second}] = acl;
+  for (const auto& [key, acl] : other.output_acls)
+    output_acls[{key.first + off, key.second}] = acl;
+  return off;
+}
+
 void NetworkModel::validate() const {
   require(fibs.size() <= topology.box_count(), "NetworkModel: more FIBs than boxes");
   for (BoxId b = 0; b < fibs.size(); ++b) {

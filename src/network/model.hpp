@@ -73,6 +73,14 @@ class NetworkModel {
     return n;
   }
 
+  /// Appends a disjoint copy of `other` (Topology::append plus all data-
+  /// plane state re-keyed by the box offset).  Per-box port indices are
+  /// preserved, so FIB egress ports, ACL keys, multicast replication sets,
+  /// and flow-table actions carry over verbatim.  The scale harness
+  /// (datasets::stanford_scaled) islands networks with this.  Returns the
+  /// BoxId offset of the appended copy.
+  BoxId append(const NetworkModel& other, const std::string& name_suffix = "");
+
   /// Sanity checks: rules reference existing ports, links are symmetric.
   void validate() const;
 };

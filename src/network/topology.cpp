@@ -28,6 +28,19 @@ PortId Topology::add_host_port(BoxId box, const std::string& name) {
   return p;
 }
 
+BoxId Topology::append(const Topology& other, const std::string& name_suffix) {
+  const BoxId off = static_cast<BoxId>(boxes_.size());
+  boxes_.reserve(boxes_.size() + other.boxes_.size());
+  for (const Box& b : other.boxes_) {
+    Box nb = b;
+    nb.name += name_suffix;
+    for (Port& p : nb.ports)
+      if (p.peer) p.peer->box += off;
+    boxes_.push_back(std::move(nb));
+  }
+  return off;
+}
+
 const Box& Topology::box(BoxId id) const {
   require(id < boxes_.size(), "Topology::box: bad id");
   return boxes_[id];

@@ -49,6 +49,14 @@ class Topology {
   /// Adds a host-facing (edge) port.
   PortId add_host_port(BoxId box, const std::string& name = "");
 
+  /// Appends a disjoint copy of `other`: every box is re-numbered by this
+  /// topology's current box count, per-box port indices are preserved
+  /// EXACTLY (FIB egress ports and ACL keys of the appended network stay
+  /// valid verbatim), and link peers are rewritten to the new ids.  No
+  /// links cross the seam.  `name_suffix` disambiguates box names (find_box
+  /// returns the first match).  Returns the BoxId offset of the copy.
+  BoxId append(const Topology& other, const std::string& name_suffix = "");
+
   std::size_t box_count() const { return boxes_.size(); }
   const Box& box(BoxId id) const;
   const Port& port(PortId id) const;

@@ -265,6 +265,11 @@ obs::MetricsSnapshot ShardedCluster::stats() const {
   reg.register_fn("cluster.updates_applied",
                   [this] { return static_cast<double>(updates_applied()); },
                   "count");
+  // Process-wide high-water mark (all shards share one process); the
+  // per-shard owned/mapped split lives in the engine rows below.
+  reg.register_fn("cluster.peak_rss_bytes",
+                  [] { return static_cast<double>(util::peak_rss_bytes()); },
+                  "bytes");
   obs::MetricsSnapshot out = reg.snapshot();
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const std::string prefix = "shard" + std::to_string(i);

@@ -28,7 +28,16 @@ constexpr Tables kTables{};
 
 }  // namespace
 
+#if defined(APC_HAVE_SSE42_CRC)
+// Defined in crc32c_sse42.cpp (the only TU compiled with -msse4.2).
+bool crc32c_hw_available();
+std::uint32_t crc32c_hw(const void* data, std::size_t len, std::uint32_t seed);
+#endif
+
 std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+#if defined(APC_HAVE_SSE42_CRC)
+  if (crc32c_hw_available()) return crc32c_hw(data, len, seed);
+#endif
   const unsigned char* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = ~seed;
   while (len >= 4) {

@@ -1,10 +1,12 @@
 // CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding every
 // durable byte this library writes (WAL records, snapshot files).
 //
-// Software slice-by-4 implementation: no SSE4.2 dependency, ~1.5 GB/s —
-// orders of magnitude faster than the fsyncs it rides along with, and the
-// same polynomial hardware-accelerated implementations use, so files stay
-// portable if the implementation is ever swapped.
+// Two implementations behind one entry point: a software slice-by-4
+// fallback (~1.5 GB/s, no instruction-set dependency) and a three-stream
+// SSE4.2 hardware path (crc32c_sse42.cpp, runtime-dispatched) that
+// load_snapshot leans on — at million-rule snapshot sizes the checksum
+// would otherwise dominate the mmap warm restore.  Same polynomial either
+// way, so files are byte-portable across implementations.
 #pragma once
 
 #include <cstddef>

@@ -11,7 +11,9 @@
 //
 // Armed sites:
 //   wal.append.write / wal.append.fsync / wal.open / wal.recover.read
-//   snapshot.save.write / snapshot.save.fsync / snapshot.load.read
+//   wal.create.dirsync
+//   snapshot.save.write / snapshot.save.fsync / snapshot.save.dirsync
+//   snapshot.load.read
 //   taskpool.task
 //
 // All methods are thread-safe; the global injected-fault counter feeds the

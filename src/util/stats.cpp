@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "util/error.hpp"
 
 namespace apc {
@@ -69,5 +73,23 @@ std::vector<std::size_t> int_histogram(const std::vector<std::size_t>& xs) {
   for (std::size_t x : xs) ++h[x];
   return h;
 }
+
+namespace util {
+
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct ::rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace util
 
 }  // namespace apc

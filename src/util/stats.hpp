@@ -29,4 +29,13 @@ std::vector<std::pair<double, double>> cdf(std::vector<double> xs, std::size_t p
 /// Histogram of integer values (e.g. leaf depths): index -> count.
 std::vector<std::size_t> int_histogram(const std::vector<std::size_t>& xs);
 
+namespace util {
+
+/// Process-lifetime peak resident set size in bytes (getrusage ru_maxrss);
+/// 0 where unavailable.  Monotonic — the obs `peak_rss_bytes` gauge and the
+/// scale bench's memory rows read it.
+std::size_t peak_rss_bytes();
+
+}  // namespace util
+
 }  // namespace apc

@@ -206,6 +206,54 @@ TEST(Datasets, DatacenterLikeBuildsAndClassifies) {
   EXPECT_GT(delivered, reps.headers.size() / 2);
 }
 
+TEST(Datasets, StanfordScaledMultipliesTheNetwork) {
+  const Dataset one = datasets::stanford_like(Scale::Tiny, 11);
+  const std::size_t copies = 3;
+  Dataset d = datasets::stanford_scaled(copies, Scale::Tiny, 11);
+  d.net.validate();
+  EXPECT_EQ(d.net.topology.box_count(), one.net.topology.box_count() * copies);
+  // Island 0 uses the same seed/config as stanford_like, so its structural
+  // stats repeat exactly per island; only prefix content diverges.
+  EXPECT_EQ(d.net.total_forwarding_rules(), one.net.total_forwarding_rules() * copies);
+  EXPECT_EQ(d.net.total_acl_rules(), one.net.total_acl_rules() * copies);
+  EXPECT_EQ(d.fib_stats.total_rules, d.net.total_forwarding_rules());
+  EXPECT_EQ(d.acl_stats.total_rules, d.net.total_acl_rules());
+  EXPECT_NE(d.name.find("x3"), std::string::npos);
+
+  // Appended boxes keep working ports: peers resolve within the island
+  // (no cross-island links) and box names are suffixed uniquely.
+  const BoxId off = static_cast<BoxId>(one.net.topology.box_count());
+  EXPECT_NE(d.net.topology.box(off).name.find("#1"), std::string::npos);
+
+  // Islands are decorrelated in address space (their own /8), so atoms
+  // scale with copies instead of being compressed into shared predicates.
+  auto mgr1 = Dataset::make_manager();
+  const ApClassifier clf1(one.net, mgr1);
+  auto mgr3 = Dataset::make_manager();
+  const ApClassifier clf3(d.net, mgr3);
+  EXPECT_GT(clf3.atom_count(), clf1.atom_count() * (copies - 1));
+
+  EXPECT_THROW(datasets::stanford_scaled(0), Error);
+  EXPECT_THROW(datasets::stanford_scaled(201), Error);
+}
+
+TEST(Traces, RuleTraceLandsInsideFibPrefixes) {
+  Dataset d = datasets::stanford_like(Scale::Tiny, 9);
+  Rng rng(9);
+  const auto trace = datasets::rule_trace(d.net, 512, rng);
+  ASSERT_EQ(trace.size(), 512u);
+  for (const PacketHeader& h : trace) {
+    const std::uint32_t dst = h.dst_ip();
+    bool covered = false;
+    for (const Fib& f : d.net.fibs) {
+      for (const auto& r : f.rules)
+        if (r.dst.contains(dst)) { covered = true; break; }
+      if (covered) break;
+    }
+    ASSERT_TRUE(covered) << "trace dst outside every FIB prefix";
+  }
+}
+
 TEST(Datasets, ScaleNames) {
   EXPECT_STREQ(datasets::scale_name(Scale::Tiny), "tiny");
   EXPECT_STREQ(datasets::scale_name(Scale::Full), "full");

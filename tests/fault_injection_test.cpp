@@ -161,6 +161,59 @@ TEST_F(FaultInjection, SnapshotSaveFaultDegradesToServing) {
   EXPECT_GE(eng.snapshot_saves().value(), 1u);
 }
 
+TEST_F(FaultInjection, WalCreateDirsyncFailurePropagates) {
+  // The fresh-log path fsyncs the parent directory so the WAL's own
+  // directory entry survives power loss.  A real error there (not
+  // EINVAL/EROFS, which unsyncable filesystems return) must surface as a
+  // typed kIo at construction — before any record is acknowledged.
+  const std::string path = tmp_path("dirsync");
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kErrno;
+  plan.err = EIO;
+  FaultInjector::instance().arm("wal.create.dirsync", plan);
+  try {
+    io::Wal wal(path, io::WalOptions{});
+    FAIL() << "expected kIo";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
+  // Plan exhausted: creation succeeds and the log works.
+  std::remove(path.c_str());
+  io::Wal wal(path, io::WalOptions{});
+  wal.append("durable");
+  std::vector<std::string> records;
+  io::Wal reopen(path, io::WalOptions{}, &records);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "durable");
+}
+
+TEST_F(FaultInjection, SnapshotSaveDirsyncFaultCountsAsSaveFailure) {
+  // The snapshot save fsyncs the directory after the rename; a failure
+  // there means the rename itself may not survive power loss, so the save
+  // is reported failed — and, like every snapshot-save failure, serving
+  // degrades gracefully (the file is a cache, not the source of truth).
+  const auto data = datasets::internet2_like(datasets::Scale::Tiny, 6);
+  auto mgr = datasets::Dataset::make_manager();
+  ApClassifier clf(data.net, mgr);
+
+  engine::QueryEngine::Options opts;
+  opts.num_threads = 2;
+  opts.snapshot_path = tmp_path("save_dirsync");
+
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kErrno;
+  plan.err = EIO;
+  FaultInjector::instance().arm("snapshot.save.dirsync", plan);
+  engine::QueryEngine eng(clf, opts);
+  EXPECT_GE(eng.snapshot_save_failures().value(), 1u);
+  const PacketHeader h;
+  EXPECT_EQ(eng.classify(h), clf.classify(h));
+
+  // Plan exhausted: the next publish persists durably.
+  eng.update([](ApClassifier&) {});
+  EXPECT_GE(eng.snapshot_saves().value(), 1u);
+}
+
 TEST_F(FaultInjection, SnapshotLoadFaultFallsBackToBuild) {
   const auto data = datasets::internet2_like(datasets::Scale::Tiny, 4);
   auto mgr = datasets::Dataset::make_manager();

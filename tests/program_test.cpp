@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <thread>
 
 #include "classifier/classifier.hpp"
@@ -252,12 +253,21 @@ TEST(MatchProgram, DeltaPublishesCarryOrRecompileCorrectly) {
   QueryEngine eng(clf, opts);
   ASSERT_NE(eng.snapshot()->program(), nullptr);
 
-  // (a) No-op update: identical frozen arrays, program shared by pointer.
-  const MatchProgram* before = eng.snapshot()->program();
+  // (a) No-op update: identical frozen arrays — the program is carried (no
+  // recompile, instruction bytes copied into the new snapshot's own arena so
+  // the retiring snapshot's storage stays independently reclaimable).
+  const auto first = eng.snapshot();  // keep alive: `before` is dereferenced
+  const MatchProgram* before = first->program();
   eng.update([](ApClassifier&) {});
   const auto carried = eng.snapshot();
   EXPECT_TRUE(carried->program_carried());
-  EXPECT_EQ(carried->program(), before);
+  ASSERT_NE(carried->program(), nullptr);
+  ASSERT_EQ(carried->program()->instruction_count(), before->instruction_count());
+  EXPECT_EQ(carried->program()->entry(), before->entry());
+  EXPECT_EQ(std::memcmp(carried->program()->instructions(), before->instructions(),
+                        before->bytes()),
+            0);
+  EXPECT_EQ(carried->program()->compile_seconds(), 0.0);
 
   // (b) A predicate add changes the tree: fresh program, still correct.
   eng.add_predicate(mgr->equals(HeaderLayout::kDstPort, 16, 8080));
