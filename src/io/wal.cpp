@@ -2,10 +2,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <functional>
+#include <thread>
 
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/backoff.hpp"
 #include "util/crc32c.hpp"
 #include "util/fault_injection.hpp"
 
@@ -24,6 +27,16 @@ constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
 [[noreturn]] void fail_io(const std::string& what, int err) {
   throw Error(ErrorCode::kIo,
               what + ": " + std::strerror(err) + " (errno " + std::to_string(err) + ")");
+}
+
+/// Errnos worth retrying under backoff: conditions that can genuinely clear
+/// on their own (signal, contention, space freed, quota raised, memory
+/// reclaimed).  EIO is deliberately absent — after a write-back EIO the
+/// kernel may have dropped the dirty pages while marking them clean, so a
+/// retry that "succeeds" proves nothing about the lost data (fsyncgate).
+bool transient_errno(int err) {
+  return err == EINTR || err == EAGAIN || err == ENOSPC || err == EDQUOT ||
+         err == ENOMEM;
 }
 
 void put_u32(std::string& out, std::uint32_t v) {
@@ -194,34 +207,41 @@ Wal::~Wal() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void Wal::write_all(const char* p, std::size_t n) {
+int Wal::try_write(const char* p, std::size_t n) {
   std::size_t cap = n;
-  if (const int err = util::fault_errno("wal.append.write", &cap)) {
-    errno = err;
-    fail_io("wal: write " + path_, err);
-  }
+  if (const int err = util::fault_errno("wal.append.write", &cap)) return err;
   const bool short_write = cap < n;  // injected torn write: persist a prefix
   std::size_t left = short_write ? cap : n;
   while (left > 0) {
     const ssize_t w = ::write(fd_, p, left);
     if (w < 0) {
       if (errno == EINTR) continue;
-      fail_io("wal: write " + path_, errno);
+      return errno;
     }
     p += w;
     left -= static_cast<std::size_t>(w);
   }
-  if (short_write) fail_io("wal: write " + path_ + " (short write)", 5 /* EIO */);
+  // A torn write leaves garbage past the record boundary; surface it as the
+  // non-transient EIO so the caller rolls back instead of retrying blind.
+  return short_write ? EIO : 0;
+}
+
+void Wal::write_all(const char* p, std::size_t n) {
+  if (const int err = try_write(p, n)) fail_io("wal: write " + path_, err);
 }
 
 void Wal::do_fsync(const char* site) {
-  if (const int err = util::fault_errno(site)) {
-    poisoned_ = true;  // durability of acked records is now unknown
-    fail_io("wal: fsync " + path_, err);
-  }
-  if (::fsync(fd_) != 0) {
-    poisoned_ = true;
-    fail_io("wal: fsync " + path_, errno);
+  util::Backoff backoff(opts_.retry, std::hash<std::string>{}(path_) ^ offset_);
+  for (;;) {
+    int err = util::fault_errno(site);
+    if (err == 0 && ::fsync(fd_) != 0) err = errno;
+    if (err == 0) break;
+    if (!transient_errno(err) || backoff.exhausted()) {
+      poisoned_ = true;  // durability of acked records is now unknown
+      fail_io("wal: fsync " + path_, err);
+    }
+    retries_.add(1);
+    std::this_thread::sleep_for(backoff.next_delay());
   }
   syncs_.add(1);
   unsynced_records_ = 0;
@@ -237,17 +257,23 @@ void Wal::append(std::string_view payload) {
   put_u32(frame, static_cast<std::uint32_t>(payload.size()));
   put_u32(frame, util::crc32c_mask(util::crc32c(payload.data(), payload.size())));
   frame.append(payload.data(), payload.size());
-  try {
-    write_all(frame.data(), frame.size());
-  } catch (const Error&) {
+  util::Backoff backoff(opts_.retry, std::hash<std::string>{}(path_) ^ offset_);
+  for (;;) {
+    const int err = try_write(frame.data(), frame.size());
+    if (err == 0) break;
     // Roll back to the last clean record boundary so the failed (possibly
-    // torn) frame never pollutes the log; the caller may retry the append.
+    // torn) frame never pollutes the log — both between retry attempts and
+    // before surfacing the failure to the caller.
     if (::ftruncate(fd_, static_cast<off_t>(offset_)) == 0) {
       ::lseek(fd_, static_cast<off_t>(offset_), SEEK_SET);
     } else {
       poisoned_ = true;  // can't restore a clean boundary
+      fail_io("wal: write " + path_, err);
     }
-    throw;
+    if (!transient_errno(err) || backoff.exhausted())
+      fail_io("wal: write " + path_, err);
+    retries_.add(1);
+    std::this_thread::sleep_for(backoff.next_delay());
   }
   offset_ += frame.size();
   records_appended_.add(1);

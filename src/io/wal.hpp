@@ -23,12 +23,19 @@
 // a damaged file *header* means the file is not a WAL at all and is rejected
 // with apc::Error(kCorruptData).
 //
-// Failure contract: append() that fails (injected or real ENOSPC/EIO) rolls
-// the file back to the last clean record boundary and throws
-// apc::Error(kIo); the Wal stays usable, so a caller can retry once space
-// frees up.  A failed fsync poisons the instance (durability of acked
-// records is unknown after fsync failure — the PostgreSQL lesson) and every
-// later append throws kFailedPrecondition.
+// Failure contract: a *transient* write/fsync errno (EINTR, EAGAIN, ENOSPC,
+// EDQUOT, ENOMEM — conditions that genuinely can clear on their own) is
+// retried in place under the jittered backoff schedule in
+// WalOptions::retry, with the file rolled back to the last clean record
+// boundary between write attempts; each absorbed failure ticks the
+// retries() counter.  Only once the budget is exhausted does append() throw
+// apc::Error(kIo) — the log stays usable, so a caller can retry later.  A
+// non-transient errno (EIO and friends) fails immediately: for fsync it
+// also poisons the instance, because the kernel may have dropped the dirty
+// pages while marking them clean (the PostgreSQL fsyncgate lesson — a
+// "successful" retry after fsync-EIO proves nothing), and every later
+// append throws kFailedPrecondition.  Exhausting the retry budget on fsync
+// poisons for the same reason.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +44,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/backoff.hpp"
 #include "util/error.hpp"
 
 namespace apc::io {
@@ -56,6 +64,11 @@ struct WalOptions {
   FsyncPolicy fsync_policy = FsyncPolicy::kEveryRecord;
   /// Records between fsyncs under FsyncPolicy::kInterval.
   std::size_t fsync_interval = 32;
+  /// Backoff schedule for transient append/fsync failures (see the failure
+  /// contract above).  Defaults absorb ~4 retries over ~10 ms; max_retries=0
+  /// restores fail-fast behavior.
+  util::BackoffPolicy retry{std::chrono::microseconds{500},
+                            std::chrono::microseconds{20000}, 2.0, 0.25, 4};
 };
 
 /// What recovery found and did when opening an existing log.
@@ -83,7 +96,8 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Appends one record and applies the fsync policy.  On failure the file
+  /// Appends one record and applies the fsync policy.  Transient failures
+  /// retry in place under WalOptions::retry; on definitive failure the file
   /// is rolled back to the previous record boundary and apc::Error(kIo) is
   /// thrown; the log remains usable unless an fsync failed.
   void append(std::string_view payload);
@@ -96,6 +110,8 @@ class Wal {
   const obs::Counter& records_appended() const { return records_appended_; }
   /// fsync() calls issued (policy-driven and explicit).
   const obs::Counter& syncs() const { return syncs_; }
+  /// Transient write/fsync failures absorbed by the retry loop.
+  const obs::Counter& retries() const { return retries_; }
   /// Current clean end-of-log offset in bytes.
   std::uint64_t size_bytes() const { return offset_; }
   /// The recovery report from open time.
@@ -104,6 +120,9 @@ class Wal {
   bool poisoned() const { return poisoned_; }
 
  private:
+  /// One write attempt (fault sites included); returns 0 or the errno.
+  int try_write(const char* p, std::size_t n);
+  /// try_write that throws on any failure (header writes; no retry).
   void write_all(const char* p, std::size_t n);
   void do_fsync(const char* site);
 
@@ -117,6 +136,7 @@ class Wal {
 
   obs::Counter records_appended_;
   obs::Counter syncs_;
+  obs::Counter retries_;
 };
 
 }  // namespace apc::io

@@ -1,6 +1,6 @@
 // ShardedCluster — N replicated QueryEngine shards behind one
 // epoch-consistent publication protocol (see docs/architecture.md,
-// "Serving layer & sharding").
+// "Serving layer & sharding" and "Overload & failure handling").
 //
 // Sharding model.  Every shard holds a FULL replica of the classifier
 // (BddManager + ApClassifier + QueryEngine); queries are routed to
@@ -12,23 +12,44 @@
 // sequence number in each record, so recovery merge-sorts the per-shard
 // files back into the original update order.
 //
-// Epoch-consistent publication.  The cluster epoch E means: every shard has
-// published a snapshot tagged E.  An update picks E+1, tags every shard's
-// next publish with it (QueryEngine::set_next_publish_epoch), applies the
-// mutation shard by shard, and only after the LAST shard has published does
-// the cluster-level epoch_ advance.  Readers never consult epoch_ directly
-// to pick snapshots — pin() loops until it holds one snapshot per shard all
-// tagged with the same epoch, so a batch fanned across shards is answered
-// from one network-wide frozen state even while a publication is mid-flight
-// (the per-engine epoch_pin option keeps the E snapshot alive on shards
-// that already published E+1).
+// Epoch-consistent publication.  The cluster epoch E means: every healthy
+// shard has published a snapshot tagged E.  An update picks E+1, tags every
+// shard's next publish with it (QueryEngine::set_next_publish_epoch),
+// applies the mutation shard by shard, and only after the LAST shard has
+// published does the cluster-level epoch_ advance.  Readers never consult
+// epoch_ directly to pick snapshots — pin() loops until it holds one
+// snapshot per healthy shard all tagged with the same epoch, so a batch
+// fanned across shards is answered from one network-wide frozen state even
+// while a publication is mid-flight (the per-engine epoch_pin option keeps
+// the E snapshot alive on shards that already published E+1).
+//
+// Fault containment.  Each shard carries a health state driven by a
+// consecutive-failure circuit breaker over its batch/update path:
+//
+//   healthy --(breaker_degrade_after failures)--> degraded
+//   degraded --(breaker_quarantine_after failures)--> quarantined
+//   any success: degraded -> healthy; quarantine only exits via resync.
+//
+// A quarantined shard is dropped from pin()/classify round-robin; queries
+// homed on it are answered by a healthy replica at the SAME pinned epoch
+// (full replication makes every shard an oracle) with
+// BatchResult::degraded flagged so clients see the service quality drop.
+// A background resync thread rebuilds the replica offline from the network
+// model + the in-memory update log, rewrites the shard's WAL (dropping any
+// unacknowledged record a poisoned append left behind), republishes at the
+// current cluster epoch, and re-admits the shard — retrying the whole
+// attempt under Options::resync_backoff.  A poisoned WAL additionally
+// flips the owner shard read-only: updates owned by it are refused with
+// kUnavailable (503) while queries keep serving; resync clears the flag.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "classifier/classifier.hpp"
@@ -36,8 +57,19 @@
 #include "io/wal.hpp"
 #include "obs/metrics.hpp"
 #include "server/protocol.hpp"
+#include "util/backoff.hpp"
 
 namespace apc::server {
+
+/// Per-shard health, coarsened for routing decisions: degraded still serves
+/// (it is a warning trend), quarantined is out of rotation until resync.
+enum class ShardState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kQuarantined = 2,
+};
+
+const char* shard_state_name(ShardState s);
 
 class ShardedCluster {
  public:
@@ -55,10 +87,21 @@ class ShardedCluster {
     /// durability (updates live only in memory).
     std::string wal_dir;
     io::WalOptions wal;
+    /// Consecutive batch/update failures before a shard is marked degraded.
+    std::size_t breaker_degrade_after = 2;
+    /// Consecutive failures before quarantine + background resync.  Must be
+    /// >= breaker_degrade_after.
+    std::size_t breaker_quarantine_after = 5;
+    /// Retry schedule for resync attempts before giving up (the shard then
+    /// stays quarantined; a later quarantine_shard() call retries).
+    util::BackoffPolicy resync_backoff{std::chrono::milliseconds{10},
+                                       std::chrono::milliseconds{500},
+                                       2.0, 0.25, 6};
   };
 
   /// Builds `opts.shards` replicas of `net` (in parallel, one thread per
-  /// shard) and replays any existing WALs in global sequence order.
+  /// shard) and replays any existing WALs in global sequence order.  `net`
+  /// is copied (resync rebuilds replicas from it long after construction).
   ShardedCluster(const NetworkModel& net, Options opts);
   ~ShardedCluster();
 
@@ -70,13 +113,17 @@ class ShardedCluster {
   /// The highest epoch every shard has published (never decreases).
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// One snapshot per shard, all tagged with the same epoch.
+  /// One snapshot per shard, all tagged with the same epoch.  Quarantined
+  /// shards contribute a null snapshot; `engines` keeps the backing replica
+  /// alive for the batch even if a concurrent resync swaps it out.
   struct PinnedView {
     std::uint64_t epoch = 0;
     std::vector<std::shared_ptr<const engine::FlatSnapshot>> snaps;
+    std::vector<std::shared_ptr<const engine::QueryEngine>> engines;
   };
-  /// Acquires an epoch-consistent view: retries until every shard yields a
-  /// snapshot tagged with one common epoch.  Never blocks updates.
+  /// Acquires an epoch-consistent view over the non-quarantined shards:
+  /// retries until every one of them yields a snapshot tagged with one
+  /// common epoch.  Never blocks updates.
   PinnedView pin() const;
 
   /// One buffered C/Q line awaiting GO.
@@ -86,29 +133,60 @@ class ShardedCluster {
     BoxId ingress = 0;  ///< queries only; also the routing key
   };
   struct BatchResult {
-    std::uint64_t epoch = 0;           ///< the pinned epoch
-    std::vector<std::string> lines;    ///< one answer line per item, in order
+    std::uint64_t epoch = 0;         ///< the pinned epoch
+    std::vector<std::string> lines;  ///< one answer line per item, in order
+    /// True when any item was answered away from its home shard (the home
+    /// was quarantined, or failed mid-batch and the items were rerouted).
+    bool degraded = false;
   };
   /// Executes a mixed batch against ONE pinned epoch: items are grouped by
   /// shard, fanned out via the engines' admitted batch paths, and answers
   /// return in input order ("A <atom>" / format_behavior_summary lines).
-  /// Throws apc::Error(kUnavailable) when any shard sheds the batch.
+  /// A shard that sheds or throws trips its breaker and the batch is
+  /// rerouted to a healthy replica (degraded=true); only when no healthy
+  /// replica remains does the call throw apc::Error(kUnavailable).
   BatchResult run_batch(const std::vector<BatchItem>& items) const;
 
   /// Applies a FIB update to every replica under one cluster-wide epoch
   /// bump, journaling it to the owner shard's WAL first.  Returns the new
-  /// cluster epoch.
+  /// cluster epoch.  Throws kUnavailable when the owner shard is read-only
+  /// (poisoned WAL) or the append definitively failed.
   std::uint64_t add_rule(const RuleSpec& spec);
   std::uint64_t remove_rule(const RuleSpec& spec);
 
-  /// Read access for differential tests.
-  const engine::QueryEngine& shard(std::size_t i) const { return *shards_[i]->engine; }
+  /// Read access for differential tests.  The returned engine is kept
+  /// alive by the shared_ptr even across a concurrent resync swap.
+  std::shared_ptr<const engine::QueryEngine> shard(std::size_t i) const {
+    return replica_engine(i);
+  }
+
+  // ---- Health & fault containment ----
+  ShardState shard_state(std::size_t i) const {
+    return shards_[i]->state.load(std::memory_order_acquire);
+  }
+  /// True while the shard's poisoned WAL blocks updates it owns.
+  bool shard_read_only(std::size_t i) const {
+    return shards_[i]->read_only.load(std::memory_order_acquire);
+  }
+  /// Forces shard `i` out of rotation and kicks the background resync
+  /// (idempotent while one is already running).  The breaker calls this
+  /// internally; tests and operators can call it directly.
+  void quarantine_shard(std::size_t i) const;
+  /// Completed resyncs (shards re-admitted) since construction.
+  std::uint64_t resyncs() const { return resyncs_.load(std::memory_order_relaxed); }
+  /// Resync attempts that failed (the shard stayed quarantined that round).
+  std::uint64_t resync_failures() const {
+    return resync_failures_.load(std::memory_order_relaxed);
+  }
+  /// Batches that needed rerouting away from a shard (degraded replies).
+  std::uint64_t reroutes() const { return reroutes_.load(std::memory_order_relaxed); }
 
   /// Aggregated metric snapshot: cluster rows (epoch, shards,
-  /// updates_applied) plus every shard's engine inventory under
-  /// "shard<i>.".  Materialized under the update lock so callback rows
-  /// never race a mutation; idle shards (zero queries) report zeroed
-  /// latency rows rather than failing (util::percentile_or).
+  /// updates_applied, shard_state, resyncs, wal.retries) plus every shard's
+  /// health/WAL rows and engine inventory under "shard<i>.".  Materialized
+  /// under the update lock so callback rows never race a mutation; idle
+  /// shards (zero queries) report zeroed latency rows rather than failing
+  /// (util::percentile_or).
   obs::MetricsSnapshot stats() const;
 
   /// Updates applied (add + remove) since construction.
@@ -129,26 +207,78 @@ class ShardedCluster {
     std::vector<double> samples() const;
   };
 
-  struct Shard {
+  /// The swappable compute core of a shard.  Resync builds a replacement
+  /// offline and swaps the shared_ptr; in-flight batches keep the old one
+  /// alive through PinnedView::engines.  Member order matters: the engine
+  /// references the classifier which references the manager, so
+  /// destruction must run engine-first (reverse declaration order).
+  struct Replica {
     std::shared_ptr<bdd::BddManager> mgr;
     std::unique_ptr<ApClassifier> clf;
     std::unique_ptr<engine::QueryEngine> engine;
-    std::unique_ptr<io::Wal> wal;
+  };
+
+  struct Shard {
+    std::shared_ptr<Replica> replica;  ///< guarded by swap_mu_
+    std::unique_ptr<io::Wal> wal;      ///< guarded by update_mu_
     LatencyReservoir batch_us;
+    std::atomic<ShardState> state{ShardState::kHealthy};
+    std::atomic<std::size_t> failures{0};  ///< consecutive, breaker input
+    std::atomic<bool> read_only{false};    ///< poisoned WAL: refuse updates
+    std::atomic<bool> resync_active{false};
+  };
+
+  /// One replayed/journaled update, kept in memory so resync can rebuild a
+  /// replica without touching other shards' WAL files.  Guarded by
+  /// update_mu_.
+  struct LogRecord {
+    std::uint64_t seq = 0;
+    bool add = false;
+    RuleSpec spec;
   };
 
   std::uint64_t apply_update(bool add, const RuleSpec& spec);
-  void replay_wals(const NetworkModel& net);
+  std::shared_ptr<Replica> replica_ref(std::size_t i) const;
+  std::shared_ptr<const engine::QueryEngine> replica_engine(std::size_t i) const;
+  /// Runs shard `s`'s slice of the batch on executing shard `exec` (same
+  /// pinned snapshot epoch).  Returns false on shed/exception.
+  bool execute_slice(const PinnedView& view, std::size_t exec,
+                     const std::vector<std::size_t>& classify_ix,
+                     const std::vector<std::size_t>& query_ix,
+                     const std::vector<BatchItem>& items, BatchResult& out) const;
+  void note_shard_success(std::size_t i) const;
+  void note_shard_failure(std::size_t i) const;
+  void resync_loop(std::size_t i) const;
+  /// One full resync attempt; throws on failure (caller backs off).
+  void resync_once(std::size_t i) const;
 
   Options opts_;
+  NetworkModel net_;  ///< resync rebuilds replicas from this copy
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// Serializes add_rule/remove_rule (the publication protocol assumes one
-  /// writer walks the shards at a time).
+  /// Serializes add_rule/remove_rule and resync splice-in (the publication
+  /// protocol assumes one writer walks the shards at a time).
   mutable std::mutex update_mu_;
+  /// Guards every Shard::replica pointer; leaf lock (acquired after
+  /// update_mu_, never around engine calls).
+  mutable std::mutex swap_mu_;
   std::atomic<std::uint64_t> epoch_{0};
   /// Global update sequence embedded in WAL records (guarded by update_mu_).
   std::uint64_t next_seq_ = 1;
+  /// Full update history (replayed + applied), for resync (update_mu_).
+  mutable std::vector<LogRecord> update_log_;
   std::atomic<std::uint64_t> updates_applied_{0};
+
+  // ---- resync machinery (mutable: quarantine is logically const) ----
+  mutable std::mutex resync_mu_;
+  mutable std::vector<std::thread> resync_threads_;  ///< guarded by resync_mu_
+  mutable std::mutex stop_mu_;
+  mutable std::condition_variable stop_cv_;
+  mutable std::atomic<bool> stopping_{false};
+  mutable std::atomic<std::uint64_t> resyncs_{0};
+  mutable std::atomic<std::uint64_t> resync_failures_{0};
+  mutable std::atomic<std::uint64_t> reroutes_{0};
+  mutable std::atomic<std::uint64_t> quarantines_{0};
+  mutable std::atomic<std::uint64_t> wal_poisonings_{0};
 };
 
 }  // namespace apc::server

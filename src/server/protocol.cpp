@@ -1,6 +1,7 @@
 #include "server/protocol.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "io/line_parse.hpp"
@@ -150,6 +151,21 @@ std::string format_behavior_summary(const Behavior& b) {
   std::snprintf(buf, sizeof buf, " %" PRIx64, x);
   out += buf;
   return out;
+}
+
+std::string format_stat_value(double v) {
+  char buf[40];
+  // Doubles hold every integer up to 2^53 exactly and every *representable*
+  // integral value exactly; "%.0f" prints those digits verbatim, so a u64
+  // counter that survived the double conversion round-trips.  The 2^63
+  // bound keeps the output within a fixed digit count (and anything larger
+  // has already lost integer precision on the way into the double).
+  if (std::isfinite(v) && std::nearbyint(v) == v && std::fabs(v) < 9.2e18) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+  }
+  return buf;
 }
 
 }  // namespace apc::server

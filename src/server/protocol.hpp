@@ -17,11 +17,17 @@
 // whole batch against ONE pinned cluster epoch and streams the answers
 // back.  Responses lead with a numeric status line:
 //
-//   201 <epoch> <n>   batch executed; n answer lines follow, in order
+//   201 <epoch> <n> [degraded=1]   batch executed; n answer lines follow, in
+//                     order.  degraded=1 flags answers served away from
+//                     their home shard (it was quarantined/failing): still
+//                     correct and epoch-consistent, but the routing
+//                     locality the client asked for was unavailable.
 //   200 <epoch>       update applied / EPOCH answer
 //   202 <n>           STATS; n "name value" lines follow
 //   400 <message>     parse error (this line only; the batch is kept)
-//   503 <message>     admission shed; retry later
+//   408 <message>     idle/write deadline hit; the server closes the line
+//   503 <message>     admission shed / connection-cap shed / read-only
+//                     shard / draining; retry later
 //   500 <message>     internal error
 //
 // Parsing reuses the hardened io/line_parse helpers: 64 KiB line cap,
@@ -76,5 +82,11 @@ std::string format_rule(bool add, const RuleSpec& spec);
 /// One-line behavior digest: "B <edges> <deliveries> <drops> <loop>" — a
 /// stable scalar summary two epoch-differential clients can compare.
 std::string format_behavior_summary(const Behavior& b);
+
+/// Formats one STATS row value.  Integral values (counters, epochs, byte
+/// totals) print as exact integers — "%.10g" would silently round a u64
+/// above 2^10 significant digits — while genuine reals keep the compact
+/// 10-significant-digit form.
+std::string format_stat_value(double v);
 
 }  // namespace apc::server

@@ -38,12 +38,26 @@ class FaultInjection : public ::testing::Test {
 
 TEST_F(FaultInjection, WalAppendErrnoIsTypedAndRetryable) {
   const std::string path = tmp_path("enospc");
-  io::Wal wal(path, io::WalOptions{});
+  io::WalOptions opts;
+  opts.retry.base = std::chrono::microseconds{100};  // keep the test fast
+  opts.retry.max = std::chrono::microseconds{500};
+  io::Wal wal(path, opts);
   wal.append("before");
 
+  // A short ENOSPC burst is absorbed by the retry loop: the append
+  // succeeds, the client never sees it, only the retries counter does.
   FaultPlan plan;
   plan.kind = FaultPlan::Kind::kErrno;
   plan.err = ENOSPC;
+  plan.count = 2;
+  FaultInjector::instance().arm("wal.append.write", plan);
+  wal.append("survives-burst");
+  EXPECT_EQ(wal.retries().value(), 2u);
+  EXPECT_FALSE(wal.poisoned());
+
+  // Persistent ENOSPC exhausts the budget and surfaces as typed kIo; the
+  // failed frame never reached the log and the Wal stays usable.
+  plan.count = 0;  // every hit, forever
   FaultInjector::instance().arm("wal.append.write", plan);
   try {
     wal.append("doomed");
@@ -52,14 +66,41 @@ TEST_F(FaultInjection, WalAppendErrnoIsTypedAndRetryable) {
     EXPECT_EQ(e.code(), ErrorCode::kIo);
     EXPECT_NE(std::string(e.what()).find("No space left"), std::string::npos) << e.what();
   }
-  // Disk-full is transient: once the plan is exhausted the same Wal keeps
-  // working, and the failed frame never reached the log.
+  EXPECT_FALSE(wal.poisoned());  // write failure is retryable, not poison
+  FaultInjector::instance().disarm("wal.append.write");
   wal.append("after");
   std::vector<std::string> records;
   io::Wal reopen(path, io::WalOptions{}, &records);
-  ASSERT_EQ(records.size(), 2u);
+  ASSERT_EQ(records.size(), 3u);
   EXPECT_EQ(records[0], "before");
-  EXPECT_EQ(records[1], "after");
+  EXPECT_EQ(records[1], "survives-burst");
+  EXPECT_EQ(records[2], "after");
+}
+
+TEST_F(FaultInjection, WalFsyncTransientBurstIsRetriedNotPoisoned) {
+  const std::string path = tmp_path("fsync-burst");
+  io::WalOptions opts;
+  opts.retry.base = std::chrono::microseconds{100};
+  opts.retry.max = std::chrono::microseconds{500};
+  io::Wal wal(path, opts);
+
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kErrno;
+  plan.err = ENOSPC;
+  plan.count = 3;  // within the default 4-retry budget
+  FaultInjector::instance().arm("wal.append.fsync", plan);
+  wal.append("fsync-retried");  // must NOT throw or poison
+  EXPECT_FALSE(wal.poisoned());
+  EXPECT_EQ(wal.retries().value(), 3u);
+
+  // Persistent transient-class fsync failure exhausts the budget and THEN
+  // poisons — durability of acked records is unknown past that point.
+  plan.count = 0;
+  FaultInjector::instance().arm("wal.append.fsync", plan);
+  EXPECT_THROW(wal.append("doomed"), Error);
+  EXPECT_TRUE(wal.poisoned());
+  FaultInjector::instance().disarm("wal.append.fsync");
+  EXPECT_THROW(wal.append("still-poisoned"), Error);
 }
 
 TEST_F(FaultInjection, WalShortWriteRollsBackToRecordBoundary) {

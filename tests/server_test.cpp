@@ -203,7 +203,7 @@ TEST(ShardedCluster, EpochAdvancesOnceEveryShardPublishes) {
   EXPECT_EQ(cluster.add_rule(spec), 1u);
   EXPECT_EQ(cluster.epoch(), 1u);
   for (std::size_t s = 0; s < cluster.shard_count(); ++s)
-    EXPECT_EQ(cluster.shard(s).snapshot_epoch(), 1u) << "shard " << s;
+    EXPECT_EQ(cluster.shard(s)->snapshot_epoch(), 1u) << "shard " << s;
   EXPECT_EQ(cluster.remove_rule(spec), 2u);
   EXPECT_EQ(cluster.epoch(), 2u);
   EXPECT_EQ(cluster.updates_applied(), 2u);
